@@ -1,0 +1,59 @@
+//! E3 wall-clock: curve transform throughput and locality measurement.
+//!
+//! `point`/`index` are the inner loop of every energy charge, so their
+//! throughput bounds how large an instance the simulator can meter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatial_trees::sfc::locality::alpha_estimate;
+use spatial_trees::sfc::{Curve, CurveKind};
+use std::hint::black_box;
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_point");
+    group.sample_size(20);
+    for kind in [CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::Peano] {
+        let curve = kind.for_capacity(1 << 20);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in (0..curve.len()).step_by(31) {
+                    let p = curve.point(black_box(i));
+                    acc += p.x as u64 + p.y as u64;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("curve_roundtrip");
+    group.sample_size(20);
+    for kind in [CurveKind::Hilbert, CurveKind::ZOrder] {
+        let curve = kind.for_capacity(1 << 16);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let mut ok = 0u64;
+                for i in 0..curve.len() {
+                    ok += u64::from(curve.index(curve.point(black_box(i))) == i);
+                }
+                ok
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_estimate");
+    group.sample_size(10);
+    for kind in [CurveKind::Hilbert, CurveKind::ZOrder] {
+        let curve = kind.for_capacity(128 * 128);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| alpha_estimate(black_box(&curve), 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_alpha);
+criterion_main!(benches);

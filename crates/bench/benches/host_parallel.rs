@@ -1,0 +1,71 @@
+//! E10 wall-clock: the "low depth ⇒ real CPU parallelism" claim.
+//!
+//! The paper's algorithms have poly-log depth; on a multicore host the
+//! same structure yields fork-join speedups. This bench compares the
+//! sequential and rayon implementations of the three tree primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatial_bench::workload;
+use spatial_trees::tree::generators::TreeFamily;
+use spatial_trees::tree::traversal::{light_first_order, light_first_order_par, subtree_sizes_par};
+use spatial_trees::treefix::host::{
+    treefix_bottom_up_host, treefix_bottom_up_par, treefix_top_down_host, treefix_top_down_par,
+};
+use spatial_trees::treefix::Add;
+use std::hint::black_box;
+
+fn bench_light_first(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_light_first_order");
+    group.sample_size(10);
+    for log_n in [18u32, 20] {
+        let tree = workload(TreeFamily::UniformRandom, 1 << log_n, 13);
+        group.bench_function(BenchmarkId::new("sequential", format!("2^{log_n}")), |b| {
+            b.iter(|| light_first_order(black_box(&tree)))
+        });
+        group.bench_function(BenchmarkId::new("rayon", format!("2^{log_n}")), |b| {
+            b.iter(|| light_first_order_par(black_box(&tree)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_subtree_sizes(c: &mut Criterion) {
+    let tree = workload(TreeFamily::UniformRandom, 1 << 20, 13);
+    let mut group = c.benchmark_group("host_subtree_sizes_2^20");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(&tree).subtree_sizes())
+    });
+    group.bench_function("rayon_levels", |b| {
+        b.iter(|| subtree_sizes_par(black_box(&tree)))
+    });
+    group.finish();
+}
+
+fn bench_host_treefix(c: &mut Criterion) {
+    let tree = workload(TreeFamily::Yule, 1 << 19, 13);
+    let values = vec![Add(1); tree.n() as usize];
+    let mut group = c.benchmark_group("host_treefix_yule_2^19");
+    group.sample_size(10);
+    group.bench_function("bottom_up_seq", |b| {
+        b.iter(|| treefix_bottom_up_host(black_box(&tree), &values))
+    });
+    group.bench_function("bottom_up_rayon", |b| {
+        b.iter(|| treefix_bottom_up_par(black_box(&tree), &values))
+    });
+    group.bench_function("top_down_seq", |b| {
+        b.iter(|| treefix_top_down_host(black_box(&tree), &values))
+    });
+    group.bench_function("top_down_rayon", |b| {
+        b.iter(|| treefix_top_down_par(black_box(&tree), &values))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_light_first,
+    bench_subtree_sizes,
+    bench_host_treefix
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E7 wall-clock: batched spatial LCA vs the host binary-lifting oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_bench::workload;
+use spatial_trees::layout::Layout;
+use spatial_trees::lca::{batched_lca, HostLca};
+use spatial_trees::model::CurveKind;
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators::TreeFamily;
+use std::hint::black_box;
+
+fn bench_lca(c: &mut Criterion) {
+    let n = 1u32 << 13;
+    let tree = workload(TreeFamily::UniformRandom, n, 8);
+    let layout = Layout::light_first(&tree, CurveKind::Hilbert);
+    let mut rng = StdRng::seed_from_u64(9);
+    let queries: Vec<(NodeId, NodeId)> = (0..n / 2)
+        .map(|_| (rng.gen_range(0..tree.n()), rng.gen_range(0..tree.n())))
+        .collect();
+
+    let mut group = c.benchmark_group("lca_2^13_batch");
+    group.sample_size(10);
+    group.bench_function("spatial_batched", |b| {
+        b.iter(|| {
+            let machine = layout.machine();
+            let mut rng = StdRng::seed_from_u64(10);
+            batched_lca(&machine, &layout, black_box(&tree), &queries, &mut rng)
+        })
+    });
+    group.bench_function("host_binary_lifting", |b| {
+        b.iter(|| {
+            let oracle = HostLca::new(black_box(&tree));
+            queries
+                .iter()
+                .map(|&(a, b)| oracle.query(a, b))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lca);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E4 wall-clock: virtual-tree construction and local messaging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatial_bench::workload;
+use spatial_trees::layout::Layout;
+use spatial_trees::messaging::{local_broadcast, local_reduce, VirtualTree};
+use spatial_trees::model::CurveKind;
+use spatial_trees::tree::generators::TreeFamily;
+use std::hint::black_box;
+
+fn bench_virtual_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtual_tree_build");
+    group.sample_size(10);
+    for family in [TreeFamily::Star, TreeFamily::PreferentialAttachment] {
+        let tree = workload(family, 1 << 16, 9);
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            b.iter(|| VirtualTree::new(black_box(&tree)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_ops(c: &mut Criterion) {
+    let tree = workload(TreeFamily::PreferentialAttachment, 1 << 16, 9);
+    let layout = Layout::light_first(&tree, CurveKind::Hilbert);
+    let vt = VirtualTree::new(&tree);
+    let values: Vec<u64> = (0..tree.n() as u64).collect();
+    let mut group = c.benchmark_group("local_messaging_2^16");
+    group.sample_size(10);
+    group.bench_function("broadcast", |b| {
+        b.iter(|| {
+            let machine = layout.machine();
+            local_broadcast(&machine, &layout, &vt, black_box(&tree), &values)
+        })
+    });
+    group.bench_function("reduce", |b| {
+        b.iter(|| {
+            let machine = layout.machine();
+            local_reduce(
+                &machine,
+                &layout,
+                &vt,
+                black_box(&tree),
+                &values,
+                &|a, b| a + b,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_virtual_tree, bench_local_ops);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E8 wall-clock: the PRAM-simulation baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spatial_bench::workload;
+use spatial_trees::pram::{pram_subtree_sums, PramMachine};
+use spatial_trees::tree::generators::TreeFamily;
+use std::hint::black_box;
+
+fn bench_pram(c: &mut Criterion) {
+    let tree = workload(TreeFamily::RandomBinary, 1 << 13, 11);
+    let values: Vec<u64> = (0..tree.n() as u64).collect();
+    let mut group = c.benchmark_group("pram_2^13");
+    group.sample_size(10);
+    group.bench_function("subtree_sums", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(12);
+            let mut pram = PramMachine::new(2 * tree.n(), 2 * tree.n(), &mut rng);
+            pram_subtree_sums(&mut pram, black_box(&tree), &values, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pram);
+criterion_main!(benches);

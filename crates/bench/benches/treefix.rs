@@ -1,0 +1,94 @@
+//! E6 wall-clock: spatial treefix (with full accounting) across tree
+//! families and directions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spatial_bench::workload;
+use spatial_trees::layout::Layout;
+use spatial_trees::model::CurveKind;
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators::TreeFamily;
+use spatial_trees::treefix::{treefix_bottom_up, treefix_top_down};
+use std::hint::black_box;
+
+fn bench_spatial_treefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_treefix_2^14");
+    group.sample_size(10);
+    for family in [TreeFamily::RandomBinary, TreeFamily::PreferentialAttachment] {
+        let tree = workload(family, 1 << 14, 5);
+        let layout = Layout::light_first(&tree, CurveKind::Hilbert);
+        let values = vec![Add(1); tree.n() as usize];
+        group.bench_function(BenchmarkId::new("bottom_up", family.name()), |b| {
+            b.iter(|| {
+                let machine = layout.machine();
+                let mut rng = StdRng::seed_from_u64(6);
+                treefix_bottom_up(&machine, &layout, black_box(&tree), &values, &mut rng)
+            })
+        });
+        group.bench_function(BenchmarkId::new("top_down", family.name()), |b| {
+            b.iter(|| {
+                let machine = layout.machine();
+                let mut rng = StdRng::seed_from_u64(6);
+                treefix_top_down(&machine, &layout, black_box(&tree), &values, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_expression(c: &mut Criterion) {
+    let expr = spatial_trees::treefix::ExprTree::random(1 << 13, &mut StdRng::seed_from_u64(7));
+    let layout = Layout::light_first(expr.tree(), CurveKind::Hilbert);
+    let mut group = c.benchmark_group("expression_eval_2^13_leaves");
+    group.sample_size(10);
+    group.bench_function("spatial_rake_compress", |b| {
+        b.iter(|| {
+            let machine = layout.machine();
+            let mut rng = StdRng::seed_from_u64(8);
+            spatial_trees::treefix::evaluate_expression(
+                &machine,
+                &layout,
+                black_box(&expr),
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("host_sequential", |b| {
+        b.iter(|| spatial_trees::treefix::evaluate_expression_host(black_box(&expr)))
+    });
+    group.finish();
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    let graph = spatial_trees::mincut::SpannedGraph::random(
+        1 << 12,
+        1 << 11,
+        100,
+        &mut StdRng::seed_from_u64(9),
+    );
+    let layout = Layout::light_first(graph.tree(), CurveKind::Hilbert);
+    let mut group = c.benchmark_group("mincut_2^12");
+    group.sample_size(10);
+    group.bench_function("one_respecting_cuts", |b| {
+        b.iter(|| {
+            let machine = layout.machine();
+            let mut rng = StdRng::seed_from_u64(10);
+            spatial_trees::mincut::one_respecting_cuts(
+                &machine,
+                &layout,
+                black_box(&graph),
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spatial_treefix,
+    bench_expression,
+    bench_mincut
+);
+criterion_main!(benches);

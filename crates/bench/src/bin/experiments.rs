@@ -1,0 +1,630 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p spatial-bench --bin experiments           # all
+//! cargo run --release -p spatial-bench --bin experiments -- e1 e7  # some
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_bench::{f2, f3, workload, Table};
+use spatial_trees::layout::{
+    build_light_first_spatial, edge_distance_stats, local_kernel_energy, Layout, LayoutKind,
+};
+use spatial_trees::lca::batched_lca;
+use spatial_trees::messaging::{local_broadcast, VirtualTree};
+use spatial_trees::model::{CurveKind, Machine};
+use spatial_trees::pram::{pram_lca_batch, pram_subtree_sums, PramMachine};
+use spatial_trees::prelude::*;
+use spatial_trees::sfc::locality::{alpha_estimate, mean_step_distance};
+use spatial_trees::sfc::zorder::{longest_diagonal, ZOrderCurve};
+use spatial_trees::sfc::Curve;
+use spatial_trees::tree::generators::TreeFamily;
+use spatial_trees::tree::HeavyPathDecomposition;
+use spatial_trees::treefix::{treefix_bottom_up, treefix_top_down};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    if want("e1") {
+        e1_layout_energy();
+    }
+    if want("e2") {
+        e2_zorder();
+    }
+    if want("e3") {
+        e3_curve_locality();
+    }
+    if want("e4") {
+        e4_unbounded_degree();
+    }
+    if want("e5") {
+        e5_layout_creation();
+    }
+    if want("e6") {
+        e6_treefix();
+    }
+    if want("e7") {
+        e7_lca();
+    }
+    if want("e8") {
+        e8_pram_baseline();
+    }
+    if want("e9") {
+        e9_path_decomposition();
+    }
+    if want("e11") {
+        e11_mincut();
+    }
+    if want("a1") {
+        a1_order_and_curve_ablation();
+    }
+    if want("a2") {
+        a2_dynamic_layout();
+    }
+    if want("a3") {
+        a3_expression_evaluation();
+    }
+}
+
+/// E11 — the cited application: 1-respecting minimum cuts (Karger)
+/// from batched LCA + one fused treefix, near-linear energy end-to-end.
+fn e11_mincut() {
+    println!("\n### E11 — 1-respecting minimum cuts (the §I-C application)\n");
+    let mut table = Table::new([
+        "n",
+        "extra_edges",
+        "energy/(n·log n)",
+        "depth/log² n",
+        "best_cut",
+    ]);
+    for log_n in [10u32, 12, 14] {
+        let n = 1u32 << log_n;
+        let mut rng = StdRng::seed_from_u64(111);
+        let graph = spatial_trees::mincut::SpannedGraph::random(n, n as usize / 2, 100, &mut rng);
+        let layout = Layout::light_first(graph.tree(), CurveKind::Hilbert);
+        let machine = layout.machine();
+        let res = spatial_trees::mincut::one_respecting_cuts(&machine, &layout, &graph, &mut rng);
+        let r = machine.report();
+        table.row([
+            format!("2^{log_n}"),
+            (n / 2).to_string(),
+            f3(r.energy_per_n_log_n(n as u64)),
+            f2(r.depth_per_log2_n(n as u64)),
+            res.best_weight.to_string(),
+        ]);
+    }
+    table.print();
+    println!("  (cut values verified against brute force in the test suite)\n");
+}
+
+/// A1 — ablation: which ingredient of the layout matters? Sweeps the
+/// child order (light-first vs heavy-first vs natural DFS) and the
+/// curve (distance-bound vs not) independently for the treefix workload.
+fn a1_order_and_curve_ablation() {
+    println!("\n### A1 — ablation: child order × curve (treefix energy/(n·log n))\n");
+    let n = 1u32 << 14;
+    let t = workload(TreeFamily::UniformRandom, n, 101);
+    let orders: [(&str, Vec<NodeId>); 3] = [
+        (
+            "light-first",
+            spatial_trees::tree::traversal::light_first_order(&t),
+        ),
+        (
+            "heavy-first",
+            spatial_trees::tree::traversal::heavy_first_order(&t),
+        ),
+        (
+            "natural-dfs",
+            spatial_trees::tree::traversal::dfs_preorder(&t),
+        ),
+    ];
+    let mut table = Table::new(["order", "hilbert", "moore", "zorder", "serpentine"]);
+    for (name, order) in &orders {
+        let mut cells = vec![name.to_string()];
+        for curve in [
+            CurveKind::Hilbert,
+            CurveKind::Moore,
+            CurveKind::ZOrder,
+            CurveKind::Serpentine,
+        ] {
+            let layout = Layout::from_order(curve, order.clone());
+            let machine = layout.machine();
+            let mut rng = StdRng::seed_from_u64(102);
+            treefix_bottom_up(
+                &machine,
+                &layout,
+                &t,
+                &vec![Add(1); t.n() as usize],
+                &mut rng,
+            );
+            cells.push(f3(machine.report().energy_per_n_log_n(t.n() as u64)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("  (n = 2^14, uniform random tree; lower is better)\n");
+}
+
+/// A2 — dynamic layouts (§VII future work): a leaf-insertion stream
+/// with amortized rebuilds at different quality tolerances.
+fn a2_dynamic_layout() {
+    println!("\n### A2 — dynamic layout maintenance (§VII future work)\n");
+    let base = workload(TreeFamily::UniformRandom, 1 << 12, 103);
+    let inserts = 1u32 << 12; // double the tree
+    let mut table = Table::new([
+        "rebuild_factor",
+        "rebuilds",
+        "final_energy/n",
+        "fresh_energy/n",
+        "overhead",
+    ]);
+    for factor in [f64::INFINITY, 8.0, 2.0] {
+        let mut dl = spatial_trees::layout::DynamicLayout::new(&base, CurveKind::Hilbert, factor);
+        let mut rng = StdRng::seed_from_u64(104);
+        for _ in 0..inserts {
+            let p = rng.gen_range(0..dl.n());
+            dl.insert_leaf(p);
+        }
+        let tree = dl.tree();
+        let n = tree.n() as f64;
+        let current = dl.current_energy() as f64 / n;
+        let fresh =
+            local_kernel_energy(&tree, &Layout::light_first(&tree, CurveKind::Hilbert)) as f64 / n;
+        table.row([
+            if factor.is_infinite() {
+                "never".to_string()
+            } else {
+                format!("{factor}")
+            },
+            dl.stats().rebuilds.to_string(),
+            f2(current),
+            f2(fresh),
+            f2(current / fresh),
+        ]);
+    }
+    table.print();
+    println!("  (2^12-vertex tree doubled by random leaf insertions)\n");
+}
+
+/// A3 — expression tree evaluation (Miller–Reif, the §V reference):
+/// all subexpressions of random +/× trees, bounded-degree treefix costs.
+fn a3_expression_evaluation() {
+    println!("\n### A3 — expression tree evaluation (Miller–Reif via rake/compress)\n");
+    let mut table = Table::new(["leaves", "n", "energy/(n·log n)", "depth/log n", "rounds"]);
+    for log_leaves in [10u32, 12, 14] {
+        let expr = spatial_trees::treefix::ExprTree::random(
+            1 << log_leaves,
+            &mut StdRng::seed_from_u64(105),
+        );
+        let layout = Layout::light_first(expr.tree(), CurveKind::Hilbert);
+        let machine = layout.machine();
+        let res = spatial_trees::treefix::evaluate_expression(
+            &machine,
+            &layout,
+            &expr,
+            &mut StdRng::seed_from_u64(106),
+        );
+        // Verified against the host evaluator before reporting.
+        assert_eq!(
+            res.values,
+            spatial_trees::treefix::evaluate_expression_host(&expr)
+        );
+        let r = machine.report();
+        let n = expr.n() as u64;
+        table.row([
+            format!("2^{log_leaves}"),
+            n.to_string(),
+            f3(r.energy_per_n_log_n(n)),
+            f2(r.depth_per_log_n(n)),
+            res.stats.compact_rounds.to_string(),
+        ]);
+    }
+    table.print();
+    println!("  (all subexpression values verified against the host evaluator)\n");
+}
+
+/// E1 (Theorem 1, Fig. 1): mean parent→child grid distance per layout.
+/// Light-first stays O(1); BFS on perfect binary trees and random
+/// layouts grow like √n; DFS degrades on the comb.
+fn e1_layout_energy() {
+    println!("\n### E1 — messaging-kernel energy by layout (Theorem 1)\n");
+    let mut rng = StdRng::seed_from_u64(1);
+    for family in [
+        TreeFamily::PerfectBinary,
+        TreeFamily::Comb,
+        TreeFamily::UniformRandom,
+        TreeFamily::PreferentialAttachment,
+    ] {
+        println!("family = {family} (curve = hilbert, mean edge distance)");
+        let mut table = Table::new(["n", "light-first", "bfs", "dfs", "random"]);
+        for log_n in [12u32, 14, 16] {
+            let t = workload(family, 1 << log_n, 11);
+            let mut cells = vec![format!("2^{log_n} ({})", t.n())];
+            for kind in LayoutKind::ALL {
+                let layout = Layout::of_kind(kind, &t, CurveKind::Hilbert, &mut rng);
+                cells.push(f2(edge_distance_stats(&t, &layout).mean));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+}
+
+/// E2 (Theorem 2, Fig. 2): Z-order light-first is energy-bound; the
+/// diagonal term Ed stays linear.
+fn e2_zorder() {
+    println!("\n### E2 — Z-order light-first and the diagonal term (Theorem 2)\n");
+    println!("kernel energy per vertex, light-first order, by curve:");
+    let mut table = Table::new(["n", "hilbert", "zorder", "peano", "serpentine", "rowmajor"]);
+    for log_n in [12u32, 14, 16] {
+        let t = workload(TreeFamily::UniformRandom, 1 << log_n, 22);
+        let mut cells = vec![format!("2^{log_n}")];
+        for curve in [
+            CurveKind::Hilbert,
+            CurveKind::ZOrder,
+            CurveKind::Peano,
+            CurveKind::Serpentine,
+            CurveKind::RowMajor,
+        ] {
+            let layout = Layout::light_first(&t, curve);
+            cells.push(f2(local_kernel_energy(&t, &layout) as f64 / t.n() as f64));
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    println!("\nLemma 3 split on tree edges (Z-light-first): Ed total / n:");
+    let mut table = Table::new(["n", "Ed_total/n", "max_diagonal", "edges_using_diagonals_%"]);
+    for log_n in [12u32, 14, 16] {
+        let t = workload(TreeFamily::UniformRandom, 1 << log_n, 22);
+        let layout = Layout::light_first(&t, CurveKind::ZOrder);
+        let curve = ZOrderCurve::new(layout.machine().side());
+        let mut ed_total = 0u64;
+        let mut ed_max = 0u64;
+        let mut using = 0u64;
+        for (p, c) in t.edges() {
+            let (i, j) = (layout.slot(p) as u64, layout.slot(c) as u64);
+            let ed = longest_diagonal(&curve, i, j);
+            ed_total += ed;
+            ed_max = ed_max.max(ed);
+            if ed > 1 {
+                using += 1;
+            }
+        }
+        table.row([
+            format!("2^{log_n}"),
+            f2(ed_total as f64 / t.n() as f64),
+            ed_max.to_string(),
+            f2(100.0 * using as f64 / (t.n() - 1) as f64),
+        ]);
+    }
+    table.print();
+    println!();
+}
+
+/// E3 (§III-B): measured distance-bound constants α per curve, against
+/// the proven values (Hilbert 3, Peano √(10⅔); Z-order/row-major are
+/// unbounded and must grow with the grid side).
+fn e3_curve_locality() {
+    println!("\n### E3 — distance-bound constants (§III-B)\n");
+    let mut table = Table::new(["curve", "side", "measured α", "proven α", "mean step"]);
+    for kind in CurveKind::ALL {
+        for side_hint in [64u64 * 64, 256 * 256] {
+            let curve = kind.for_capacity(side_hint);
+            let stride = if curve.len() > 1 << 14 { 13 } else { 1 };
+            let alpha = alpha_estimate(&curve, stride);
+            table.row([
+                kind.name().to_string(),
+                curve.side().to_string(),
+                f3(alpha),
+                kind.alpha().map(f3).unwrap_or_else(|| "unbounded".into()),
+                f3(mean_step_distance(&curve)),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+}
+
+/// E4 (Theorem 3, Figs. 3–4): unbounded-degree local broadcast through
+/// the virtual tree: O(n) energy and O(log n) depth, vs the naive
+/// direct kernel that pays Θ(n^{3/2}) on stars.
+fn e4_unbounded_degree() {
+    println!("\n### E4 — unbounded degree via virtual trees (Theorem 3)\n");
+    for family in [
+        TreeFamily::Star,
+        TreeFamily::Broom,
+        TreeFamily::PreferentialAttachment,
+    ] {
+        println!("family = {family}");
+        let mut table = Table::new([
+            "n",
+            "direct_energy/n",
+            "virtual_energy/n",
+            "virtual_depth",
+            "2·log2(n)",
+        ]);
+        for log_n in [12u32, 14, 16] {
+            let n = 1u32 << log_n;
+            let t = workload(family, n, 44);
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let direct = local_kernel_energy(&t, &layout);
+            let machine = layout.machine();
+            let vt = VirtualTree::new(&t);
+            vt.charge_construction(&machine, &layout);
+            let values = vec![1u64; t.n() as usize];
+            local_broadcast(&machine, &layout, &vt, &t, &values);
+            let r = machine.report();
+            table.row([
+                format!("2^{log_n}"),
+                f2(direct as f64 / t.n() as f64),
+                f2(r.energy as f64 / t.n() as f64),
+                r.depth.to_string(),
+                (2 * log_n).to_string(),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}
+
+/// E5 (Theorems 4–5): spatial layout creation: O(n^{3/2}) energy and
+/// O(log n) depth w.h.p.; random-mate rounds concentrate.
+fn e5_layout_creation() {
+    println!("\n### E5 — layout creation on the machine (Theorems 4–5)\n");
+    let mut table = Table::new([
+        "n",
+        "energy/n^1.5",
+        "depth",
+        "depth/log2(n)",
+        "rank_rounds",
+        "sort_share_%",
+    ]);
+    for log_n in [10u32, 12, 14] {
+        let n = 1u32 << log_n;
+        let t = workload(TreeFamily::UniformRandom, n, 55);
+        let mut rng = StdRng::seed_from_u64(56);
+        let (_, report) = build_light_first_spatial(&t, CurveKind::Hilbert, &mut rng);
+        let total = report.total();
+        table.row([
+            format!("2^{log_n}"),
+            f3(total.energy_per_n_three_halves(t.n() as u64)),
+            total.depth.to_string(),
+            f2(total.depth as f64 / log_n as f64),
+            format!("{}+{}", report.ranking_rounds.0, report.ranking_rounds.1),
+            f2(100.0 * report.permute_phase.energy as f64 / total.energy as f64),
+        ]);
+    }
+    table.print();
+
+    println!("\nLas Vegas concentration: ranking rounds over 10 seeds (n = 2^12):");
+    let t = workload(TreeFamily::UniformRandom, 1 << 12, 55);
+    let mut rounds: Vec<u32> = (0..10)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, report) = build_light_first_spatial(&t, CurveKind::Hilbert, &mut rng);
+            report.ranking_rounds.0
+        })
+        .collect();
+    rounds.sort_unstable();
+    println!(
+        "  min={} median={} max={} (log2 n = 12)\n",
+        rounds[0], rounds[5], rounds[9]
+    );
+}
+
+/// E6 (Lemmas 10–12): treefix sums: O(n log n) energy; O(log n) depth
+/// for bounded degree, O(log² n) otherwise; O(log n) COMPACT rounds.
+fn e6_treefix() {
+    println!("\n### E6 — treefix sums (Lemmas 10–12)\n");
+    for family in [
+        TreeFamily::RandomBinary,
+        TreeFamily::Comb,
+        TreeFamily::UniformRandom,
+        TreeFamily::PreferentialAttachment,
+        TreeFamily::Yule,
+    ] {
+        let bounded = TreeFamily::BOUNDED_DEGREE.contains(&family);
+        println!(
+            "family = {family} ({} degree)",
+            if bounded { "bounded" } else { "unbounded" }
+        );
+        let mut table = Table::new([
+            "n",
+            "dir",
+            "energy/(n·log n)",
+            "depth",
+            "depth/log n",
+            "depth/log² n",
+            "rounds",
+        ]);
+        for log_n in [12u32, 14, 16] {
+            let n = 1u32 << log_n;
+            let t = workload(family, n, 66);
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let values = vec![Add(1); t.n() as usize];
+            for dir in ["up", "down"] {
+                let machine = layout.machine();
+                let mut rng = StdRng::seed_from_u64(67);
+                let stats = if dir == "up" {
+                    treefix_bottom_up(&machine, &layout, &t, &values, &mut rng).stats
+                } else {
+                    treefix_top_down(&machine, &layout, &t, &values, &mut rng).stats
+                };
+                let r = machine.report();
+                table.row([
+                    format!("2^{log_n}"),
+                    dir.to_string(),
+                    f3(r.energy_per_n_log_n(t.n() as u64)),
+                    r.depth.to_string(),
+                    f2(r.depth_per_log_n(t.n() as u64)),
+                    f2(r.depth_per_log2_n(t.n() as u64)),
+                    stats.compact_rounds.to_string(),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}
+
+/// E7 (Theorem 6, Fig. 8): batched LCA: O(n log n) energy, O(log² n)
+/// depth; every answer verified against the host oracle.
+fn e7_lca() {
+    println!("\n### E7 — batched LCA (Theorem 6)\n");
+    let mut table = Table::new([
+        "n",
+        "queries",
+        "energy/(n·log n)",
+        "energy/n^1.5",
+        "depth/log² n",
+        "layers",
+        "step1_%",
+    ]);
+    for log_n in [12u32, 14, 16] {
+        let n = 1u32 << log_n;
+        let t = workload(TreeFamily::UniformRandom, n, 77);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let mut rng = StdRng::seed_from_u64(78);
+        let queries: Vec<(NodeId, NodeId)> = (0..n / 2)
+            .map(|_| (rng.gen_range(0..t.n()), rng.gen_range(0..t.n())))
+            .collect();
+        let res = batched_lca(&machine, &layout, &t, &queries, &mut rng);
+        let r = machine.report();
+        // Verify against the oracle before reporting.
+        let oracle = spatial_trees::lca::HostLca::new(&t);
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            assert_eq!(res.answers[qi], oracle.query(a, b));
+        }
+        table.row([
+            format!("2^{log_n}"),
+            queries.len().to_string(),
+            f3(r.energy_per_n_log_n(t.n() as u64)),
+            f3(r.energy_per_n_three_halves(t.n() as u64)),
+            f2(r.depth_per_log2_n(t.n() as u64)),
+            res.stats.layers.to_string(),
+            f2(100.0 * res.stats.answered_step1 as f64 / queries.len() as f64),
+        ]);
+    }
+    table.print();
+    println!("  (all answers verified against the binary-lifting oracle)\n");
+}
+
+/// E8 (§I-C): spatial vs PRAM-simulation energy for the same treefix
+/// and LCA computations; the gap grows like √n / log n.
+fn e8_pram_baseline() {
+    println!("\n### E8 — PRAM simulation baseline (§I-C)\n");
+    println!("subtree sums (same inputs, same outputs):");
+    let mut table = Table::new([
+        "n",
+        "spatial_energy",
+        "pram_energy",
+        "ratio",
+        "spatial/(n·log n)",
+        "pram/n^1.5",
+    ]);
+    for log_n in [10u32, 12, 14] {
+        let n = 1u32 << log_n;
+        let t = workload(TreeFamily::RandomBinary, n, 88);
+        let values: Vec<u64> = (0..t.n() as u64).collect();
+        let mut rng = StdRng::seed_from_u64(89);
+
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let monoids: Vec<Add> = values.iter().map(|&v| Add(v)).collect();
+        let spatial = treefix_bottom_up(&machine, &layout, &t, &monoids, &mut rng);
+        let se = machine.report().energy;
+
+        let mut pram = PramMachine::new(2 * t.n(), 2 * t.n(), &mut rng);
+        let pram_res = pram_subtree_sums(&mut pram, &t, &values, &mut rng);
+        let pe = pram.report().energy;
+        let got: Vec<u64> = spatial.values.iter().map(|&Add(v)| v).collect();
+        assert_eq!(got, pram_res, "baselines must agree");
+
+        table.row([
+            format!("2^{log_n}"),
+            se.to_string(),
+            pe.to_string(),
+            f2(pe as f64 / se as f64),
+            f3(machine.report().energy_per_n_log_n(t.n() as u64)),
+            f3(pram.report().energy_per_n_three_halves(t.n() as u64)),
+        ]);
+    }
+    table.print();
+
+    println!("\nbatched LCA (n/2 queries):");
+    let mut table = Table::new(["n", "spatial_energy", "pram_energy", "ratio"]);
+    for log_n in [10u32, 12] {
+        let n = 1u32 << log_n;
+        let t = workload(TreeFamily::UniformRandom, n, 90);
+        let mut rng = StdRng::seed_from_u64(91);
+        let queries: Vec<(NodeId, NodeId)> = (0..n / 2)
+            .map(|_| (rng.gen_range(0..t.n()), rng.gen_range(0..t.n())))
+            .collect();
+
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let res = batched_lca(&machine, &layout, &t, &queries, &mut rng);
+        let se = machine.report().energy;
+
+        let mut pram = PramMachine::new(t.n(), 2 * t.n(), &mut rng);
+        let pram_answers = pram_lca_batch(&mut pram, &t, &queries, &mut rng);
+        assert_eq!(res.answers, pram_answers, "baselines must agree");
+        let pe = pram.report().energy;
+
+        table.row([
+            format!("2^{log_n}"),
+            se.to_string(),
+            pe.to_string(),
+            f2(pe as f64 / se as f64),
+        ]);
+    }
+    table.print();
+    println!();
+}
+
+/// E9 (§VI-A, Fig. 8): path decompositions have O(log n) layers and
+/// cover membership stays O(log n).
+fn e9_path_decomposition() {
+    println!("\n### E9 — path decomposition layers (§VI-A)\n");
+    let mut table = Table::new(["family", "n", "layers", "log2(n)", "max_cover_membership"]);
+    for family in [
+        TreeFamily::Path,
+        TreeFamily::Star,
+        TreeFamily::Comb,
+        TreeFamily::PerfectBinary,
+        TreeFamily::UniformRandom,
+        TreeFamily::PreferentialAttachment,
+        TreeFamily::Yule,
+    ] {
+        let n = 1u32 << 16;
+        let t = workload(family, n, 99);
+        let sizes = t.subtree_sizes();
+        let d = HeavyPathDecomposition::with_sizes(&t, &sizes);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let cover = spatial_trees::lca::SubtreeCover::new(&t, &layout, &d, &sizes);
+        let max_membership = cover
+            .membership_counts(&layout)
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        table.row([
+            family.name().to_string(),
+            t.n().to_string(),
+            d.num_layers().to_string(),
+            f2((t.n() as f64).log2()),
+            max_membership.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+}
+
+// Silence the unused warning when compiled without running `Machine`
+// directly (we use it through layouts).
+#[allow(dead_code)]
+fn _type_check(_: &Machine) {}

@@ -1,0 +1,28 @@
+//! Euler tours and list ranking (§IV of the paper).
+//!
+//! The light-first layout is computed through Euler tours: duplicating
+//! every tree edge into a *down* and an *up* dart and linking them in
+//! traversal order yields a linked list whose ranks encode subtree sizes
+//! and first occurrences. Ranking that list is the bottleneck of layout
+//! creation; the paper adapts the randomized contraction algorithm of
+//! Anderson & Miller to the spatial setting, obtaining `O(n^{3/2})`
+//! energy and `O(log n)` depth with high probability (Theorem 5).
+//!
+//! This crate provides:
+//!
+//! - [`tour::EulerTour`]: dart-based tour construction for any child
+//!   order (natural or light-first).
+//! - [`ranking`]: list ranking as
+//!   - a sequential walk ([`ranking::rank_sequential`]),
+//!   - a host-parallel Wyllie pointer-jumping ranking
+//!     ([`ranking::rank_parallel`]) for wall-clock benchmarks, and
+//!   - the spatial random-mate contraction
+//!     ([`ranking::rank_spatial`]) with full energy/depth accounting.
+//! - [`tour`] helpers deriving subtree sizes and first-occurrence
+//!   (DFS) orders from tour ranks — steps 1–3 of the §IV pipeline.
+
+pub mod ranking;
+pub mod tour;
+
+pub use ranking::{rank_parallel, rank_sequential, rank_spatial, SpatialRanking};
+pub use tour::{ChildOrder, EulerTour};

@@ -1,0 +1,427 @@
+//! List ranking: sequential, host-parallel (Wyllie), and spatial
+//! random-mate contraction (Theorem 5).
+//!
+//! List ranking determines the index of every element in a linked list.
+//! The spatial algorithm follows §IV of the paper: repeatedly select an
+//! independent set of elements by *random-mate* (heads whose predecessor
+//! flipped tails), splice them out while accumulating rank weights, solve
+//! the base case sequentially once `O(log n)` elements remain, and then
+//! undo the splices level by level. Each contraction round costs
+//! `O(n′·√n)` energy (pointers reach across the grid) and `O(1)` depth;
+//! with high probability a constant fraction of elements is removed per
+//! round, giving `O(n^{3/2})` energy and `O(log n)` depth overall.
+
+use rand::Rng;
+use rayon::prelude::*;
+use spatial_model::{Machine, Slot};
+
+/// Sentinel for "end of list" (same convention as the tour darts).
+pub const END: u32 = u32::MAX;
+
+/// Rank value for elements that are not on the list.
+pub const UNRANKED: u64 = u64::MAX;
+
+/// Sequential list ranking: index of each element from `start`.
+/// Elements not on the list get [`UNRANKED`].
+pub fn rank_sequential(next: &[u32], start: u32) -> Vec<u64> {
+    let mut ranks = vec![UNRANKED; next.len()];
+    if start == END {
+        return ranks;
+    }
+    let mut at = start;
+    let mut r = 0u64;
+    while at != END {
+        debug_assert_eq!(ranks[at as usize], UNRANKED, "cycle in list");
+        ranks[at as usize] = r;
+        r += 1;
+        at = next[at as usize];
+    }
+    ranks
+}
+
+/// Host-parallel Wyllie pointer jumping (rayon): `O(n log n)` work,
+/// `O(log n)` span. Used for wall-clock comparisons; charge-free.
+pub fn rank_parallel(next: &[u32], start: u32) -> Vec<u64> {
+    let n = next.len();
+    let mut ranks = vec![UNRANKED; n];
+    if start == END {
+        return ranks;
+    }
+    // suffix[v] = number of elements from v to the end, inclusive.
+    let mut suffix: Vec<u64> = next.par_iter().map(|_| 1u64).collect();
+    let mut nxt: Vec<u32> = next.to_vec();
+    let mut hops = 1usize;
+    while hops < 2 * n {
+        let stepped: Vec<(u64, u32)> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let w = nxt[v];
+                if w == END {
+                    (suffix[v], END)
+                } else {
+                    (suffix[v] + suffix[w as usize], nxt[w as usize])
+                }
+            })
+            .collect();
+        let mut changed = false;
+        for (v, (s, w)) in stepped.into_iter().enumerate() {
+            if nxt[v] != END {
+                changed = true;
+            }
+            suffix[v] = s;
+            nxt[v] = w;
+        }
+        if !changed {
+            break;
+        }
+        hops *= 2;
+    }
+    let total = suffix[start as usize];
+    // rank(v) = total − suffix(v) for elements on the list. Membership:
+    // walkable from start — recover by marking via the original list in
+    // parallel-friendly fashion: an element is on the list iff it is the
+    // start or is someone's successor *and* reachable; for the tours we
+    // rank, every element with a finite suffix computed from the start
+    // chain is a member. We mark members from the original next array.
+    for (v, on) in list_membership(next, start).into_iter().enumerate() {
+        if on {
+            ranks[v] = total - suffix[v];
+        }
+    }
+    ranks
+}
+
+/// Marks which elements lie on the list starting at `start`.
+fn list_membership(next: &[u32], start: u32) -> Vec<bool> {
+    let mut on = vec![false; next.len()];
+    let mut at = start;
+    while at != END {
+        debug_assert!(!on[at as usize], "cycle in list");
+        on[at as usize] = true;
+        at = next[at as usize];
+    }
+    on
+}
+
+/// Result of the spatial list ranking.
+#[derive(Debug, Clone)]
+pub struct SpatialRanking {
+    /// Rank (index from the start) of each element; [`UNRANKED`] off-list.
+    pub ranks: Vec<u64>,
+    /// Number of random-mate contraction rounds executed (Las Vegas:
+    /// `O(log n)` with high probability).
+    pub rounds: u32,
+}
+
+/// A spliced-out element: `mid` was removed from between `left` and its
+/// successor; `weight_mid` is the rank weight `mid` carried.
+#[derive(Debug, Clone, Copy)]
+struct Splice {
+    mid: u32,
+    left: u32,
+    weight_mid: u64,
+}
+
+/// Spatial list ranking by random-mate contraction (§IV, Theorem 5).
+///
+/// Element `i` of the list lives at machine slot `i`; the machine must
+/// have at least `next.len()` slots. Every pointer access is charged as
+/// a message between the slots involved — initially `Θ(√n)` on average,
+/// which is where the `O(n^{3/2})` energy comes from.
+pub fn rank_spatial<R: Rng>(m: &Machine, next: &[u32], start: u32, rng: &mut R) -> SpatialRanking {
+    let n = next.len();
+    assert!(n as u32 <= m.n_slots(), "need one slot per list element");
+    let mut ranks = vec![UNRANKED; n];
+    if start == END {
+        return SpatialRanking { ranks, rounds: 0 };
+    }
+
+    let membership = list_membership(next, start);
+    let mut alive: Vec<u32> = (0..n as u32).filter(|&v| membership[v as usize]).collect();
+    let list_len = alive.len();
+
+    let mut nxt = next.to_vec();
+    let mut prev = vec![END; n];
+    for &v in &alive {
+        let w = nxt[v as usize];
+        if w != END {
+            prev[w as usize] = v;
+        }
+    }
+    let mut weight = vec![1u64; n];
+    let mut coin = vec![false; n];
+
+    // Contract until O(log n) elements remain.
+    let threshold = (2 * (usize::BITS - list_len.leading_zeros()) as usize).max(4);
+    let mut history: Vec<Vec<Splice>> = Vec::new();
+    while alive.len() > threshold {
+        // Every alive element flips a coin and tells its successor —
+        // one synchronous communication round over the current list.
+        for &v in &alive {
+            coin[v as usize] = rng.gen();
+        }
+        let coin_energy: u64 = alive
+            .par_iter()
+            .filter(|&&v| nxt[v as usize] != END)
+            .map(|&v| m.dist(v as Slot, nxt[v as usize] as Slot))
+            .sum();
+        let coin_msgs = alive.iter().filter(|&&v| nxt[v as usize] != END).count() as u64;
+        m.charge_bulk(coin_energy, coin_msgs, coin_msgs);
+        m.advance_all(1);
+
+        // Select: heads whose predecessor flipped tails (never the
+        // start element — it anchors the ranking).
+        let selected: Vec<u32> = alive
+            .iter()
+            .copied()
+            .filter(|&v| {
+                v != start
+                    && coin[v as usize]
+                    && prev[v as usize] != END
+                    && !coin[prev[v as usize] as usize]
+            })
+            .collect();
+
+        // Splice each selected element out: its left neighbour inherits
+        // its weight and pointer (message mid → left), and its right
+        // neighbour learns its new predecessor (message mid → right).
+        let mut splices = Vec::with_capacity(selected.len());
+        let mut splice_energy = 0u64;
+        let mut splice_msgs = 0u64;
+        for &mid in &selected {
+            let left = prev[mid as usize];
+            let right = nxt[mid as usize];
+            debug_assert_ne!(left, END);
+            splice_energy += m.dist(mid as Slot, left as Slot);
+            splice_msgs += 1;
+            if right != END {
+                splice_energy += m.dist(mid as Slot, right as Slot);
+                splice_msgs += 1;
+                prev[right as usize] = left;
+            }
+            nxt[left as usize] = right;
+            weight[left as usize] += weight[mid as usize];
+            splices.push(Splice {
+                mid,
+                left,
+                weight_mid: weight[mid as usize],
+            });
+        }
+        m.charge_bulk(splice_energy, splice_msgs, splice_msgs);
+        m.advance_all(1);
+        history.push(splices);
+
+        let removed: std::collections::HashSet<u32> = selected.into_iter().collect();
+        alive.retain(|v| !removed.contains(v));
+    }
+
+    // Base case: walk the remaining list sequentially, charging each hop.
+    let mut at = start;
+    let mut acc = 0u64;
+    while at != END {
+        ranks[at as usize] = acc;
+        acc += weight[at as usize];
+        let nx = nxt[at as usize];
+        if nx != END {
+            m.send(at as Slot, nx as Slot);
+        }
+        at = nx;
+    }
+
+    // Uncontraction: undo iterations in reverse; all splices of one
+    // iteration resolve in parallel (they were an independent set).
+    let rounds = history.len() as u32;
+    for splices in history.into_iter().rev() {
+        let mut energy = 0u64;
+        let msgs = splices.len() as u64;
+        for s in &splices {
+            energy += m.dist(s.left as Slot, s.mid as Slot);
+            weight[s.left as usize] -= s.weight_mid;
+            ranks[s.mid as usize] = ranks[s.left as usize] + weight[s.left as usize];
+        }
+        m.charge_bulk(energy, msgs, msgs);
+        m.advance_all(1);
+    }
+
+    SpatialRanking { ranks, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+
+    /// A list 0 → 1 → … → n−1 stored at shuffled slots is uninteresting;
+    /// instead build a random permutation list over n elements.
+    fn random_list(n: usize, rng: &mut StdRng) -> (Vec<u32>, u32) {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut next = vec![END; n];
+        for w in order.windows(2) {
+            next[w[0] as usize] = w[1];
+        }
+        (next, order[0])
+    }
+
+    #[test]
+    fn sequential_ranks_identity_list() {
+        let next = vec![1, 2, 3, END];
+        let r = rank_sequential(&next, 0);
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sequential_skips_off_list() {
+        let next = vec![2, END, END, END];
+        let r = rank_sequential(&next, 0);
+        assert_eq!(r[0], 0);
+        assert_eq!(r[2], 1);
+        assert_eq!(r[1], UNRANKED);
+        assert_eq!(r[3], UNRANKED);
+    }
+
+    #[test]
+    fn empty_list() {
+        assert!(rank_sequential(&[], END).is_empty());
+        let m = Machine::on_curve(CurveKind::Hilbert, 4);
+        let r = rank_spatial(&m, &[END, END], END, &mut StdRng::seed_from_u64(0));
+        assert_eq!(r.ranks, vec![UNRANKED, UNRANKED]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1usize, 2, 3, 10, 100, 1000, 4097] {
+            let (next, start) = random_list(n, &mut rng);
+            assert_eq!(
+                rank_parallel(&next, start),
+                rank_sequential(&next, start),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [1usize, 2, 5, 33, 256, 2000] {
+            let (next, start) = random_list(n, &mut rng);
+            let m = Machine::on_curve(CurveKind::Hilbert, n as u32);
+            let got = rank_spatial(&m, &next, start, &mut rng);
+            assert_eq!(got.ranks, rank_sequential(&next, start), "n={n}");
+        }
+    }
+
+    #[test]
+    fn spatial_is_las_vegas_always_correct() {
+        // Different seeds change costs, never results.
+        let (next, start) = random_list(500, &mut StdRng::seed_from_u64(1));
+        let expect = rank_sequential(&next, start);
+        for seed in 0..10 {
+            let m = Machine::on_curve(CurveKind::Hilbert, 500);
+            let got = rank_spatial(&m, &next, start, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(got.ranks, expect, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn spatial_rounds_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1024usize, 8192] {
+            let (next, start) = random_list(n, &mut rng);
+            let m = Machine::on_curve(CurveKind::Hilbert, n as u32);
+            let got = rank_spatial(&m, &next, start, &mut rng);
+            let bound = 8 * (n as f64).log2() as u32;
+            assert!(
+                got.rounds <= bound,
+                "n={n}: {} rounds > {bound}",
+                got.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_energy_matches_theorem5() {
+        // Energy / n^{3/2} roughly flat; depth O(log n).
+        let mut ratios = Vec::new();
+        for log_n in [10u32, 12] {
+            let n = 1usize << log_n;
+            let (next, start) = random_list(n, &mut StdRng::seed_from_u64(3));
+            let m = Machine::on_curve(CurveKind::Hilbert, n as u32);
+            let res = rank_spatial(&m, &next, start, &mut StdRng::seed_from_u64(4));
+            let r = m.report();
+            ratios.push(r.energy_per_n_three_halves(n as u64));
+            assert!(
+                (r.depth as f64) < 30.0 * log_n as f64,
+                "n={n}: depth {} not O(log n)",
+                r.depth
+            );
+            assert_eq!(res.ranks[start as usize], 0);
+        }
+        let (lo, hi) = (ratios[0].min(ratios[1]), ratios[0].max(ratios[1]));
+        assert!(hi / lo < 3.0, "energy/n^1.5 not flat: {ratios:?}");
+    }
+
+    #[test]
+    fn singleton_list() {
+        let m = Machine::on_curve(CurveKind::Hilbert, 1);
+        let r = rank_spatial(&m, &[END], 0, &mut StdRng::seed_from_u64(0));
+        assert_eq!(r.ranks, vec![0]);
+        assert_eq!(r.rounds, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::{rank_parallel, rank_sequential, rank_spatial, END};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+    use spatial_model::{CurveKind, Machine};
+
+    fn list_from_perm(perm: &[u32]) -> (Vec<u32>, u32) {
+        let mut next = vec![END; perm.len()];
+        for w in perm.windows(2) {
+            next[w[0] as usize] = w[1];
+        }
+        (next, perm[0])
+    }
+
+    proptest! {
+        /// Ranks are exactly the positions in the permutation, for any
+        /// list shape and any algorithm seed.
+        #[test]
+        fn prop_spatial_ranks_any_list(
+            shuffle_seed in 0u64..10_000,
+            algo_seed in 0u64..10_000,
+            n in 1usize..300,
+        ) {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            let mut rng = StdRng::seed_from_u64(shuffle_seed);
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            let (next, start) = list_from_perm(&perm);
+            let m = Machine::on_curve(CurveKind::Hilbert, n as u32);
+            let got = rank_spatial(&m, &next, start, &mut StdRng::seed_from_u64(algo_seed));
+            for (pos, &el) in perm.iter().enumerate() {
+                prop_assert_eq!(got.ranks[el as usize], pos as u64);
+            }
+        }
+
+        /// Parallel Wyllie agrees with the sequential walk.
+        #[test]
+        fn prop_parallel_agrees(shuffle_seed in 0u64..10_000, n in 1usize..400) {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            let mut rng = StdRng::seed_from_u64(shuffle_seed);
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            let (next, start) = list_from_perm(&perm);
+            prop_assert_eq!(rank_parallel(&next, start), rank_sequential(&next, start));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The §IV on-machine layout construction (Theorem 4).
+//!
+//! Computes a light-first layout *on the spatial computer*, charging
+//! every phase:
+//!
+//! 1. **Sizes** — an Euler tour in natural child order is threaded and
+//!    ranked with the spatial random-mate list ranking; subtree sizes
+//!    fall out of the first/last occurrence ranks (§IV step 1).
+//! 2. **Order** — a second tour visits children in increasing subtree
+//!    size and is ranked; dropping all but each vertex's first occurrence
+//!    (a sort by rank followed by a parallel prefix-sum compaction)
+//!    yields the light-first linear order (§IV steps 2–3).
+//! 3. **Permute** — vertices are routed to their final curve positions
+//!    with a bitonic sorting network (§IV step 4), the `Θ(n^{3/2})`
+//!    energy step that matches the permutation lower bound.
+//!
+//! Both tours place each dart on its owning vertex's processor (a vertex
+//! owns its up and down darts — O(1) state per processor). The total is
+//! `O(n^{3/2})` energy and `O(log n)` depth with high probability.
+
+use rand::Rng;
+use spatial_euler::rank_sequential;
+use spatial_euler::ranking::{rank_spatial, UNRANKED};
+use spatial_euler::tour::{ChildOrder, EulerTour};
+use spatial_model::{collectives, CostReport, Machine, Slot};
+use spatial_sfc::{Curve, CurveKind, GridPoint};
+use spatial_tree::{traversal, NodeId, Tree};
+
+use crate::layout::Layout;
+
+/// Per-phase cost breakdown of the spatial layout construction.
+#[derive(Debug, Clone)]
+pub struct SpatialBuildReport {
+    /// Phase 1: size-computing tour + ranking.
+    pub sizes_phase: CostReport,
+    /// Phase 2: light-first tour + ranking + compaction.
+    pub order_phase: CostReport,
+    /// Phase 3: permutation routing (sorting network).
+    pub permute_phase: CostReport,
+    /// Random-mate rounds of the two rankings (Las Vegas cost evidence).
+    pub ranking_rounds: (u32, u32),
+}
+
+impl SpatialBuildReport {
+    /// Sum of all phases (depths add: the phases are sequential).
+    pub fn total(&self) -> CostReport {
+        self.sizes_phase + self.order_phase + self.permute_phase
+    }
+}
+
+/// Machine for a tour: dart `d` lives on the processor of its owning
+/// vertex `⌊d/2⌋`, placed at curve position = vertex id (the arbitrary
+/// *input* placement the paper starts from).
+fn dart_machine(curve_kind: CurveKind, n: u32) -> Machine {
+    let curve = curve_kind.for_capacity(n as u64);
+    let points: Vec<GridPoint> = (0..2 * n).map(|d| curve.point((d / 2) as u64)).collect();
+    Machine::from_points(points)
+}
+
+fn ranks_to_u32(ranks: &[u64]) -> Vec<u32> {
+    ranks
+        .iter()
+        .map(|&r| if r == UNRANKED { u32::MAX } else { r as u32 })
+        .collect()
+}
+
+/// Builds the light-first layout on the spatial computer, returning the
+/// layout and the per-phase cost breakdown (Theorem 4: `O(n^{3/2})`
+/// energy, `O(log n)` depth w.h.p.).
+pub fn build_light_first_spatial<R: Rng>(
+    tree: &Tree,
+    curve_kind: CurveKind,
+    rng: &mut R,
+) -> (Layout, SpatialBuildReport) {
+    let n = tree.n();
+    if n == 1 {
+        let layout = Layout::from_order(curve_kind, vec![tree.root()]);
+        let empty = CostReport::default();
+        return (
+            layout,
+            SpatialBuildReport {
+                sizes_phase: empty,
+                order_phase: empty,
+                permute_phase: empty,
+                ranking_rounds: (0, 0),
+            },
+        );
+    }
+
+    // ---- Phase 1: subtree sizes from a natural-order tour. ----
+    let m1 = dart_machine(curve_kind, n);
+    let tour1 = EulerTour::new(tree, ChildOrder::Natural);
+    let ranking1 = rank_spatial(&m1, tour1.next_darts(), tour1.start(), rng);
+    let ranks1 = ranks_to_u32(&ranking1.ranks);
+    let sizes = spatial_euler::tour::subtree_sizes_from_ranks(tree, &ranks1);
+    let sizes_phase = m1.report();
+
+    // ---- Phase 2: light-first tour, ranking, compaction. ----
+    let m2 = dart_machine(curve_kind, n);
+    let sorted = traversal::children_by_size(tree, &sizes);
+    let tour2 = EulerTour::with_children(tree, |v| &sorted[v as usize][..]);
+    let ranking2 = rank_spatial(&m2, tour2.next_darts(), tour2.start(), rng);
+    let ranks2 = ranks_to_u32(&ranking2.ranks);
+
+    // Compaction (§IV step 3): physically gather darts into rank order
+    // with a sorting network, then drop non-first occurrences with a
+    // parallel prefix sum over the curve order.
+    let mut rank_keyed: Vec<(u32, u32)> = tour2
+        .sequence()
+        .iter()
+        .map(|&d| (ranks2[d as usize], d))
+        .collect();
+    collectives::bitonic_sort_by_key(&m2, &mut rank_keyed);
+    let flags: Vec<u64> = rank_keyed
+        .iter()
+        .map(|&(_, d)| u64::from(spatial_euler::tour::is_down(d)))
+        .collect();
+    let scan = collectives::exclusive_prefix_sum(&m2, &flags, 0, &|a, b| a + b);
+    // Vertex at light-first position 1 + scan[i] for each first
+    // occurrence; the root occupies position 0.
+    let mut order = vec![tree.root(); n as usize];
+    for (i, &(_, d)) in rank_keyed.iter().enumerate() {
+        if spatial_euler::tour::is_down(d) {
+            let pos = 1 + scan[i] as usize;
+            order[pos] = spatial_euler::tour::dart_vertex(d);
+        }
+    }
+    let order_phase = m2.report();
+
+    // ---- Phase 3: permutation routing to the final curve positions. ----
+    let m3 = Machine::on_curve(curve_kind, n);
+    let mut records: Vec<(Slot, NodeId)> = order
+        .iter()
+        .enumerate()
+        .map(|(target, &v)| (target as Slot, v))
+        .collect();
+    // Input placement: vertex id order. Route each record to its target
+    // slot through the sorting network.
+    records.sort_by_key(|&(_, v)| v);
+    collectives::bitonic_sort_by_key(&m3, &mut records);
+    let routed: Vec<NodeId> = records.into_iter().map(|(_, v)| v).collect();
+    debug_assert_eq!(routed, order, "routing must realize the permutation");
+    let permute_phase = m3.report();
+
+    let layout = Layout::from_order(curve_kind, routed);
+    (
+        layout,
+        SpatialBuildReport {
+            sizes_phase,
+            order_phase,
+            permute_phase,
+            ranking_rounds: (ranking1.rounds, ranking2.rounds),
+        },
+    )
+}
+
+/// Host-side reference: the same pipeline without a machine (used by
+/// tests to validate the spatial pipeline's output and by callers that
+/// only need the order).
+pub fn build_light_first_reference(tree: &Tree, curve_kind: CurveKind) -> Layout {
+    let tour = EulerTour::new(tree, ChildOrder::LightFirst);
+    let ranks = ranks_to_u32(&rank_sequential(tour.next_darts(), tour.start()));
+    let order = spatial_euler::tour::first_occurrence_order(tree, &ranks);
+    Layout::from_order(curve_kind, order)
+}
+
+// Re-export used by the facade; keeps the `SpatialRanking` type visible
+// where the builder is used.
+pub use spatial_euler::ranking::SpatialRanking as RankingInfo;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_tree::generators;
+
+    #[test]
+    fn spatial_build_matches_host_order() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2u32, 3, 10, 100, 500] {
+            let t = generators::uniform_random(n, &mut rng);
+            let (layout, _) = build_light_first_spatial(&t, CurveKind::Hilbert, &mut rng);
+            assert_eq!(
+                layout.order(),
+                &traversal::light_first_order(&t)[..],
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_matches_host_order() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = generators::preferential_attachment(300, &mut rng);
+        let l = build_light_first_reference(&t, CurveKind::ZOrder);
+        assert_eq!(l.order(), &traversal::light_first_order(&t)[..]);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let t = Tree::from_parents(0, vec![spatial_tree::NIL]);
+        let (layout, report) =
+            build_light_first_spatial(&t, CurveKind::Hilbert, &mut StdRng::seed_from_u64(0));
+        assert_eq!(layout.order(), &[0]);
+        assert_eq!(report.total(), CostReport::default());
+    }
+
+    #[test]
+    fn energy_dominated_by_permutation() {
+        // Theorem 4: the pipeline is Θ(n^{3/2}); the sort phases dominate.
+        let mut rng = StdRng::seed_from_u64(17);
+        let t = generators::uniform_random(1 << 10, &mut rng);
+        let (_, report) = build_light_first_spatial(&t, CurveKind::Hilbert, &mut rng);
+        let total = report.total();
+        let n = t.n() as u64;
+        let ratio = total.energy_per_n_three_halves(n);
+        assert!(
+            ratio > 0.1 && ratio < 100.0,
+            "energy/n^1.5 = {ratio} out of expected band"
+        );
+    }
+
+    #[test]
+    fn depth_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for log_n in [8u32, 10] {
+            let t = generators::uniform_random(1 << log_n, &mut rng);
+            let (_, report) = build_light_first_spatial(&t, CurveKind::Hilbert, &mut rng);
+            let depth = report.total().depth;
+            // O(log n) ranking rounds + O(log² n) sorting stages.
+            let bound = 40 * (log_n as u64 + 1) * (log_n as u64 + 1);
+            assert!(depth <= bound, "depth {depth} > {bound} at n=2^{log_n}");
+        }
+    }
+
+    #[test]
+    fn las_vegas_output_independent_of_seed() {
+        let t = generators::comb(200);
+        let (a, _) =
+            build_light_first_spatial(&t, CurveKind::Hilbert, &mut StdRng::seed_from_u64(1));
+        let (b, _) =
+            build_light_first_spatial(&t, CurveKind::Hilbert, &mut StdRng::seed_from_u64(999));
+        assert_eq!(a.order(), b.order());
+    }
+}

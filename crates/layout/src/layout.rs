@@ -1,0 +1,256 @@
+//! The [`Layout`] type: vertex → curve slot → grid coordinate.
+
+use rand::Rng;
+use spatial_model::{Machine, Slot};
+use spatial_sfc::{AnyCurve, Curve, CurveKind, GridPoint};
+use spatial_tree::{traversal, NodeId, Tree};
+
+/// How the linear order of a layout is chosen; the experiment harness
+/// sweeps over these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Light-first order (§III-A) — the paper's construction.
+    LightFirst,
+    /// Breadth-first order — the `Ω(√n)` adversary for perfect binary
+    /// trees.
+    Bfs,
+    /// Depth-first order (construction child order) — the comb adversary.
+    Dfs,
+    /// Uniformly random order — the locality-free baseline.
+    Random,
+}
+
+impl LayoutKind {
+    /// All layout kinds in experiment-table order.
+    pub const ALL: [LayoutKind; 4] = [
+        LayoutKind::LightFirst,
+        LayoutKind::Bfs,
+        LayoutKind::Dfs,
+        LayoutKind::Random,
+    ];
+
+    /// Table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::LightFirst => "light-first",
+            LayoutKind::Bfs => "bfs",
+            LayoutKind::Dfs => "dfs",
+            LayoutKind::Random => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A placement of tree vertices on the grid: a linear order mapped onto
+/// a space-filling curve.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    curve: AnyCurve,
+    slot_of: Vec<Slot>,
+    vertex_at: Vec<NodeId>,
+}
+
+impl Layout {
+    /// Builds a layout from an explicit linear order (`order[i]` is the
+    /// vertex stored at curve position `i`).
+    ///
+    /// # Panics
+    /// Panics when `order` is not a permutation of `0..n`.
+    pub fn from_order(curve_kind: CurveKind, order: Vec<NodeId>) -> Self {
+        let n = order.len();
+        let curve = curve_kind.for_capacity(n as u64);
+        let mut slot_of = vec![Slot::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < n && slot_of[v as usize] == Slot::MAX,
+                "order is not a permutation (vertex {v})"
+            );
+            slot_of[v as usize] = i as Slot;
+        }
+        Layout {
+            curve,
+            slot_of,
+            vertex_at: order,
+        }
+    }
+
+    /// Light-first layout (sequential host construction).
+    pub fn light_first(tree: &Tree, curve_kind: CurveKind) -> Self {
+        Self::from_order(curve_kind, traversal::light_first_order(tree))
+    }
+
+    /// Light-first layout built with the rayon fork-join constructor.
+    pub fn light_first_par(tree: &Tree, curve_kind: CurveKind) -> Self {
+        Self::from_order(curve_kind, traversal::light_first_order_par(tree))
+    }
+
+    /// Breadth-first layout (the paper's negative example for perfect
+    /// binary trees).
+    pub fn bfs(tree: &Tree, curve_kind: CurveKind) -> Self {
+        Self::from_order(curve_kind, traversal::bfs_order(tree))
+    }
+
+    /// Depth-first layout with construction child order (the paper's
+    /// negative example for combs).
+    pub fn dfs(tree: &Tree, curve_kind: CurveKind) -> Self {
+        Self::from_order(curve_kind, traversal::dfs_preorder(tree))
+    }
+
+    /// Uniformly random layout.
+    pub fn random<R: Rng>(tree: &Tree, curve_kind: CurveKind, rng: &mut R) -> Self {
+        let mut order: Vec<NodeId> = (0..tree.n()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        Self::from_order(curve_kind, order)
+    }
+
+    /// Builds the layout of the given kind.
+    pub fn of_kind<R: Rng>(
+        kind: LayoutKind,
+        tree: &Tree,
+        curve_kind: CurveKind,
+        rng: &mut R,
+    ) -> Self {
+        match kind {
+            LayoutKind::LightFirst => Self::light_first(tree, curve_kind),
+            LayoutKind::Bfs => Self::bfs(tree, curve_kind),
+            LayoutKind::Dfs => Self::dfs(tree, curve_kind),
+            LayoutKind::Random => Self::random(tree, curve_kind, rng),
+        }
+    }
+
+    /// Number of vertices placed.
+    pub fn n(&self) -> u32 {
+        self.slot_of.len() as u32
+    }
+
+    /// The curve the layout lives on.
+    pub fn curve(&self) -> &AnyCurve {
+        &self.curve
+    }
+
+    /// Curve slot (linear position) of a vertex.
+    #[inline]
+    pub fn slot(&self, v: NodeId) -> Slot {
+        self.slot_of[v as usize]
+    }
+
+    /// Vertex stored at a slot.
+    #[inline]
+    pub fn vertex_at(&self, s: Slot) -> NodeId {
+        self.vertex_at[s as usize]
+    }
+
+    /// The linear order (slot → vertex).
+    pub fn order(&self) -> &[NodeId] {
+        &self.vertex_at
+    }
+
+    /// Grid coordinate of a vertex.
+    #[inline]
+    pub fn point(&self, v: NodeId) -> GridPoint {
+        self.curve.point(self.slot(v) as u64)
+    }
+
+    /// Manhattan distance between two vertices under this layout.
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> u64 {
+        spatial_sfc::manhattan(self.point(u), self.point(v))
+    }
+
+    /// Instantiates the machine whose slot `i` is curve position `i`;
+    /// vertex `v` lives at machine slot [`Layout::slot`]`(v)`.
+    pub fn machine(&self) -> Machine {
+        Machine::on_curve(self.curve.kind(), self.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_tree::generators;
+
+    #[test]
+    fn from_order_roundtrip() {
+        let order = vec![2, 0, 1, 3];
+        let l = Layout::from_order(CurveKind::Hilbert, order.clone());
+        assert_eq!(l.n(), 4);
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(l.slot(v), i as Slot);
+            assert_eq!(l.vertex_at(i as Slot), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_duplicate_vertex() {
+        let _ = Layout::from_order(CurveKind::Hilbert, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn light_first_layout_positions() {
+        let t = generators::comb(8);
+        let l = Layout::light_first(&t, CurveKind::Hilbert);
+        // Root at slot 0 by definition of a DFS-style order.
+        assert_eq!(l.slot(t.root()), 0);
+        assert_eq!(
+            spatial_tree::traversal::verify_light_first(&t, l.order()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn par_matches_seq() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = generators::uniform_random(3000, &mut rng);
+        let a = Layout::light_first(&t, CurveKind::ZOrder);
+        let b = Layout::light_first_par(&t, CurveKind::ZOrder);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn random_layout_reproducible() {
+        let t = generators::path(50);
+        let a = Layout::random(&t, CurveKind::Hilbert, &mut StdRng::seed_from_u64(1));
+        let b = Layout::random(&t, CurveKind::Hilbert, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn dist_is_symmetric_grid_distance() {
+        let t = generators::path(16);
+        let l = Layout::light_first(&t, CurveKind::Hilbert);
+        // A path in light-first order on the Hilbert curve: every
+        // parent-child pair sits on consecutive curve positions.
+        for v in 1..16u32 {
+            assert_eq!(l.dist(v - 1, v), 1, "edge ({}, {v})", v - 1);
+        }
+    }
+
+    #[test]
+    fn machine_matches_layout_geometry() {
+        let t = generators::star(20);
+        let l = Layout::light_first(&t, CurveKind::Hilbert);
+        let m = l.machine();
+        for v in 0..20u32 {
+            assert_eq!(m.point_of(l.slot(v)), l.point(v));
+        }
+    }
+
+    #[test]
+    fn of_kind_dispatch() {
+        let t = generators::comb(32);
+        let mut rng = StdRng::seed_from_u64(8);
+        for kind in LayoutKind::ALL {
+            let l = Layout::of_kind(kind, &t, CurveKind::Hilbert, &mut rng);
+            assert_eq!(l.n(), 32, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Layout quality metrics: the messaging-kernel energy of Theorems 1–2.
+//!
+//! The fundamental kernel of §I-C sends one message from every vertex to
+//! each of its children. Its energy is the distance-weighted sum over
+//! tree edges, entirely determined by the layout. [`local_kernel_energy`]
+//! measures it exactly; [`edge_distance_stats`] summarizes the per-edge
+//! distance distribution. Experiment E1 sweeps these across layouts,
+//! curves and tree families.
+
+use crate::layout::Layout;
+use rayon::prelude::*;
+use spatial_tree::Tree;
+
+/// Summary of per-edge grid distances under a layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeDistanceStats {
+    /// Number of tree edges.
+    pub edges: u64,
+    /// Total parent→child distance (= the messaging-kernel energy).
+    pub total: u64,
+    /// Mean distance per edge.
+    pub mean: f64,
+    /// Maximum edge distance.
+    pub max: u64,
+}
+
+/// Energy of the local messaging kernel: every vertex sends one message
+/// to each of its children (`Σ_(v,c) dist(v, c)`).
+///
+/// Theorem 1: `O(n)` for light-first order on a distance-bound curve
+/// with bounded degree; Theorem 2: same for Z-order. The reverse kernel
+/// (children → parent) has identical energy by symmetry of the metric.
+pub fn local_kernel_energy(tree: &Tree, layout: &Layout) -> u64 {
+    (0..tree.n())
+        .into_par_iter()
+        .map(|v| {
+            tree.children(v)
+                .iter()
+                .map(|&c| layout.dist(v, c))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Per-edge distance statistics under a layout.
+pub fn edge_distance_stats(tree: &Tree, layout: &Layout) -> EdgeDistanceStats {
+    let (total, max, edges) = (0..tree.n())
+        .into_par_iter()
+        .map(|v| {
+            let mut t = 0u64;
+            let mut mx = 0u64;
+            let mut e = 0u64;
+            for &c in tree.children(v) {
+                let d = layout.dist(v, c);
+                t += d;
+                mx = mx.max(d);
+                e += 1;
+            }
+            (t, mx, e)
+        })
+        .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1.max(b.1), a.2 + b.2));
+    EdgeDistanceStats {
+        edges,
+        total,
+        mean: total as f64 / edges.max(1) as f64,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutKind;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::generators;
+
+    #[test]
+    fn kernel_energy_matches_stats_total() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = generators::uniform_random(500, &mut rng);
+        let l = Layout::light_first(&t, CurveKind::Hilbert);
+        let stats = edge_distance_stats(&t, &l);
+        assert_eq!(stats.total, local_kernel_energy(&t, &l));
+        assert_eq!(stats.edges, 499);
+    }
+
+    #[test]
+    fn theorem1_light_first_linear_energy() {
+        // Energy per vertex stays bounded as n grows (perfect binary).
+        let mut per_n = Vec::new();
+        for depth in [8u32, 10, 12] {
+            let t = generators::perfect_kary(2, depth);
+            let l = Layout::light_first(&t, CurveKind::Hilbert);
+            let e = local_kernel_energy(&t, &l);
+            per_n.push(e as f64 / t.n() as f64);
+        }
+        for w in per_n.windows(2) {
+            assert!(
+                w[1] < w[0] * 1.5,
+                "light-first energy/n should not grow: {per_n:?}"
+            );
+        }
+        assert!(per_n[2] < 6.0, "energy/n too large: {per_n:?}");
+    }
+
+    #[test]
+    fn theorem2_zorder_light_first_linear_energy() {
+        let mut per_n = Vec::new();
+        for depth in [8u32, 10, 12] {
+            let t = generators::perfect_kary(2, depth);
+            let l = Layout::light_first(&t, CurveKind::ZOrder);
+            per_n.push(local_kernel_energy(&t, &l) as f64 / t.n() as f64);
+        }
+        for w in per_n.windows(2) {
+            assert!(
+                w[1] < w[0] * 1.5,
+                "Z-light-first energy/n should not grow: {per_n:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_layout_is_sqrt_n_on_perfect_binary() {
+        // §III: "a perfect binary tree will have a breadth-first layout
+        // where the average distance between neighbors is Ω(√n)".
+        let t8 = generators::perfect_kary(2, 8);
+        let t12 = generators::perfect_kary(2, 12);
+        let m8 = edge_distance_stats(&t8, &Layout::bfs(&t8, CurveKind::Hilbert)).mean;
+        let m12 = edge_distance_stats(&t12, &Layout::bfs(&t12, CurveKind::Hilbert)).mean;
+        // √n grows 4x from depth 8 to 12; allow generous slack.
+        assert!(
+            m12 > m8 * 2.0,
+            "BFS mean edge distance should grow like √n: {m8} vs {m12}"
+        );
+    }
+
+    #[test]
+    fn dfs_layout_bad_on_comb() {
+        // §III: the comb makes DFS order pay; light-first stays constant.
+        let t = generators::comb(1 << 14);
+        let dfs = edge_distance_stats(&t, &Layout::dfs(&t, CurveKind::Hilbert));
+        let lf = edge_distance_stats(&t, &Layout::light_first(&t, CurveKind::Hilbert));
+        assert!(
+            dfs.mean > 8.0 * lf.mean,
+            "DFS should be much worse on the comb: {} vs {}",
+            dfs.mean,
+            lf.mean
+        );
+        assert!(lf.mean < 4.0, "light-first comb mean {}", lf.mean);
+    }
+
+    #[test]
+    fn random_layout_is_worst() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = generators::uniform_random(1 << 12, &mut rng);
+        let rand_stats = edge_distance_stats(
+            &t,
+            &Layout::of_kind(LayoutKind::Random, &t, CurveKind::Hilbert, &mut rng),
+        );
+        let lf_stats = edge_distance_stats(&t, &Layout::light_first(&t, CurveKind::Hilbert));
+        assert!(rand_stats.mean > 5.0 * lf_stats.mean);
+    }
+
+    #[test]
+    fn empty_children_single_vertex() {
+        let t = spatial_tree::Tree::from_parents(0, vec![spatial_tree::NIL]);
+        let l = Layout::light_first(&t, CurveKind::Hilbert);
+        let s = edge_distance_stats(&t, &l);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The four-step batched LCA algorithm (§VI-C, Theorem 6).
+
+use crate::cover::{CoverSubtree, SubtreeCover};
+use rand::Rng;
+use spatial_layout::Layout;
+use spatial_messaging::{local_broadcast, VirtualTree};
+use spatial_model::{collectives, Machine};
+use spatial_tree::{HeavyPathDecomposition, NodeId, Tree, NIL};
+use spatial_treefix::{treefix_bottom_up, treefix_top_down, Add};
+
+/// Cost-relevant statistics of a batched LCA run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcaStats {
+    /// Number of path-decomposition layers processed in step 4.
+    pub layers: u32,
+    /// Queries answered already in step 1 (ancestor/descendant pairs).
+    pub answered_step1: u32,
+    /// COMPACT rounds of the two treefix runs (steps 1 and 3).
+    pub treefix_rounds: (u32, u32),
+}
+
+/// Result of a batched LCA run.
+#[derive(Debug, Clone)]
+pub struct LcaResult {
+    /// `answers[q]` is the LCA of `queries[q]`.
+    pub answers: Vec<NodeId>,
+    /// Cost statistics.
+    pub stats: LcaStats,
+}
+
+/// Answers a batch of LCA queries on the spatial machine.
+///
+/// The tree must be stored in an energy-bound light-first layout (cover
+/// subtrees must be contiguous slot ranges). Costs: `O(n log n)` energy
+/// and `O(log² n)` depth w.h.p. when every vertex appears in `O(1)`
+/// queries (Theorem 6).
+pub fn batched_lca<R: Rng>(
+    machine: &Machine,
+    layout: &Layout,
+    tree: &Tree,
+    queries: &[(NodeId, NodeId)],
+    rng: &mut R,
+) -> LcaResult {
+    let n = tree.n();
+    debug_assert_eq!(
+        spatial_tree::traversal::verify_light_first(tree, layout.order()),
+        Ok(()),
+        "batched LCA requires a light-first layout"
+    );
+
+    // ---- Step 1: subtree sizes (bottom-up treefix), ranges, and ----
+    // ---- ancestor/descendant answers.                           ----
+    let ones = vec![Add(1); n as usize];
+    let tf1 = treefix_bottom_up(machine, layout, tree, &ones, rng);
+    let sizes: Vec<u32> = tf1.values.iter().map(|a| a.0 as u32).collect();
+    let range = |v: NodeId| -> (u32, u32) {
+        let lo = layout.slot(v);
+        (lo, lo + sizes[v as usize])
+    };
+    let in_range = |v: NodeId, r: (u32, u32)| -> bool {
+        let s = layout.slot(v);
+        r.0 <= s && s < r.1
+    };
+
+    let mut answers = vec![NIL; queries.len()];
+    let mut answered_step1 = 0u32;
+    for (qi, &(a, b)) in queries.iter().enumerate() {
+        assert!(a < n && b < n, "query ({a}, {b}) out of range");
+        if a == b || in_range(b, range(a)) {
+            // Equal vertices or b a descendant of a: the answer is a.
+            answers[qi] = a;
+            answered_step1 += 1;
+        } else if in_range(a, range(b)) {
+            answers[qi] = b;
+            answered_step1 += 1;
+        }
+    }
+
+    // ---- Step 2: every vertex broadcasts its range to its children ----
+    // ---- (and its heavy child id, which step 3's indicator needs). ----
+    let vt = VirtualTree::with_sizes(tree, &sizes);
+    vt.charge_construction(machine, layout);
+    let ranges: Vec<(u32, u32)> = (0..n).map(range).collect();
+    local_broadcast(machine, layout, &vt, tree, &ranges);
+    let heavy: Vec<NodeId> = (0..n)
+        .map(|v| {
+            tree.children(v)
+                .iter()
+                .copied()
+                .max_by_key(|&c| (sizes[c as usize], c))
+                .unwrap_or(NIL)
+        })
+        .collect();
+    let heavy_msg = local_broadcast(machine, layout, &vt, tree, &heavy);
+
+    // ---- Step 3: layers via top-down treefix over the light-edge ----
+    // ---- indicator.                                              ----
+    let indicator: Vec<Add> = (0..n)
+        .map(|v| match heavy_msg[v as usize] {
+            Some(h) if h == v => Add(0), // heavy child: continues the path
+            None => Add(0),              // root
+            _ => Add(1),                 // light edge: starts a new path
+        })
+        .collect();
+    let tf3 = treefix_top_down(machine, layout, tree, &indicator, rng);
+    let layer: Vec<u32> = tf3.values.iter().map(|a| a.0 as u32).collect();
+
+    // Host-side view of the decomposition for query routing (the
+    // machine costs were charged above; this mirrors the distributed
+    // state for the answer bookkeeping).
+    let decomposition = HeavyPathDecomposition {
+        head: (0..n)
+            .map(|v| {
+                if indicator[v as usize] == Add(1) || tree.parent(v).is_none() {
+                    v
+                } else {
+                    NIL // filled below: non-heads inherit along heavy edges
+                }
+            })
+            .collect(),
+        layer: layer.clone(),
+        heavy_child: heavy.clone(),
+    };
+    let mut head = decomposition.head;
+    for &v in spatial_tree::traversal::bfs_order(tree).iter() {
+        if head[v as usize] == NIL {
+            head[v as usize] = head[tree.parent(v).expect("non-root") as usize];
+        }
+    }
+    let decomposition = HeavyPathDecomposition {
+        head,
+        layer: layer.clone(),
+        heavy_child: heavy,
+    };
+    let cover = SubtreeCover::new(tree, layout, &decomposition, &sizes);
+
+    // ---- Step 4: per layer, broadcast (r(w), r(x)) inside each ----
+    // ---- cover subtree, resolve queries, and barrier.          ----
+    let resolve = |s: &CoverSubtree, partner: NodeId| -> Option<NodeId> {
+        let w = s.parent?;
+        let (wlo, whi) = (layout.slot(w), layout.slot(w) + sizes[w as usize]);
+        let ps = layout.slot(partner);
+        // partner ∈ r(w) \ r(x) ⇒ the answer is w.
+        (wlo <= ps && ps < whi && !s.contains_slot(ps)).then_some(w)
+    };
+
+    for li in 0..cover.num_layers() {
+        // Broadcast within every layer subtree (Lemma 13); ranges of one
+        // layer are disjoint, so the broadcasts run in parallel.
+        for s in cover.layer(li) {
+            if s.hi - s.lo >= 2 {
+                collectives::range_broadcast(machine, s.lo, s.hi);
+            }
+        }
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            if answers[qi] != NIL {
+                continue;
+            }
+            if let Some(s) = cover.find_in_layer(li, layout.slot(a)) {
+                if let Some(w) = resolve(s, b) {
+                    answers[qi] = w;
+                    continue;
+                }
+            }
+            if let Some(s) = cover.find_in_layer(li, layout.slot(b)) {
+                if let Some(w) = resolve(s, a) {
+                    answers[qi] = w;
+                }
+            }
+        }
+        // Synchronization barrier before the next layer (§VI-C).
+        collectives::barrier(machine);
+    }
+
+    debug_assert!(
+        answers.iter().all(|&a| a != NIL),
+        "Corollary 3 guarantees every query resolves"
+    );
+
+    LcaResult {
+        answers,
+        stats: LcaStats {
+            layers: cover.num_layers(),
+            answered_step1,
+            treefix_rounds: (tf1.stats.compact_rounds, tf3.stats.compact_rounds),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostLca;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::generators;
+
+    fn random_queries<R: Rng>(n: u32, count: usize, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+        (0..count)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect()
+    }
+
+    fn check_against_host(t: &Tree, queries: &[(NodeId, NodeId)], seed: u64) -> LcaStats {
+        let layout = Layout::light_first(t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let res = batched_lca(
+            &machine,
+            &layout,
+            t,
+            queries,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let host = HostLca::new(t);
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            assert_eq!(res.answers[qi], host.query(a, b), "query ({a}, {b})");
+        }
+        res.stats
+    }
+
+    #[test]
+    fn correct_on_all_families() {
+        let mut rng = StdRng::seed_from_u64(30);
+        for fam in generators::TreeFamily::ALL {
+            let t = fam.generate(257, &mut rng);
+            let queries = random_queries(t.n(), 200, &mut rng);
+            check_against_host(&t, &queries, 31);
+        }
+    }
+
+    #[test]
+    fn ancestor_pairs_resolved_in_step1() {
+        let t = generators::path(64);
+        let queries: Vec<(NodeId, NodeId)> = (0..32).map(|i| (i, i + 32)).collect();
+        let stats = check_against_host(&t, &queries, 32);
+        assert_eq!(stats.answered_step1, 32, "all pairs are ancestor pairs");
+    }
+
+    #[test]
+    fn sibling_pairs_need_the_cover() {
+        let t = generators::star(100);
+        let queries: Vec<(NodeId, NodeId)> = (1..50).map(|i| (i, i + 49)).collect();
+        let stats = check_against_host(&t, &queries, 33);
+        assert_eq!(stats.answered_step1, 0);
+        assert_eq!(stats.layers, 2);
+    }
+
+    #[test]
+    fn self_queries() {
+        let t = generators::comb(30);
+        let queries = vec![(7, 7), (0, 0), (29, 29)];
+        check_against_host(&t, &queries, 34);
+    }
+
+    #[test]
+    fn las_vegas_seeds_do_not_change_answers() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let t = generators::uniform_random(300, &mut rng);
+        let queries = random_queries(300, 150, &mut rng);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let mut baseline = None;
+        for seed in 0..5 {
+            let machine = layout.machine();
+            let res = batched_lca(
+                &machine,
+                &layout,
+                &t,
+                &queries,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            match &baseline {
+                None => baseline = Some(res.answers),
+                Some(b) => assert_eq!(&res.answers, b, "seed {seed}"),
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_costs() {
+        // O(n log n) energy, O(log² n) depth, with n/2 queries.
+        let mut e_norm = Vec::new();
+        for log_n in [10u32, 12] {
+            let n = 1u32 << log_n;
+            let t = generators::random_binary(n, &mut StdRng::seed_from_u64(36));
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let machine = layout.machine();
+            let mut rng = StdRng::seed_from_u64(37);
+            let queries = random_queries(n, (n / 2) as usize, &mut rng);
+            batched_lca(&machine, &layout, &t, &queries, &mut rng);
+            let r = machine.report();
+            e_norm.push(r.energy_per_n_log_n(n as u64));
+            let log2 = (log_n as f64) * (log_n as f64);
+            assert!(
+                (r.depth as f64) < 40.0 * log2,
+                "n=2^{log_n}: depth {} not O(log² n)",
+                r.depth
+            );
+        }
+        assert!(
+            e_norm[1] / e_norm[0] < 2.0,
+            "energy/(n log n) should stay flat: {e_norm:?}"
+        );
+    }
+
+    #[test]
+    fn zorder_layout_works() {
+        let mut rng = StdRng::seed_from_u64(38);
+        let t = generators::yule(200, &mut rng);
+        let layout = Layout::light_first(&t, CurveKind::ZOrder);
+        let machine = layout.machine();
+        let queries = random_queries(t.n(), 100, &mut rng);
+        let res = batched_lca(&machine, &layout, &t, &queries, &mut rng);
+        let host = HostLca::new(&t);
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            assert_eq!(res.answers[qi], host.query(a, b));
+        }
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = Tree::from_parents(0, vec![spatial_tree::NIL]);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let res = batched_lca(
+            &machine,
+            &layout,
+            &t,
+            &[(0, 0)],
+            &mut StdRng::seed_from_u64(39),
+        );
+        assert_eq!(res.answers, vec![0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Subtree covers from path decompositions (§VI-B, Fig. 8).
+//!
+//! Given a heavy-path decomposition, the cover contains the subtree
+//! rooted at each path's head. Subtrees of the same layer are pairwise
+//! disjoint; subtrees across layers nest. In light-first order each
+//! cover subtree is a contiguous slot range, which is what lets the LCA
+//! algorithm broadcast within subtrees at linear energy (Lemma 13).
+
+use spatial_layout::Layout;
+use spatial_tree::{HeavyPathDecomposition, NodeId, Tree};
+
+/// One cover subtree: rooted at a path head, spanning a contiguous
+/// light-first range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverSubtree {
+    /// The path head this subtree is rooted at.
+    pub root: NodeId,
+    /// The root's parent (the candidate LCA answer), `None` for the
+    /// tree root's path.
+    pub parent: Option<NodeId>,
+    /// First slot of the subtree's range.
+    pub lo: u32,
+    /// One past the last slot of the range.
+    pub hi: u32,
+}
+
+impl CoverSubtree {
+    /// Whether a slot lies inside this subtree's range.
+    pub fn contains_slot(&self, slot: u32) -> bool {
+        self.lo <= slot && slot < self.hi
+    }
+}
+
+/// The subtree cover, grouped by layer.
+#[derive(Debug, Clone)]
+pub struct SubtreeCover {
+    layers: Vec<Vec<CoverSubtree>>,
+}
+
+impl SubtreeCover {
+    /// Builds the cover from a decomposition, a light-first layout, and
+    /// subtree sizes.
+    pub fn new(
+        tree: &Tree,
+        layout: &Layout,
+        decomposition: &HeavyPathDecomposition,
+        sizes: &[u32],
+    ) -> Self {
+        let mut layers = vec![Vec::new(); decomposition.num_layers() as usize];
+        for v in tree.vertices() {
+            if decomposition.head[v as usize] == v {
+                let lo = layout.slot(v);
+                let subtree = CoverSubtree {
+                    root: v,
+                    parent: tree.parent(v),
+                    lo,
+                    hi: lo + sizes[v as usize],
+                };
+                layers[decomposition.layer[v as usize] as usize].push(subtree);
+            }
+        }
+        // Sort each layer by range start so queries can binary-search.
+        for layer in &mut layers {
+            layer.sort_by_key(|s| s.lo);
+        }
+        SubtreeCover { layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> u32 {
+        self.layers.len() as u32
+    }
+
+    /// The subtrees of one layer, sorted by range start.
+    pub fn layer(&self, i: u32) -> &[CoverSubtree] {
+        &self.layers[i as usize]
+    }
+
+    /// Finds the layer-`i` subtree containing a slot, if any (binary
+    /// search; same-layer subtrees are disjoint).
+    pub fn find_in_layer(&self, i: u32, slot: u32) -> Option<&CoverSubtree> {
+        let layer = &self.layers[i as usize];
+        let idx = layer.partition_point(|s| s.lo <= slot);
+        if idx == 0 {
+            return None;
+        }
+        let cand = &layer[idx - 1];
+        cand.contains_slot(slot).then_some(cand)
+    }
+
+    /// Total number of cover subtrees.
+    pub fn len(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cover is empty (never, for a non-empty tree).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many cover subtrees contain each vertex (the paper: at least
+    /// one and at most O(log n)).
+    pub fn membership_counts(&self, layout: &Layout) -> Vec<u32> {
+        let mut counts = vec![0u32; layout.n() as usize];
+        for layer in &self.layers {
+            for s in layer {
+                for slot in s.lo..s.hi {
+                    counts[layout.vertex_at(slot) as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::generators;
+
+    fn build(t: &Tree) -> (Layout, SubtreeCover) {
+        let layout = Layout::light_first(t, CurveKind::Hilbert);
+        let sizes = t.subtree_sizes();
+        let d = HeavyPathDecomposition::with_sizes(t, &sizes);
+        let cover = SubtreeCover::new(t, &layout, &d, &sizes);
+        (layout, cover)
+    }
+
+    #[test]
+    fn ranges_are_subtree_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = generators::uniform_random(300, &mut rng);
+        let sizes = t.subtree_sizes();
+        let (layout, cover) = build(&t);
+        for i in 0..cover.num_layers() {
+            for s in cover.layer(i) {
+                assert_eq!(s.hi - s.lo, sizes[s.root as usize], "root {}", s.root);
+                assert_eq!(layout.slot(s.root), s.lo, "head starts its range");
+            }
+        }
+    }
+
+    #[test]
+    fn same_layer_disjoint() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = generators::preferential_attachment(500, &mut rng);
+        let (_, cover) = build(&t);
+        for i in 0..cover.num_layers() {
+            let layer = cover.layer(i);
+            for w in layer.windows(2) {
+                assert!(w[0].hi <= w[1].lo, "layer {i} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn every_vertex_covered_at_most_log_times() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [50u32, 500, 5000] {
+            let t = generators::uniform_random(n, &mut rng);
+            let (layout, cover) = build(&t);
+            let counts = cover.membership_counts(&layout);
+            let bound = (n as f64).log2().ceil() as u32 + 1;
+            for v in t.vertices() {
+                assert!(counts[v as usize] >= 1, "vertex {v} uncovered");
+                assert!(
+                    counts[v as usize] <= bound,
+                    "vertex {v} in {} > {bound} subtrees",
+                    counts[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_zero_is_whole_tree() {
+        let t = generators::comb(40);
+        let (_, cover) = build(&t);
+        let layer0 = cover.layer(0);
+        assert_eq!(layer0.len(), 1);
+        assert_eq!(layer0[0].root, t.root());
+        assert_eq!(layer0[0].parent, None);
+        assert_eq!((layer0[0].lo, layer0[0].hi), (0, 40));
+    }
+
+    #[test]
+    fn find_in_layer_hits() {
+        let t = generators::star(10);
+        let (layout, cover) = build(&t);
+        // Layer 1: nine singleton subtrees minus the heavy child.
+        assert_eq!(cover.layer(1).len(), 8);
+        for s in cover.layer(1) {
+            let found = cover.find_in_layer(1, layout.slot(s.root)).unwrap();
+            assert_eq!(found.root, s.root);
+        }
+        // The root's slot is not in any layer-1 subtree.
+        assert!(cover.find_in_layer(1, layout.slot(0)).is_none());
+    }
+}

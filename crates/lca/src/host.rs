@@ -1,0 +1,154 @@
+//! Host-side LCA by binary lifting: the verification oracle for the
+//! spatial algorithm (and the "conventional" baseline in benchmarks).
+
+use spatial_tree::{NodeId, Tree, NIL};
+
+/// Binary-lifting LCA structure: `O(n log n)` preprocessing,
+/// `O(log n)` per query.
+#[derive(Debug, Clone)]
+pub struct HostLca {
+    /// `up[k][v]`: the `2^k`-th ancestor of `v` (`NIL` above the root).
+    up: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+}
+
+impl HostLca {
+    /// Preprocesses the tree.
+    pub fn new(tree: &Tree) -> Self {
+        let n = tree.n() as usize;
+        let depth = tree.depths();
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let levels = (32 - max_depth.leading_zeros()).max(1) as usize;
+        let mut up = Vec::with_capacity(levels);
+        up.push(tree.parents().to_vec());
+        for k in 1..levels {
+            let prev = &up[k - 1];
+            let next: Vec<NodeId> = (0..n)
+                .map(|v| {
+                    let mid = prev[v];
+                    if mid == NIL {
+                        NIL
+                    } else {
+                        prev[mid as usize]
+                    }
+                })
+                .collect();
+            up.push(next);
+        }
+        HostLca { up, depth }
+    }
+
+    /// Depth of a vertex (root = 0).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// The ancestor of `v` that is `steps` levels up (`NIL` if above the
+    /// root).
+    pub fn ancestor(&self, mut v: NodeId, mut steps: u32) -> NodeId {
+        let mut k = 0;
+        while steps > 0 && v != NIL {
+            if k >= self.up.len() {
+                return NIL; // more steps than the tree is deep
+            }
+            if steps & 1 == 1 {
+                v = self.up[k][v as usize];
+            }
+            steps >>= 1;
+            k += 1;
+        }
+        v
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn query(&self, mut u: NodeId, mut v: NodeId) -> NodeId {
+        if self.depth(u) < self.depth(v) {
+            std::mem::swap(&mut u, &mut v);
+        }
+        u = self.ancestor(u, self.depth(u) - self.depth(v));
+        if u == v {
+            return u;
+        }
+        for k in (0..self.up.len()).rev() {
+            let (au, av) = (self.up[k][u as usize], self.up[k][v as usize]);
+            if au != av {
+                u = au;
+                v = av;
+            }
+        }
+        self.up[0][u as usize]
+    }
+
+    /// Whether `a` is an ancestor of `v` (inclusive: `a` is an ancestor
+    /// of itself).
+    pub fn is_ancestor(&self, a: NodeId, v: NodeId) -> bool {
+        self.depth(v) >= self.depth(a) && self.ancestor(v, self.depth(v) - self.depth(a)) == a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_tree::generators;
+
+    /// Brute-force LCA by walking parents.
+    fn naive_lca(tree: &Tree, mut u: NodeId, mut v: NodeId) -> NodeId {
+        let depth = tree.depths();
+        while depth[u as usize] > depth[v as usize] {
+            u = tree.parent(u).unwrap();
+        }
+        while depth[v as usize] > depth[u as usize] {
+            v = tree.parent(v).unwrap();
+        }
+        while u != v {
+            u = tree.parent(u).unwrap();
+            v = tree.parent(v).unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2u32, 5, 50, 500] {
+            let t = generators::uniform_random(n, &mut rng);
+            let lca = HostLca::new(&t);
+            for _ in 0..200 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                assert_eq!(lca.query(u, v), naive_lca(&t, u, v), "n={n} ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn self_and_ancestor_queries() {
+        let t = generators::path(10);
+        let lca = HostLca::new(&t);
+        assert_eq!(lca.query(7, 7), 7);
+        assert_eq!(lca.query(2, 9), 2);
+        assert_eq!(lca.query(9, 2), 2);
+        assert_eq!(lca.query(0, 5), 0);
+    }
+
+    #[test]
+    fn ancestor_steps() {
+        let t = generators::path(16);
+        let lca = HostLca::new(&t);
+        assert_eq!(lca.ancestor(15, 15), 0);
+        assert_eq!(lca.ancestor(15, 3), 12);
+        assert_eq!(lca.ancestor(15, 16), NIL);
+        assert!(lca.is_ancestor(4, 12));
+        assert!(!lca.is_ancestor(12, 4));
+        assert!(lca.is_ancestor(7, 7));
+    }
+
+    #[test]
+    fn star_queries() {
+        let t = generators::star(20);
+        let lca = HostLca::new(&t);
+        assert_eq!(lca.query(3, 17), 0);
+        assert_eq!(lca.query(0, 5), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Batched lowest common ancestors on the spatial computer (§VI).
+//!
+//! The paper's LCA algorithm avoids the non-local messaging of earlier
+//! PEM/CGM approaches by covering the tree with subtrees derived from a
+//! heavy-path decomposition: for every path in the decomposition, the
+//! cover contains the subtree rooted at the path's head. Every vertex
+//! lies in at most `O(log n)` cover subtrees, and for every query
+//! `LCA(u, v) = w ∉ {u, v}` some cover subtree contains exactly one of
+//! `u, v` and has `w` as its root's parent (Corollary 3).
+//!
+//! The four steps of §VI-C, all in the local messaging framework:
+//!
+//! 1. subtree sizes via bottom-up treefix → contiguous light-first
+//!    ranges `r(u)`; ancestor/descendant queries answered immediately;
+//! 2. every vertex local-broadcasts its range to its children;
+//! 3. path-decomposition layers via top-down treefix;
+//! 4. per layer: broadcast `(r(w), r(x))` inside every layer subtree
+//!    (the Lemma 13 range broadcast), answer the queries it resolves,
+//!    and barrier before the next layer.
+//!
+//! Total: `O(n log n)` energy and `O(log² n)` depth w.h.p. (Theorem 6),
+//! assuming every vertex appears in `O(1)` queries.
+
+pub mod batched;
+pub mod cover;
+pub mod host;
+
+pub use batched::{batched_lca, LcaResult, LcaStats};
+pub use cover::SubtreeCover;
+pub use host::HostLca;

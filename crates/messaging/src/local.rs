@@ -1,0 +1,291 @@
+//! Local broadcast and local reduce over the virtual tree (Theorem 3).
+//!
+//! *Local broadcast*: every vertex `v` sends one identical message to all
+//! its children. A child receives its parent's message either directly
+//! (current head) or relayed by the sibling that adopted it (appended
+//! head); relays happen strictly after the relaying sibling has received
+//! the message itself, which the machine's dependency clocks capture via
+//! per-round message batches.
+//!
+//! *Local reduce*: every parent receives the reduction of its children's
+//! messages. Contributions flow up the same relay structure; because the
+//! relay tree covers contiguous sibling ranges, combining `msg(x) ⊕
+//! contrib(first head) ⊕ contrib(second head)` preserves sibling order,
+//! so any associative operator works (commutativity not required).
+
+use crate::virtual_tree::VirtualTree;
+use spatial_layout::Layout;
+use spatial_model::{Machine, Slot};
+use spatial_tree::{NodeId, Tree, NIL};
+
+/// Local broadcast: returns `received[v] = Some(values[parent(v)])` for
+/// every non-root vertex, charging `O(n)` energy and `O(log n)` depth on
+/// an energy-bound layout.
+pub fn local_broadcast<T: Copy>(
+    m: &Machine,
+    layout: &Layout,
+    vt: &VirtualTree,
+    tree: &Tree,
+    values: &[T],
+) -> Vec<Option<T>> {
+    let n = tree.n();
+    assert_eq!(values.len() as u32, n, "one value per vertex");
+    // Relay rounds: round r delivers to every vertex whose relay_round
+    // is r. Within a round all messages are simultaneous.
+    for round in 1..=vt.max_round() {
+        let msgs: Vec<(Slot, Slot)> = (0..n)
+            .filter(|&v| v != tree.root() && vt.relay_round(v) == round)
+            .map(|v| (layout.slot(vt.relay_parent(v)), layout.slot(v)))
+            .collect();
+        m.round(&msgs);
+    }
+    // The delivered value is always the real parent's.
+    (0..n)
+        .map(|v| tree.parent(v).map(|p| values[p as usize]))
+        .collect()
+}
+
+/// Local reduce: returns `result[p] = Some(⊕ values[c] over children c
+/// in light-first sibling order)` for every non-leaf vertex, charging
+/// `O(n)` energy and `O(log n)` depth on an energy-bound layout.
+pub fn local_reduce<T, F>(
+    m: &Machine,
+    layout: &Layout,
+    vt: &VirtualTree,
+    tree: &Tree,
+    values: &[T],
+    op: &F,
+) -> Vec<Option<T>>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let n = tree.n();
+    assert_eq!(values.len() as u32, n, "one value per vertex");
+
+    // Send round of x = 1 + max send round of its appended heads (they
+    // must deliver their sibling-range contributions first).
+    let mut send_round = vec![1u32; n as usize];
+    // Appended heads always have a strictly larger relay_round than
+    // their adopter, so processing vertices by decreasing relay_round
+    // finalizes heads before adopters.
+    let mut by_round: Vec<NodeId> = (0..n).filter(|&v| v != tree.root()).collect();
+    by_round.sort_by_key(|&v| std::cmp::Reverse(vt.relay_round(v)));
+    let mut max_send = 0u32;
+    for &x in &by_round {
+        for h in vt.appended_heads(x) {
+            if h != NIL {
+                send_round[x as usize] = send_round[x as usize].max(send_round[h as usize] + 1);
+            }
+        }
+        max_send = max_send.max(send_round[x as usize]);
+    }
+
+    // Contributions in the same bottom-up order.
+    let mut contrib: Vec<T> = values.to_vec();
+    for &x in &by_round {
+        // contrib(x) = values[x] ⊕ contrib(head₁) ⊕ contrib(head₂),
+        // which covers x's contiguous sibling range in order.
+        let mut acc = values[x as usize];
+        for h in vt.appended_heads(x) {
+            if h != NIL {
+                acc = op(acc, contrib[h as usize]);
+            }
+        }
+        contrib[x as usize] = acc;
+    }
+
+    // Charge the upward messages in send-round batches.
+    for round in 1..=max_send {
+        let msgs: Vec<(Slot, Slot)> = by_round
+            .iter()
+            .copied()
+            .filter(|&x| send_round[x as usize] == round)
+            .map(|x| (layout.slot(x), layout.slot(vt.relay_parent(x))))
+            .collect();
+        m.round(&msgs);
+    }
+
+    // Results: parents combine their current heads' contributions (the
+    // two heads cover the full child range, in order).
+    (0..n)
+        .map(|p| {
+            let [h1, h2] = vt.current_heads(p);
+            match (h1, h2) {
+                (NIL, _) => None,
+                (a, NIL) => Some(contrib[a as usize]),
+                (a, b) => Some(op(contrib[a as usize], contrib[b as usize])),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::generators;
+
+    fn setup(t: &Tree) -> (Machine, Layout, VirtualTree) {
+        let layout = Layout::light_first(t, CurveKind::Hilbert);
+        let m = layout.machine();
+        let vt = VirtualTree::new(t);
+        (m, layout, vt)
+    }
+
+    #[test]
+    fn broadcast_delivers_parent_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in [
+            generators::star(50),
+            generators::comb(60),
+            generators::uniform_random(200, &mut rng),
+        ] {
+            let (m, layout, vt) = setup(&t);
+            let values: Vec<u64> = (0..t.n() as u64).map(|v| v * 10).collect();
+            let got = local_broadcast(&m, &layout, &vt, &t, &values);
+            for v in t.vertices() {
+                match t.parent(v) {
+                    None => assert_eq!(got[v as usize], None),
+                    Some(p) => assert_eq!(got[v as usize], Some(p as u64 * 10)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_children() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for t in [
+            generators::star(50),
+            generators::broom(80, 20),
+            generators::preferential_attachment(300, &mut rng),
+        ] {
+            let (m, layout, vt) = setup(&t);
+            let values: Vec<u64> = (0..t.n() as u64).map(|v| v + 1).collect();
+            let got = local_reduce(&m, &layout, &vt, &t, &values, &|a, b| a + b);
+            for v in t.vertices() {
+                let expect: u64 = t.children(v).iter().map(|&c| c as u64 + 1).sum();
+                if t.is_leaf(v) {
+                    assert_eq!(got[v as usize], None, "leaf {v}");
+                } else {
+                    assert_eq!(got[v as usize], Some(expect), "vertex {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_ordered_noncommutative() {
+        // Affine-map composition: associative but *not* commutative.
+        // Children must combine in light-first sibling order.
+        let compose = |f: (u64, u64), g: (u64, u64)| {
+            (
+                f.0.wrapping_mul(g.0),
+                f.0.wrapping_mul(g.1).wrapping_add(f.1),
+            )
+        };
+        let t = generators::star(6);
+        let (m, layout, vt) = setup(&t);
+        // All leaf subtree sizes are 1 → sibling order is by id: 1..6.
+        let values: Vec<(u64, u64)> = (0..6u64).map(|v| (2 * v + 1, 3 * v + 7)).collect();
+        let got = local_reduce(&m, &layout, &vt, &t, &values, &compose);
+        let expect = values[1..].iter().copied().reduce(compose).unwrap();
+        assert_eq!(got[0], Some(expect));
+    }
+
+    #[test]
+    fn theorem3_star_linear_energy_log_depth() {
+        let mut per_n = Vec::new();
+        for log_n in [12u32, 14] {
+            let n = 1u32 << log_n;
+            let t = generators::star(n);
+            let (m, layout, vt) = setup(&t);
+            let values = vec![1u64; n as usize];
+            local_broadcast(&m, &layout, &vt, &t, &values);
+            let r = m.report();
+            per_n.push(r.energy as f64 / n as f64);
+            assert!(
+                r.depth <= 2 * log_n as u64 + 4,
+                "depth {} not O(log n) at n=2^{log_n}",
+                r.depth
+            );
+        }
+        assert!(
+            per_n[1] < per_n[0] * 1.5,
+            "broadcast energy/n must stay flat: {per_n:?}"
+        );
+    }
+
+    #[test]
+    fn direct_messaging_on_star_is_superlinear() {
+        // The baseline the virtual tree beats: direct parent→child
+        // messages on a star cost Θ(n^{3/2}) total.
+        let n = 1u32 << 14;
+        let t = generators::star(n);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let direct = spatial_layout::local_kernel_energy(&t, &layout);
+        let (m, layout2, vt) = setup(&t);
+        local_broadcast(&m, &layout2, &vt, &t, &vec![0u64; n as usize]);
+        let relay = m.report().energy;
+        assert!(
+            direct > 10 * relay,
+            "direct {direct} should dwarf relayed {relay}"
+        );
+    }
+
+    #[test]
+    fn reduce_depth_logarithmic_on_star() {
+        let n = 1u32 << 12;
+        let t = generators::star(n);
+        let (m, layout, vt) = setup(&t);
+        local_reduce(&m, &layout, &vt, &t, &vec![1u64; n as usize], &|a, b| a + b);
+        assert!(m.report().depth <= 2 * 12 + 4);
+    }
+
+    #[test]
+    fn single_vertex_noops() {
+        let t = Tree::from_parents(0, vec![NIL]);
+        let (m, layout, vt) = setup(&t);
+        assert_eq!(local_broadcast(&m, &layout, &vt, &t, &[7u64]), vec![None]);
+        assert_eq!(
+            local_reduce(&m, &layout, &vt, &t, &[7u64], &|a, b| a + b),
+            vec![None]
+        );
+        assert_eq!(m.report().energy, 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use spatial_model::{CurveKind, MachineBuilder};
+    use spatial_tree::generators;
+
+    /// White-box: a star's local broadcast uses exactly n−1 relay
+    /// messages (one per child), each received after its relay's own
+    /// receipt.
+    #[test]
+    fn star_broadcast_trace_is_a_relay_tree() {
+        let t = generators::star(16);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = MachineBuilder::on_curve(CurveKind::Hilbert, 16)
+            .trace(true)
+            .build();
+        let vt = VirtualTree::new(&t);
+        local_broadcast(&machine, &layout, &vt, &t, &[7u64; 16]);
+        let trace = machine.take_trace();
+        assert_eq!(trace.len(), 15, "one delivery per child");
+        // Every vertex receives exactly once.
+        let mut received = std::collections::HashSet::new();
+        for e in &trace {
+            assert!(received.insert(e.to), "slot {} delivered twice", e.to);
+        }
+        // The root's slot never receives.
+        assert!(!received.contains(&layout.slot(0)));
+        // Relay depths: delivered in ≤ ⌈log₂ 15⌉ + 1 rounds.
+        let max_depth = trace.iter().map(|e| e.depth_after).max().unwrap();
+        assert!(max_depth <= 5, "relay depth {max_depth} too large");
+    }
+}

@@ -1,0 +1,267 @@
+//! Balanced relay charging for arbitrary participant sets.
+//!
+//! The treefix RAKE operation (§V-A2) reduces the partial sums of a
+//! subset of a vertex's children — possibly unboundedly many — into the
+//! parent. Under O(1) memory, that reduction travels a balanced binary
+//! relay over the participants (in their light-first sibling order, so
+//! the participants are near-contiguous on the curve). This module
+//! charges such relays without materializing a full [`crate::VirtualTree`]
+//! for the shrinking contracted tree.
+
+use spatial_model::{Machine, Slot};
+
+/// Charges a balanced binary *reduce* relay: `participants` combine
+/// pairwise (in slice order) and the result arrives at `target`.
+///
+/// Energy: the distance-weighted relay volume; depth: `⌈log₂ k⌉ + 1`
+/// machine rounds for `k` participants. Charges nothing for an empty
+/// participant set.
+pub fn charge_reduce_relay(m: &Machine, participants: &[Slot], target: Slot) {
+    if participants.is_empty() {
+        return;
+    }
+    // Bottom-up halving: in each round, the i-th surviving participant
+    // with odd index sends to its even-indexed neighbour.
+    let mut current: Vec<Slot> = participants.to_vec();
+    while current.len() > 1 {
+        let mut msgs = Vec::with_capacity(current.len() / 2);
+        let mut next = Vec::with_capacity(current.len().div_ceil(2));
+        for pair in current.chunks(2) {
+            if pair.len() == 2 {
+                msgs.push((pair[1], pair[0]));
+            }
+            next.push(pair[0]);
+        }
+        m.round(&msgs);
+        current = next;
+    }
+    m.send(current[0], target);
+}
+
+/// Charges a balanced binary *broadcast* relay: a message from `source`
+/// reaches every participant (mirror of [`charge_reduce_relay`]).
+pub fn charge_broadcast_relay(m: &Machine, source: Slot, participants: &[Slot]) {
+    if participants.is_empty() {
+        return;
+    }
+    m.send(source, participants[0]);
+    // Top-down doubling over the slice: the holder set doubles each
+    // round, each holder forwarding to the midpoint of its segment.
+    let mut segments: Vec<(usize, usize)> = vec![(0, participants.len())];
+    while !segments.is_empty() {
+        let mut msgs = Vec::new();
+        let mut next = Vec::new();
+        for (lo, hi) in segments {
+            if hi - lo <= 1 {
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            msgs.push((participants[lo], participants[mid]));
+            next.push((lo, mid));
+            next.push((mid, hi));
+        }
+        if msgs.is_empty() {
+            break;
+        }
+        m.round(&msgs);
+        segments = next;
+    }
+}
+
+/// Charges many independent reduce relays *simultaneously*: all groups
+/// advance level by level, each level being one machine round, so
+/// relays of different groups never chain through shared endpoints
+/// (parent `i`'s child may be parent `i+1`'s source — the messages are
+/// still concurrent).
+pub fn charge_reduce_relays(m: &Machine, groups: &mut [(Vec<Slot>, Slot)]) {
+    let mut done = vec![false; groups.len()];
+    loop {
+        let mut msgs = Vec::new();
+        for (gi, (current, target)) in groups.iter_mut().enumerate() {
+            if done[gi] {
+                continue;
+            }
+            if current.len() <= 1 {
+                if let Some(&last) = current.first() {
+                    msgs.push((last, *target));
+                }
+                done[gi] = true;
+                continue;
+            }
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            for pair in current.chunks(2) {
+                if pair.len() == 2 {
+                    msgs.push((pair[1], pair[0]));
+                }
+                next.push(pair[0]);
+            }
+            *current = next;
+        }
+        if msgs.is_empty() {
+            break;
+        }
+        m.round(&msgs);
+    }
+}
+
+/// Charges many independent broadcast relays simultaneously (mirror of
+/// [`charge_reduce_relays`]).
+pub fn charge_broadcast_relays(m: &Machine, groups: &[(Slot, Vec<Slot>)]) {
+    // Round 0: every source reaches its first participant.
+    let first: Vec<(Slot, Slot)> = groups
+        .iter()
+        .filter(|(_, parts)| !parts.is_empty())
+        .map(|(src, parts)| (*src, parts[0]))
+        .collect();
+    if first.is_empty() {
+        return;
+    }
+    m.round(&first);
+    // Then segment doubling, one machine round per level across all
+    // groups.
+    let mut segments: Vec<(usize, usize, usize)> = groups
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, parts))| parts.len() > 1)
+        .map(|(gi, (_, parts))| (gi, 0usize, parts.len()))
+        .collect();
+    while !segments.is_empty() {
+        let mut msgs = Vec::new();
+        let mut next = Vec::new();
+        for (gi, lo, hi) in segments {
+            if hi - lo <= 1 {
+                continue;
+            }
+            let parts = &groups[gi].1;
+            let mid = lo + (hi - lo) / 2;
+            msgs.push((parts[lo], parts[mid]));
+            next.push((gi, lo, mid));
+            next.push((gi, mid, hi));
+        }
+        if msgs.is_empty() {
+            break;
+        }
+        m.round(&msgs);
+        segments = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_model::{CurveKind, Machine};
+
+    fn line(n: u32) -> Machine {
+        Machine::from_points(
+            (0..n)
+                .map(|i| spatial_model::GridPoint::new(i, 0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_participants_free() {
+        let m = line(4);
+        charge_reduce_relay(&m, &[], 0);
+        charge_broadcast_relay(&m, 0, &[]);
+        assert_eq!(m.report().energy, 0);
+        assert_eq!(m.report().messages, 0);
+    }
+
+    #[test]
+    fn single_participant_one_message() {
+        let m = line(4);
+        charge_reduce_relay(&m, &[3], 0);
+        assert_eq!(m.report().messages, 1);
+        assert_eq!(m.report().energy, 3);
+    }
+
+    #[test]
+    fn reduce_relay_message_count() {
+        // k participants → k messages (k−1 merges + 1 to target).
+        for k in [1u32, 2, 5, 16, 33] {
+            let m = line(64);
+            let parts: Vec<Slot> = (1..=k).collect();
+            charge_reduce_relay(&m, &parts, 0);
+            assert_eq!(m.report().messages as u32, k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn reduce_relay_depth_logarithmic() {
+        let m = line(1024);
+        let parts: Vec<Slot> = (0..1000).collect();
+        charge_reduce_relay(&m, &parts, 1023);
+        let d = m.report().depth;
+        assert!(d <= 12, "depth {d} > ⌈log₂ 1000⌉ + 2");
+        assert!(d >= 10);
+    }
+
+    #[test]
+    fn broadcast_relay_reaches_all_with_log_depth() {
+        let m = line(1024);
+        let parts: Vec<Slot> = (1..1001).collect();
+        charge_broadcast_relay(&m, 0, &parts);
+        assert_eq!(m.report().messages, 1000);
+        assert!(m.report().depth <= 12);
+    }
+
+    #[test]
+    fn batched_broadcasts_do_not_chain() {
+        // A chain of single-child "relays": parent i → child i+1. As
+        // independent per-parent calls they would chain to depth n; the
+        // batched call keeps them concurrent.
+        let m = line(64);
+        let groups: Vec<(Slot, Vec<Slot>)> = (0..63).map(|i| (i, vec![i + 1])).collect();
+        charge_broadcast_relays(&m, &groups);
+        assert_eq!(m.report().depth, 1, "independent broadcasts are parallel");
+        assert_eq!(m.report().messages, 63);
+    }
+
+    #[test]
+    fn batched_reduces_do_not_chain() {
+        let m = line(64);
+        let mut groups: Vec<(Vec<Slot>, Slot)> = (0..63).map(|i| (vec![i + 1], i)).collect();
+        charge_reduce_relays(&m, &mut groups);
+        assert_eq!(m.report().depth, 1);
+        assert_eq!(m.report().messages, 63);
+    }
+
+    #[test]
+    fn batched_matches_single_counts() {
+        // One large group in the batched API = the single-group charge.
+        let m1 = line(256);
+        charge_reduce_relay(&m1, &(1..200).collect::<Vec<_>>(), 0);
+        let m2 = line(256);
+        let mut groups = vec![((1..200).collect::<Vec<_>>(), 0 as Slot)];
+        charge_reduce_relays(&m2, &mut groups);
+        assert_eq!(m1.report().messages, m2.report().messages);
+        assert_eq!(m1.report().energy, m2.report().energy);
+    }
+
+    #[test]
+    fn batched_mixed_group_sizes() {
+        let m = line(128);
+        let groups: Vec<(Slot, Vec<Slot>)> = vec![
+            (0, vec![]),
+            (1, vec![2]),
+            (3, (4..20).collect()),
+            (50, (51..128).collect()),
+        ];
+        charge_broadcast_relays(&m, &groups);
+        // 0 messages + 1 + 16 + 77.
+        assert_eq!(m.report().messages, 94);
+        assert!(m.report().depth <= 8);
+    }
+
+    #[test]
+    fn contiguous_participants_linear_energy() {
+        // Contiguous participants on a curve: relay energy O(k) — the
+        // Theorem 1 recursion at work.
+        let machine = Machine::on_curve(CurveKind::Hilbert, 4096);
+        let parts: Vec<Slot> = (1..4096).collect();
+        charge_reduce_relay(&machine, &parts, 0);
+        let per = machine.report().energy as f64 / 4096.0;
+        assert!(per < 8.0, "relay energy per element {per} not O(1)");
+    }
+}

@@ -1,0 +1,180 @@
+//! Weighted graphs with a designated spanning tree.
+
+use rand::Rng;
+use spatial_tree::{generators, NodeId, Tree};
+
+/// A weighted undirected edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedEdge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Edge weight.
+    pub weight: u64,
+}
+
+/// A connected weighted graph given as a spanning tree plus non-tree
+/// edges — the input shape of Karger's 1-respecting cut subproblem.
+#[derive(Debug, Clone)]
+pub struct SpannedGraph {
+    tree: Tree,
+    /// Weights of the tree edges, indexed by the child endpoint
+    /// (`tree_weight[v]` is the weight of the edge `parent(v) — v`;
+    /// unused at the root).
+    tree_weight: Vec<u64>,
+    /// The non-tree edges.
+    extra: Vec<WeightedEdge>,
+}
+
+impl SpannedGraph {
+    /// Wraps a spanning tree, per-tree-edge weights, and non-tree edges.
+    ///
+    /// # Panics
+    /// Panics on endpoint out of range, self-loop non-tree edges, or a
+    /// weight vector of the wrong length.
+    pub fn new(tree: Tree, tree_weight: Vec<u64>, extra: Vec<WeightedEdge>) -> Self {
+        assert_eq!(
+            tree_weight.len() as u32,
+            tree.n(),
+            "one weight per vertex (child endpoint)"
+        );
+        for e in &extra {
+            assert!(
+                e.a < tree.n() && e.b < tree.n(),
+                "edge endpoint out of range"
+            );
+            assert_ne!(e.a, e.b, "self-loops have no cut contribution");
+        }
+        SpannedGraph {
+            tree,
+            tree_weight,
+            extra,
+        }
+    }
+
+    /// The spanning tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u32 {
+        self.tree.n()
+    }
+
+    /// Weight of the tree edge above `v`.
+    pub fn tree_weight(&self, v: NodeId) -> u64 {
+        self.tree_weight[v as usize]
+    }
+
+    /// The non-tree edges.
+    pub fn extra_edges(&self) -> &[WeightedEdge] {
+        &self.extra
+    }
+
+    /// Weighted degree of each vertex (sum over all incident edges,
+    /// tree and non-tree).
+    pub fn weighted_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.n() as usize];
+        for v in self.tree.vertices() {
+            if let Some(p) = self.tree.parent(v) {
+                deg[v as usize] += self.tree_weight[v as usize];
+                deg[p as usize] += self.tree_weight[v as usize];
+            }
+        }
+        for e in &self.extra {
+            deg[e.a as usize] += e.weight;
+            deg[e.b as usize] += e.weight;
+        }
+        deg
+    }
+
+    /// A random connected graph: a uniform random spanning tree over
+    /// `n` vertices plus `extra` random non-tree edges, all weights in
+    /// `1..=max_weight`.
+    pub fn random<R: Rng>(n: u32, extra: usize, max_weight: u64, rng: &mut R) -> Self {
+        assert!(n >= 2, "cuts need at least two vertices");
+        let tree = generators::uniform_random(n, rng);
+        let mut tree_weight = vec![0u64; n as usize];
+        for v in tree.vertices() {
+            if tree.parent(v).is_some() {
+                tree_weight[v as usize] = rng.gen_range(1..=max_weight);
+            }
+        }
+        let extra_edges = (0..extra)
+            .map(|_| {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                WeightedEdge {
+                    a,
+                    b,
+                    weight: rng.gen_range(1..=max_weight),
+                }
+            })
+            .collect();
+        SpannedGraph::new(tree, tree_weight, extra_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_tree::NIL;
+
+    #[test]
+    fn weighted_degrees_count_both_sides() {
+        // Path 0—1—2 with weights 5, 7 and one extra edge (0, 2, w=3).
+        let tree = Tree::from_parents(0, vec![NIL, 0, 1]);
+        let g = SpannedGraph::new(
+            tree,
+            vec![0, 5, 7],
+            vec![WeightedEdge {
+                a: 0,
+                b: 2,
+                weight: 3,
+            }],
+        );
+        assert_eq!(g.weighted_degrees(), vec![8, 12, 10]);
+    }
+
+    #[test]
+    fn random_graph_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = SpannedGraph::random(100, 50, 10, &mut rng);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.extra_edges().len(), 50);
+        assert!(g.extra_edges().iter().all(|e| e.a != e.b));
+        assert!(g
+            .tree()
+            .vertices()
+            .filter(|&v| g.tree().parent(v).is_some())
+            .all(|v| g.tree_weight(v) >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let tree = Tree::from_parents(0, vec![NIL, 0]);
+        let _ = SpannedGraph::new(
+            tree,
+            vec![0, 1],
+            vec![WeightedEdge {
+                a: 1,
+                b: 1,
+                weight: 1,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per vertex")]
+    fn rejects_wrong_weight_len() {
+        let tree = Tree::from_parents(0, vec![NIL, 0]);
+        let _ = SpannedGraph::new(tree, vec![0], vec![]);
+    }
+}

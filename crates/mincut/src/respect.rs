@@ -1,0 +1,313 @@
+//! 1-respecting minimum cuts: the full spatial pipeline.
+//!
+//! For each non-root vertex `v`, the cut crossing only the tree edge
+//! above `v` weighs
+//!
+//! ```text
+//! cut(v) = Σ_{u ∈ S} wdeg(u) − 2·internal(S),      S = subtree(v)
+//! ```
+//!
+//! where `internal(S)` splits into tree edges inside `S` (a subtree sum
+//! of the child-endpoint weights, minus the cut edge itself) and
+//! non-tree edges inside `S` (both endpoints in `S` ⟺ their LCA is in
+//! `S`, so: batched LCA, scatter weights onto LCAs, subtree sum). The
+//! three subtree sums fuse into one treefix over the product monoid
+//! `(Add, Add, Add)`, and the final minimum is an all-reduce.
+
+use crate::graph::SpannedGraph;
+use rand::Rng;
+use spatial_layout::Layout;
+use spatial_lca::batched_lca;
+use spatial_model::{collectives, Machine};
+use spatial_tree::NodeId;
+use spatial_treefix::{treefix_bottom_up, Add};
+
+/// Result of the 1-respecting cut computation.
+#[derive(Debug, Clone)]
+pub struct MinCutResult {
+    /// `cuts[v]`: the weight of the cut at the tree edge above `v`
+    /// (`u64::MAX` at the root, which has no edge above it).
+    pub cuts: Vec<u64>,
+    /// The vertex whose tree edge yields the minimum cut.
+    pub best_vertex: NodeId,
+    /// The minimum 1-respecting cut weight.
+    pub best_weight: u64,
+    /// Layers used by the LCA phase (cost evidence).
+    pub lca_layers: u32,
+}
+
+/// Computes every 1-respecting cut and the minimum, on the machine.
+///
+/// Costs `O((n + q) log n)` energy and `O(log² n)` depth w.h.p. for `q`
+/// non-tree edges with `O(1)` edges per vertex.
+pub fn one_respecting_cuts<R: Rng>(
+    machine: &Machine,
+    layout: &Layout,
+    graph: &SpannedGraph,
+    rng: &mut R,
+) -> MinCutResult {
+    let tree = graph.tree();
+    let n = tree.n();
+
+    // Step 1: batched LCA of the non-tree edges.
+    let queries: Vec<(NodeId, NodeId)> = graph.extra_edges().iter().map(|e| (e.a, e.b)).collect();
+    let lca = if queries.is_empty() {
+        None
+    } else {
+        Some(batched_lca(machine, layout, tree, &queries, rng))
+    };
+
+    // Step 2: scatter each edge's weight onto its LCA's processor (one
+    // message per edge, charged at the true grid distance from the
+    // endpoint that answered the query).
+    let mut lca_weight = vec![0u64; n as usize];
+    if let Some(lca) = &lca {
+        for (e, &w) in graph.extra_edges().iter().zip(lca.answers.iter()) {
+            machine.send(layout.slot(e.a), layout.slot(w));
+            lca_weight[w as usize] += e.weight;
+        }
+    }
+
+    // Step 3: one fused treefix over (wdeg, tree-edge weight, LCA
+    // weight).
+    let wdeg = graph.weighted_degrees();
+    let values: Vec<(Add, Add, Add)> = (0..n)
+        .map(|v| {
+            (
+                Add(wdeg[v as usize]),
+                Add(graph.tree_weight(v)),
+                Add(lca_weight[v as usize]),
+            )
+        })
+        .collect();
+    let sums = treefix_bottom_up(machine, layout, tree, &values, rng);
+
+    // Step 4: each non-root vertex computes its cut locally.
+    let cuts: Vec<u64> = (0..n)
+        .map(|v| {
+            if tree.parent(v).is_none() {
+                return u64::MAX;
+            }
+            let (Add(deg_sum), Add(tree_in), Add(extra_in)) = sums.values[v as usize];
+            let internal = (tree_in - graph.tree_weight(v)) + extra_in;
+            deg_sum - 2 * internal
+        })
+        .collect();
+
+    // Step 5: all-reduce the minimum over the grid.
+    let slot_keyed: Vec<(u64, NodeId)> = (0..n)
+        .map(|s| {
+            let v = layout.vertex_at(s);
+            (cuts[v as usize], v)
+        })
+        .collect();
+    let (best_weight, best_vertex) =
+        collectives::all_reduce(machine, &slot_keyed, &|a, b| a.min(b));
+
+    MinCutResult {
+        cuts,
+        best_vertex,
+        best_weight,
+        lca_layers: lca.map(|l| l.stats.layers).unwrap_or(0),
+    }
+}
+
+/// Host reference: brute-force cut weights by subtree marking.
+pub fn min_cut_host(graph: &SpannedGraph) -> Vec<u64> {
+    let tree = graph.tree();
+    let n = tree.n();
+    let sizes = tree.subtree_sizes();
+    // Light-first positions give O(1) subtree membership tests.
+    let order = spatial_tree::traversal::light_first_order(tree);
+    let pos = spatial_tree::traversal::positions_of(&order);
+    let inside = |v: NodeId, u: NodeId| -> bool {
+        pos[u as usize] >= pos[v as usize] && pos[u as usize] < pos[v as usize] + sizes[v as usize]
+    };
+    (0..n)
+        .map(|v| {
+            if tree.parent(v).is_none() {
+                return u64::MAX;
+            }
+            let mut cut = 0u64;
+            for u in tree.vertices() {
+                if let Some(p) = tree.parent(u) {
+                    if inside(v, u) != inside(v, p) {
+                        cut += graph.tree_weight(u);
+                    }
+                }
+            }
+            for e in graph.extra_edges() {
+                if inside(v, e.a) != inside(v, e.b) {
+                    cut += e.weight;
+                }
+            }
+            cut
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WeightedEdge;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::{Tree, NIL};
+
+    fn run(graph: &SpannedGraph, seed: u64) -> MinCutResult {
+        let layout = Layout::light_first(graph.tree(), CurveKind::Hilbert);
+        let machine = layout.machine();
+        one_respecting_cuts(&machine, &layout, graph, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn path_with_shortcut() {
+        // Path 0—1—2—3 (weights 4, 1, 4) plus shortcut (0, 3, w=2).
+        // Cutting above v=2 severs tree edge w=1 and the shortcut w=2.
+        let tree = Tree::from_parents(0, vec![NIL, 0, 1, 2]);
+        let g = SpannedGraph::new(
+            tree,
+            vec![0, 4, 1, 4],
+            vec![WeightedEdge {
+                a: 0,
+                b: 3,
+                weight: 2,
+            }],
+        );
+        let res = run(&g, 1);
+        assert_eq!(res.cuts[1], 4 + 2);
+        assert_eq!(res.cuts[2], 1 + 2);
+        assert_eq!(res.cuts[3], 4 + 2);
+        assert_eq!(res.best_vertex, 2);
+        assert_eq!(res.best_weight, 3);
+        assert_eq!(res.cuts, min_cut_host(&g));
+    }
+
+    #[test]
+    fn tree_only_graph() {
+        // No extra edges: cut(v) = weight of the tree edge above v.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = SpannedGraph::random(100, 0, 9, &mut rng);
+        let res = run(&g, 3);
+        for v in 1..100u32 {
+            if g.tree().parent(v).is_some() {
+                assert_eq!(res.cuts[v as usize], g.tree_weight(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_host_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (n, extra) in [(10u32, 5usize), (50, 40), (200, 150), (333, 500)] {
+            let g = SpannedGraph::random(n, extra, 20, &mut rng);
+            let res = run(&g, 5);
+            let host = min_cut_host(&g);
+            assert_eq!(res.cuts, host, "n={n} extra={extra}");
+            let best = host
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| g.tree().parent(v as u32).is_some())
+                .min_by_key(|&(_, &c)| c)
+                .unwrap();
+            assert_eq!(res.best_weight, *best.1);
+            assert_eq!(
+                host[res.best_vertex as usize], res.best_weight,
+                "reported vertex must achieve the reported weight"
+            );
+        }
+    }
+
+    #[test]
+    fn las_vegas_seeds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = SpannedGraph::random(150, 100, 10, &mut rng);
+        let expect = run(&g, 0).cuts;
+        for seed in 1..6 {
+            assert_eq!(run(&g, seed).cuts, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn costs_near_linear() {
+        let mut e_norm = Vec::new();
+        for log_n in [10u32, 12] {
+            let n = 1u32 << log_n;
+            let mut rng = StdRng::seed_from_u64(7);
+            let g = SpannedGraph::random(n, n as usize / 2, 100, &mut rng);
+            let layout = Layout::light_first(g.tree(), CurveKind::Hilbert);
+            let machine = layout.machine();
+            one_respecting_cuts(&machine, &layout, &g, &mut rng);
+            let r = machine.report();
+            e_norm.push(r.energy_per_n_log_n(n as u64));
+            let log2 = (log_n as f64) * (log_n as f64);
+            assert!(
+                (r.depth as f64) < 50.0 * log2,
+                "depth {} not O(log² n)",
+                r.depth
+            );
+        }
+        assert!(
+            e_norm[1] / e_norm[0] < 2.0,
+            "mincut energy/(n log n) should stay flat: {e_norm:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::graph::SpannedGraph;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Spatial cut values equal brute force on arbitrary random
+        /// graphs and seeds.
+        #[test]
+        fn prop_cuts_match_host(
+            n in 2u32..120,
+            extra in 0usize..200,
+            graph_seed in 0u64..10_000,
+            algo_seed in 0u64..10_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(graph_seed);
+            let g = SpannedGraph::random(n, extra, 50, &mut rng);
+            let layout = Layout::light_first(g.tree(), CurveKind::Hilbert);
+            let machine = layout.machine();
+            let res = one_respecting_cuts(
+                &machine, &layout, &g, &mut StdRng::seed_from_u64(algo_seed),
+            );
+            prop_assert_eq!(res.cuts, min_cut_host(&g));
+        }
+
+        /// cut(v) is invariant under doubling all weights (scales 2×).
+        #[test]
+        fn prop_cut_scales_linearly(n in 2u32..80, seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = SpannedGraph::random(n, (n / 2) as usize, 10, &mut rng);
+            let doubled = SpannedGraph::new(
+                g.tree().clone(),
+                (0..n).map(|v| 2 * g.tree_weight(v)).collect(),
+                g.extra_edges()
+                    .iter()
+                    .map(|e| crate::graph::WeightedEdge {
+                        a: e.a,
+                        b: e.b,
+                        weight: 2 * e.weight,
+                    })
+                    .collect(),
+            );
+            let base = min_cut_host(&g);
+            let scaled = min_cut_host(&doubled);
+            for v in 1..n as usize {
+                if base[v] != u64::MAX {
+                    prop_assert_eq!(scaled[v], 2 * base[v]);
+                }
+            }
+        }
+    }
+}

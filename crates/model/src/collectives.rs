@@ -1,0 +1,590 @@
+//! Foundational spatial collectives (§II-A of the paper).
+//!
+//! All collectives are implemented as *real* message patterns over slot
+//! ranges and charged through the [`Machine`]:
+//!
+//! - [`range_broadcast`] / [`range_reduce`] / [`all_reduce`]: balanced
+//!   binary trees over a contiguous slot range. On an energy-bound order
+//!   the recursion `T(s) = 2T(s/2) + O(√s)` gives `O(s)` energy and
+//!   `O(log s)` depth — this is also exactly the virtual broadcast tree
+//!   of Lemma 13 used by the LCA algorithm.
+//! - [`exclusive_prefix_sum`]: a Blelloch scan (up-sweep + down-sweep),
+//!   `O(n)` energy and `O(log n)` depth on a distance-bound curve.
+//! - [`bitonic_sort_by_key`]: a bitonic sorting network. Each stage moves
+//!   records between slots `i` and `i ⊕ stride`; summing the
+//!   distance-weighted volume over all `O(log² n)` stages gives
+//!   `Θ(n^{3/2})` energy — matching the `Ω(n^{3/2})` lower bound for a
+//!   global permutation on a `√n × √n` grid — and poly-logarithmic depth.
+//!
+//! Senders are ticked between consecutive messages so that "one message
+//! per round" chains show up in the depth meter.
+
+use crate::machine::{Machine, Slot};
+use rayon::prelude::*;
+
+/// Minimum range size before the tree recursions stop forking rayon
+/// tasks; below this the recursion runs sequentially.
+const PAR_THRESHOLD: u32 = 1 << 12;
+
+/// Broadcasts a value held at slot `lo` to every slot in `[lo, hi)` along
+/// a balanced binary tree (Lemma 13's virtual broadcast tree).
+///
+/// Charges `O(hi - lo)` energy and `O(log (hi - lo))` depth on an
+/// energy-bound slot order.
+pub fn range_broadcast(m: &Machine, lo: Slot, hi: Slot) {
+    assert!(lo < hi && hi <= m.n_slots(), "invalid range [{lo}, {hi})");
+    broadcast_rec(m, lo, hi);
+}
+
+fn broadcast_rec(m: &Machine, lo: Slot, hi: Slot) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    m.send(lo, mid);
+    m.tick(lo); // one message per round: the next send from lo is later
+    if hi - lo > PAR_THRESHOLD {
+        rayon::join(|| broadcast_rec(m, lo, mid), || broadcast_rec(m, mid, hi));
+    } else {
+        broadcast_rec(m, lo, mid);
+        broadcast_rec(m, mid, hi);
+    }
+}
+
+/// Reduces the `values` of slots `[lo, hi)` into slot `lo` with the
+/// associative operator `op`, along the mirror of the broadcast tree.
+///
+/// Returns the combined value. Charges `O(hi - lo)` energy and
+/// `O(log (hi - lo))` depth on an energy-bound slot order.
+pub fn range_reduce<T, F>(m: &Machine, lo: Slot, hi: Slot, values: &[T], op: &F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    assert!(lo < hi && hi <= m.n_slots(), "invalid range [{lo}, {hi})");
+    assert_eq!(
+        values.len() as u32,
+        hi - lo,
+        "need one value per slot in the range"
+    );
+    reduce_rec(m, lo, hi, values, op)
+}
+
+fn reduce_rec<T, F>(m: &Machine, lo: Slot, hi: Slot, values: &[T], op: &F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    if hi - lo <= 1 {
+        return values[0];
+    }
+    let mid = lo + (hi - lo) / 2;
+    let split = (mid - lo) as usize;
+    let (lv, rv) = values.split_at(split);
+    let (left, right) = if hi - lo > PAR_THRESHOLD {
+        rayon::join(
+            || reduce_rec(m, lo, mid, lv, op),
+            || reduce_rec(m, mid, hi, rv, op),
+        )
+    } else {
+        (
+            reduce_rec(m, lo, mid, lv, op),
+            reduce_rec(m, mid, hi, rv, op),
+        )
+    };
+    m.send(mid, lo);
+    m.tick(lo);
+    op(left, right)
+}
+
+/// Reduce followed by broadcast over the whole machine: every slot learns
+/// the combined value. This is the paper's synchronization barrier
+/// (`O(n)` energy, `O(log n)` depth).
+pub fn all_reduce<T, F>(m: &Machine, values: &[T], op: &F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = m.n_slots();
+    let total = range_reduce(m, 0, n, values, op);
+    range_broadcast(m, 0, n);
+    total
+}
+
+/// A synchronization barrier: an all-reduce carrying a unit token.
+/// Afterwards every slot's clock is at least the pre-barrier depth.
+pub fn barrier(m: &Machine) {
+    let n = m.n_slots();
+    if n == 0 {
+        return;
+    }
+    if n > 1 {
+        let units = vec![(); n as usize];
+        all_reduce(m, &units, &|_, _| ());
+    }
+    // The broadcast only advances clocks of receivers; lift everyone to
+    // the post-barrier frontier.
+    m.advance_all(0);
+}
+
+/// Exclusive prefix sum (Blelloch scan) of `values` over slots
+/// `0..values.len()` with associative `op` and `identity`.
+///
+/// Returns the exclusive scan; charges `O(n)` energy and `O(log n)` depth
+/// on a distance-bound curve. Stages are charged in bulk (energy summed
+/// in parallel, one synchronous depth step per stage).
+pub fn exclusive_prefix_sum<T, F>(m: &Machine, values: &[T], identity: T, op: &F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = values.len();
+    assert!(n as u32 <= m.n_slots(), "more values than slots");
+    if n == 0 {
+        return Vec::new();
+    }
+    let padded = n.next_power_of_two();
+    let mut a: Vec<T> = Vec::with_capacity(padded);
+    a.extend_from_slice(values);
+    a.resize(padded, identity);
+
+    // Up-sweep.
+    let mut stride = 1usize;
+    while stride < padded {
+        let step = stride * 2;
+        let energy: u64 = (step - 1..padded)
+            .into_par_iter()
+            .step_by(step)
+            .filter(|&i| i < n && i >= stride && i - stride < n)
+            .map(|i| m.dist((i - stride) as Slot, i as Slot))
+            .sum();
+        let msgs = ((padded / step) as u64).min(n as u64);
+        m.charge_bulk(energy, msgs, msgs);
+        for i in (step - 1..padded).step_by(step) {
+            a[i] = op(a[i - stride], a[i]);
+        }
+        m.advance_all(1);
+        stride = step;
+    }
+
+    // Down-sweep.
+    a[padded - 1] = identity;
+    stride = padded / 2;
+    while stride >= 1 {
+        let step = stride * 2;
+        let energy: u64 = (step - 1..padded)
+            .into_par_iter()
+            .step_by(step)
+            .filter(|&i| i < n && i >= stride && i - stride < n)
+            .map(|i| m.dist((i - stride) as Slot, i as Slot))
+            .sum();
+        let msgs = ((padded / step) as u64).min(n as u64);
+        m.charge_bulk(energy, msgs, msgs);
+        for i in (step - 1..padded).step_by(step) {
+            let left = a[i - stride];
+            a[i - stride] = a[i];
+            a[i] = op(left, a[i]);
+        }
+        m.advance_all(1);
+        stride /= 2;
+    }
+
+    a.truncate(n);
+    a
+}
+
+/// Inclusive prefix sum: the exclusive scan combined with each element.
+pub fn inclusive_prefix_sum<T, F>(m: &Machine, values: &[T], identity: T, op: &F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let ex = exclusive_prefix_sum(m, values, identity, op);
+    ex.into_iter()
+        .zip(values)
+        .map(|(acc, &v)| op(acc, v))
+        .collect()
+}
+
+/// Sorts `(key, value)` records held one-per-slot with a bitonic sorting
+/// network, charging every compare-exchange stage.
+///
+/// Returns the records in sorted order. Energy is `Θ(n^{3/2})` on any
+/// square-grid placement — matching the global-permutation lower bound —
+/// and depth is `O(log² n)`. Records are padded with virtual `+∞`
+/// sentinels to the next power of two; exchanges that involve a sentinel
+/// are free (the pad region is known to every processor and never holds
+/// data).
+pub fn bitonic_sort_by_key<K, V>(m: &Machine, records: &mut Vec<(K, V)>)
+where
+    K: Ord + Copy + Send + Sync,
+    V: Copy + Send + Sync,
+{
+    let n = records.len();
+    assert!(n as u32 <= m.n_slots(), "more records than slots");
+    if n <= 1 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+    let mut a: Vec<Option<(K, V)>> = records.drain(..).map(Some).collect();
+    a.resize(padded, None);
+
+    let mut k = 2usize;
+    while k <= padded {
+        let mut j = k / 2;
+        while j >= 1 {
+            // Charge the stage: every real-real pair exchanges two
+            // messages (one each way) at the slots' Manhattan distance.
+            let energy: u64 = (0..padded)
+                .into_par_iter()
+                .map(|i| {
+                    let l = i ^ j;
+                    if l > i && l < n && i < n {
+                        2 * m.dist(i as Slot, l as Slot)
+                    } else {
+                        0
+                    }
+                })
+                .sum();
+            let pairs = (0..padded)
+                .filter(|&i| {
+                    let l = i ^ j;
+                    l > i && l < n
+                })
+                .count() as u64;
+            m.charge_bulk(energy, 2 * pairs, pairs);
+            m.advance_all(1);
+
+            for i in 0..padded {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = i & k == 0;
+                    let swap = match (&a[i], &a[l]) {
+                        (Some((ki, _)), Some((kl, _))) => {
+                            if ascending {
+                                ki > kl
+                            } else {
+                                ki < kl
+                            }
+                        }
+                        // None acts as +∞.
+                        (None, Some(_)) => ascending,
+                        (Some(_), None) => !ascending,
+                        (None, None) => false,
+                    };
+                    if swap {
+                        a.swap(i, l);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+
+    records.extend(a.into_iter().flatten());
+    debug_assert_eq!(records.len(), n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CurveKind;
+    use rand::prelude::*;
+
+    fn hilbert_machine(n: u32) -> Machine {
+        Machine::on_curve(CurveKind::Hilbert, n)
+    }
+
+    #[test]
+    fn broadcast_linear_energy_log_depth() {
+        for log_n in [8u32, 10, 12] {
+            let n = 1u32 << log_n;
+            let m = hilbert_machine(n);
+            range_broadcast(&m, 0, n);
+            let r = m.report();
+            assert_eq!(
+                r.messages,
+                n as u64 - 1,
+                "tree broadcast sends n-1 messages"
+            );
+            assert!(
+                r.energy_per_n(n as u64) < 8.0,
+                "n={n}: broadcast energy/n = {} not O(1)",
+                r.energy_per_n(n as u64)
+            );
+            assert!(
+                r.depth as f64 <= 3.0 * log_n as f64 + 4.0,
+                "n={n}: broadcast depth {} not O(log n)",
+                r.depth
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_range_offsets() {
+        let m = hilbert_machine(256);
+        range_broadcast(&m, 17, 93);
+        let r = m.report();
+        assert_eq!(r.messages, (93 - 17 - 1) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn broadcast_rejects_empty_range() {
+        let m = hilbert_machine(8);
+        range_broadcast(&m, 5, 5);
+    }
+
+    #[test]
+    fn reduce_combines_and_charges() {
+        let n = 1u32 << 10;
+        let m = hilbert_machine(n);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let total = range_reduce(&m, 0, n, &values, &|a, b| a + b);
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+        let r = m.report();
+        assert_eq!(r.messages, n as u64 - 1);
+        assert!(r.energy_per_n(n as u64) < 8.0);
+        assert!(r.depth <= 3 * 10 + 4);
+    }
+
+    #[test]
+    fn reduce_with_max_operator() {
+        let m = hilbert_machine(64);
+        let values: Vec<i64> = vec![3, -7, 42, 0, 9, 41, -1, 42, 5, 6, 7, 8, 1, 2, 3, 4];
+        let top = range_reduce(&m, 0, 16, &values, &|a, b| a.max(b));
+        assert_eq!(top, 42);
+    }
+
+    #[test]
+    fn all_reduce_reaches_everyone() {
+        let n = 128u32;
+        let m = hilbert_machine(n);
+        let values = vec![1u64; n as usize];
+        let total = all_reduce(&m, &values, &|a, b| a + b);
+        assert_eq!(total, n as u64);
+        // Every slot participated: roughly 2(n-1) messages.
+        assert_eq!(m.report().messages, 2 * (n as u64 - 1));
+    }
+
+    #[test]
+    fn barrier_lifts_all_clocks() {
+        let m = hilbert_machine(64);
+        m.send(0, 1);
+        m.send(1, 2);
+        let before = m.depth();
+        barrier(&m);
+        for s in 0..64 {
+            assert!(m.clock(s) >= before, "slot {s} below pre-barrier depth");
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        let n = 1000usize;
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+        let m = hilbert_machine(n as u32);
+        let got = exclusive_prefix_sum(&m, &values, 0, &|a, b| a + b);
+        let mut acc = 0u64;
+        for i in 0..n {
+            assert_eq!(got[i], acc, "exclusive prefix mismatch at {i}");
+            acc += values[i];
+        }
+        let r = m.report();
+        assert!(
+            r.energy_per_n(n as u64) < 16.0,
+            "prefix sum energy/n = {}",
+            r.energy_per_n(n as u64)
+        );
+        assert!(r.depth as f64 <= 2.0 * (n as f64).log2() + 6.0);
+    }
+
+    #[test]
+    fn inclusive_prefix_sum_shifts() {
+        let m = hilbert_machine(8);
+        let values = vec![1u64, 2, 3, 4];
+        assert_eq!(
+            inclusive_prefix_sum(&m, &values, 0, &|a, b| a + b),
+            vec![1, 3, 6, 10]
+        );
+    }
+
+    #[test]
+    fn prefix_sum_empty_and_single() {
+        let m = hilbert_machine(4);
+        let empty: Vec<u64> = vec![];
+        assert!(exclusive_prefix_sum(&m, &empty, 0, &|a, b| a + b).is_empty());
+        assert_eq!(exclusive_prefix_sum(&m, &[5u64], 0, &|a, b| a + b), vec![0]);
+    }
+
+    #[test]
+    fn bitonic_sorts_correctly() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 64, 100, 1000] {
+            let m = hilbert_machine(n as u32);
+            let mut records: Vec<(u64, u32)> = (0..n)
+                .map(|i| (rng.gen_range(0..1_000_000), i as u32))
+                .collect();
+            let mut expect = records.clone();
+            expect.sort_by_key(|r| r.0);
+            bitonic_sort_by_key(&m, &mut records);
+            let got_keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+            let want_keys: Vec<u64> = expect.iter().map(|r| r.0).collect();
+            assert_eq!(got_keys, want_keys, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_energy_scales_three_halves() {
+        // Energy/n^{3/2} should be roughly flat across sizes (within 2x),
+        // while energy/n grows — the Θ(n^{3/2}) signature.
+        let mut ratios = Vec::new();
+        for log_n in [8u32, 10, 12] {
+            let n = 1usize << log_n;
+            let m = hilbert_machine(n as u32);
+            let mut recs: Vec<(u64, u32)> = (0..n)
+                .map(|i| (((i * 2654435761) % 1_000_003) as u64, i as u32))
+                .collect();
+            bitonic_sort_by_key(&m, &mut recs);
+            ratios.push(m.report().energy_per_n_three_halves(n as u64));
+        }
+        let (min, max) = (
+            ratios.iter().cloned().fold(f64::MAX, f64::min),
+            ratios.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(
+            max / min < 3.0,
+            "energy/n^1.5 should be near-constant, got {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn bitonic_depth_polylog() {
+        let n = 1usize << 10;
+        let m = hilbert_machine(n as u32);
+        let mut recs: Vec<(u64, u32)> = (0..n).map(|i| ((n - i) as u64, i as u32)).collect();
+        bitonic_sort_by_key(&m, &mut recs);
+        let stages = (10 * 11) / 2; // log n (log n + 1) / 2
+        assert_eq!(m.report().depth, stages as u64);
+    }
+
+    #[test]
+    fn prefix_sum_on_zorder_machine() {
+        // The collectives also run on Z-order placements.
+        let n = 512usize;
+        let m = Machine::on_curve(CurveKind::ZOrder, n as u32);
+        let values = vec![1u64; n];
+        let got = exclusive_prefix_sum(&m, &values, 0, &|a, b| a + b);
+        assert_eq!(got[n - 1], (n - 1) as u64);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::CurveKind;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Prefix sums agree with the sequential scan for any inputs.
+        #[test]
+        fn prop_prefix_sum_correct(values in proptest::collection::vec(0u64..1000, 1..200)) {
+            let m = Machine::on_curve(CurveKind::Hilbert, values.len() as u32);
+            let got = exclusive_prefix_sum(&m, &values, 0, &|a, b| a + b);
+            let mut acc = 0u64;
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(got[i], acc);
+                acc += v;
+            }
+        }
+
+        /// Bitonic sort sorts any record set and preserves multiplicity.
+        #[test]
+        fn prop_bitonic_sorts(keys in proptest::collection::vec(0u64..100, 1..150)) {
+            let m = Machine::on_curve(CurveKind::Hilbert, keys.len() as u32);
+            let mut records: Vec<(u64, u32)> =
+                keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+            bitonic_sort_by_key(&m, &mut records);
+            let got: Vec<u64> = records.iter().map(|r| r.0).collect();
+            let mut want = keys.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Reduce computes the fold regardless of range position.
+        #[test]
+        fn prop_reduce_any_range(
+            values in proptest::collection::vec(0u64..1000, 2..100),
+            offset in 0u32..50,
+        ) {
+            let n = values.len() as u32;
+            let m = Machine::on_curve(CurveKind::Hilbert, n + offset);
+            let total = range_reduce(&m, offset, offset + n, &values, &|a, b| a + b);
+            prop_assert_eq!(total, values.iter().sum::<u64>());
+        }
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::machine::MachineBuilder;
+    use crate::CurveKind;
+
+    /// White-box check: a range broadcast over [0, 8) sends exactly the
+    /// balanced-binary-tree edges, in dependency order.
+    #[test]
+    fn broadcast_trace_is_balanced_tree() {
+        let m = MachineBuilder::on_curve(CurveKind::Hilbert, 8)
+            .trace(true)
+            .build();
+        range_broadcast(&m, 0, 8);
+        let trace = m.take_trace();
+        let edges: Vec<(u32, u32)> = trace.iter().map(|e| (e.from, e.to)).collect();
+        // Root splits [0,8) at 4; then [0,4) at 2, [4,8) at 6; etc.
+        assert_eq!(edges.len(), 7);
+        assert!(edges.contains(&(0, 4)));
+        assert!(edges.contains(&(0, 2)));
+        assert!(edges.contains(&(4, 6)));
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(2, 3)));
+        assert!(edges.contains(&(4, 5)));
+        assert!(edges.contains(&(6, 7)));
+        // Every receiver's depth is after its sender's receive.
+        for e in &trace {
+            let sender_receipt = trace
+                .iter()
+                .find(|f| f.to == e.from)
+                .map(|f| f.depth_after)
+                .unwrap_or(0);
+            assert!(
+                e.depth_after > sender_receipt,
+                "{} → {} violates dependency order",
+                e.from,
+                e.to
+            );
+        }
+    }
+
+    /// The reduce trace is the mirror: same edges, reversed direction.
+    #[test]
+    fn reduce_trace_mirrors_broadcast() {
+        let m = MachineBuilder::on_curve(CurveKind::Hilbert, 8)
+            .trace(true)
+            .build();
+        let values = vec![1u64; 8];
+        range_reduce(&m, 0, 8, &values, &|a, b| a + b);
+        let up: std::collections::HashSet<(u32, u32)> =
+            m.take_trace().iter().map(|e| (e.to, e.from)).collect();
+
+        let m2 = MachineBuilder::on_curve(CurveKind::Hilbert, 8)
+            .trace(true)
+            .build();
+        range_broadcast(&m2, 0, 8);
+        let down: std::collections::HashSet<(u32, u32)> =
+            m2.take_trace().iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(up, down);
+    }
+}

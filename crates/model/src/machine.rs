@@ -1,0 +1,518 @@
+//! The instrumented grid machine: energy meter and dependency clocks.
+
+use crate::report::CostReport;
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use spatial_sfc::{manhattan, AnyCurve, Curve, CurveKind, GridPoint};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A processor slot: the position of a processor in the machine's linear
+/// (curve) order. Algorithms place one tree vertex per slot, matching the
+/// paper's "number of vertices = number of processors" convention.
+pub type Slot = u32;
+
+/// One recorded message, available when tracing is enabled via
+/// [`MachineBuilder::trace`]. Used by the figure-regeneration examples
+/// and by fine-grained tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sending slot.
+    pub from: Slot,
+    /// Receiving slot.
+    pub to: Slot,
+    /// Energy charged (Manhattan distance between the slots).
+    pub energy: u64,
+    /// Dependency clock of the receiver after the message.
+    pub depth_after: u32,
+}
+
+/// Builder for [`Machine`], allowing optional message tracing.
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    points: Vec<GridPoint>,
+    side: u32,
+    trace: bool,
+}
+
+impl MachineBuilder {
+    /// Machine whose slots `0..n` lie on the given space-filling curve.
+    pub fn on_curve(kind: CurveKind, n_slots: u32) -> Self {
+        let curve: AnyCurve = kind.for_capacity(n_slots as u64);
+        let points = (0..n_slots as u64).map(|i| curve.point(i)).collect();
+        MachineBuilder {
+            points,
+            side: curve.side(),
+            trace: false,
+        }
+    }
+
+    /// Machine with an explicit slot → grid-point placement.
+    pub fn from_points(points: Vec<GridPoint>) -> Self {
+        let side = points.iter().map(|p| p.x.max(p.y) + 1).max().unwrap_or(0);
+        MachineBuilder {
+            points,
+            side,
+            trace: false,
+        }
+    }
+
+    /// Enables per-message tracing (adds a lock per message; use only for
+    /// small instances and figure generation).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Finalizes the machine.
+    pub fn build(self) -> Machine {
+        let n = self.points.len();
+        Machine {
+            points: self.points,
+            side: self.side,
+            energy: CachePadded::new(AtomicU64::new(0)),
+            messages: CachePadded::new(AtomicU64::new(0)),
+            work: CachePadded::new(AtomicU64::new(0)),
+            clocks: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            max_clock: CachePadded::new(AtomicU32::new(0)),
+            floor: CachePadded::new(AtomicU32::new(0)),
+            trace: self.trace.then(|| Mutex::new(Vec::new())),
+        }
+    }
+}
+
+/// The spatial computer: a set of processor slots with fixed grid
+/// positions, an energy/message/work meter, and per-slot dependency
+/// clocks whose maximum is the depth of the computation so far.
+///
+/// All charging methods take `&self` and are thread-safe, so algorithms
+/// can charge from inside rayon parallel iterators.
+pub struct Machine {
+    points: Vec<GridPoint>,
+    side: u32,
+    energy: CachePadded<AtomicU64>,
+    messages: CachePadded<AtomicU64>,
+    work: CachePadded<AtomicU64>,
+    clocks: Vec<AtomicU32>,
+    max_clock: CachePadded<AtomicU32>,
+    /// Lower bound applied to every clock; lets collectives synchronize
+    /// all processors in O(1) accounting work instead of O(n).
+    floor: CachePadded<AtomicU32>,
+    trace: Option<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Machine {
+    /// Machine whose slots `0..n` lie on the given space-filling curve.
+    pub fn on_curve(kind: CurveKind, n_slots: u32) -> Self {
+        MachineBuilder::on_curve(kind, n_slots).build()
+    }
+
+    /// Machine with an explicit slot → grid-point placement.
+    pub fn from_points(points: Vec<GridPoint>) -> Self {
+        MachineBuilder::from_points(points).build()
+    }
+
+    /// Number of processor slots.
+    pub fn n_slots(&self) -> u32 {
+        self.points.len() as u32
+    }
+
+    /// Side length of the (smallest covering) grid.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Grid position of a slot.
+    #[inline]
+    pub fn point_of(&self, s: Slot) -> GridPoint {
+        self.points[s as usize]
+    }
+
+    /// Manhattan distance between two slots — the energy one message
+    /// between them would cost.
+    #[inline]
+    pub fn dist(&self, a: Slot, b: Slot) -> u64 {
+        manhattan(self.point_of(a), self.point_of(b))
+    }
+
+    /// Effective dependency clock of a slot (raw clock clamped from below
+    /// by the collective floor).
+    #[inline]
+    pub fn clock(&self, s: Slot) -> u32 {
+        self.clocks[s as usize]
+            .load(Ordering::Relaxed)
+            .max(self.floor.load(Ordering::Relaxed))
+    }
+
+    /// Sends one message from `from` to `to`: charges the Manhattan
+    /// distance as energy and advances the receiver's clock to
+    /// `max(clock(to), clock(from) + 1)`.
+    ///
+    /// Sequential chains of `send` calls therefore accumulate depth
+    /// exactly as the model's message-dependency DAG prescribes.
+    pub fn send(&self, from: Slot, to: Slot) {
+        let e = self.dist(from, to);
+        self.energy.fetch_add(e, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let after = self.clock(from) + 1;
+        let prev = self.clocks[to as usize].fetch_max(after, Ordering::Relaxed);
+        let depth_after = prev.max(after).max(self.floor.load(Ordering::Relaxed));
+        self.max_clock.fetch_max(depth_after, Ordering::Relaxed);
+        if let Some(trace) = &self.trace {
+            trace.lock().push(TraceEvent {
+                from,
+                to,
+                energy: e,
+                depth_after,
+            });
+        }
+    }
+
+    /// Sends a batch of *simultaneous* messages (one communication round):
+    /// all sender clocks are read before any receiver clock is advanced,
+    /// so messages inside one batch never chain on each other.
+    pub fn round(&self, msgs: &[(Slot, Slot)]) {
+        // Phase 1: read sender clocks and distances.
+        let staged: Vec<(Slot, u32, u64)> = msgs
+            .iter()
+            .map(|&(f, t)| (t, self.clock(f) + 1, self.dist(f, t)))
+            .collect();
+        // Phase 2: apply.
+        let mut e_sum = 0u64;
+        for &(t, after, e) in &staged {
+            e_sum += e;
+            let prev = self.clocks[t as usize].fetch_max(after, Ordering::Relaxed);
+            self.max_clock.fetch_max(prev.max(after), Ordering::Relaxed);
+        }
+        self.energy.fetch_add(e_sum, Ordering::Relaxed);
+        self.messages
+            .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+        if let Some(trace) = &self.trace {
+            let mut tr = trace.lock();
+            for (i, &(t, after, e)) in staged.iter().enumerate() {
+                tr.push(TraceEvent {
+                    from: msgs[i].0,
+                    to: t,
+                    energy: e,
+                    depth_after: after,
+                });
+            }
+        }
+    }
+
+    /// Charges one local compute step at a slot (work + a clock tick).
+    /// The model allows a constant number of operations between messages;
+    /// algorithms call this where the constant factor matters for the
+    /// work term.
+    pub fn tick(&self, s: Slot) {
+        self.work.fetch_add(1, Ordering::Relaxed);
+        let c = self.clock(s) + 1;
+        self.clocks[s as usize].fetch_max(c, Ordering::Relaxed);
+        self.max_clock.fetch_max(c, Ordering::Relaxed);
+    }
+
+    /// Bulk-charges energy and message count without touching clocks.
+    /// Used by network-stage accounting (e.g. one bitonic stage) where
+    /// per-message clock updates would be redundant with a following
+    /// [`Machine::advance_all`].
+    pub fn charge_bulk(&self, energy: u64, messages: u64, work: u64) {
+        self.energy.fetch_add(energy, Ordering::Relaxed);
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.work.fetch_add(work, Ordering::Relaxed);
+    }
+
+    /// Advances every slot's clock to `current max depth + delta` in O(1)
+    /// accounting work: a *synchronous* step in which all processors
+    /// participate (e.g. one stage of a sorting network or a barrier).
+    pub fn advance_all(&self, delta: u32) {
+        let target = self.depth() + delta;
+        self.floor.fetch_max(target, Ordering::Relaxed);
+        self.max_clock.fetch_max(target, Ordering::Relaxed);
+    }
+
+    /// Current depth: the longest chain of dependent messages charged so
+    /// far (maximum over effective clocks).
+    pub fn depth(&self) -> u32 {
+        self.max_clock
+            .load(Ordering::Relaxed)
+            .max(self.floor.load(Ordering::Relaxed))
+    }
+
+    /// Total energy charged so far.
+    pub fn energy(&self) -> u64 {
+        self.energy.load(Ordering::Relaxed)
+    }
+
+    /// Total number of messages charged so far.
+    pub fn message_count(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total local compute work charged so far.
+    pub fn work(&self) -> u64 {
+        self.work.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            energy: self.energy(),
+            messages: self.message_count(),
+            work: self.work(),
+            depth: self.depth() as u64,
+        }
+    }
+
+    /// Drains and returns the recorded trace (empty when tracing is off).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        match &self.trace {
+            Some(tr) => std::mem::take(&mut *tr.lock()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Resets all counters and clocks (placement is kept).
+    pub fn reset(&mut self) {
+        self.energy = CachePadded::new(AtomicU64::new(0));
+        self.messages = CachePadded::new(AtomicU64::new(0));
+        self.work = CachePadded::new(AtomicU64::new(0));
+        for c in &self.clocks {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.max_clock = CachePadded::new(AtomicU32::new(0));
+        self.floor = CachePadded::new(AtomicU32::new(0));
+        if let Some(tr) = &self.trace {
+            tr.lock().clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("n_slots", &self.n_slots())
+            .field("side", &self.side)
+            .field("report", &self.report())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_machine(n: u32) -> Machine {
+        // n slots in a single row: dist(i, j) = |i - j|.
+        Machine::from_points((0..n).map(|i| GridPoint::new(i, 0)).collect())
+    }
+
+    #[test]
+    fn send_charges_manhattan_energy() {
+        let m = line_machine(10);
+        m.send(0, 9);
+        assert_eq!(m.energy(), 9);
+        assert_eq!(m.message_count(), 1);
+        assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn chained_sends_accumulate_depth() {
+        let m = line_machine(4);
+        m.send(0, 1);
+        m.send(1, 2);
+        m.send(2, 3);
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.energy(), 3);
+        assert_eq!(m.clock(3), 3);
+        assert_eq!(m.clock(0), 0);
+    }
+
+    #[test]
+    fn independent_sends_do_not_chain() {
+        let m = line_machine(6);
+        m.send(0, 1);
+        m.send(2, 3);
+        m.send(4, 5);
+        assert_eq!(m.depth(), 1, "disjoint messages are parallel");
+    }
+
+    #[test]
+    fn round_is_simultaneous() {
+        let m = line_machine(4);
+        // A relay chain submitted as one round must not chain.
+        m.round(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(m.depth(), 1);
+        // Submitted as sequential sends it chains.
+        let m2 = line_machine(4);
+        m2.send(0, 1);
+        m2.send(1, 2);
+        m2.send(2, 3);
+        assert_eq!(m2.depth(), 3);
+    }
+
+    #[test]
+    fn fan_in_takes_max_of_senders() {
+        let m = line_machine(5);
+        m.send(0, 1); // clock(1) = 1
+        m.send(1, 2); // clock(2) = 2
+        m.send(3, 2); // clock(2) stays 2 (fan-in: max(2, 0+1))
+        assert_eq!(m.clock(2), 2);
+        m.send(2, 4);
+        assert_eq!(m.clock(4), 3);
+    }
+
+    #[test]
+    fn advance_all_lifts_every_clock() {
+        let m = line_machine(4);
+        m.send(0, 1);
+        m.send(1, 2); // depth 2
+        m.advance_all(3); // synchronous phase of 3 steps
+        assert_eq!(m.depth(), 5);
+        for s in 0..4 {
+            assert_eq!(m.clock(s), 5, "slot {s} must be lifted by the floor");
+        }
+        // A message after the barrier builds on the lifted clock.
+        m.send(3, 0);
+        assert_eq!(m.depth(), 6);
+    }
+
+    #[test]
+    fn charge_bulk_counts_but_keeps_depth() {
+        let m = line_machine(4);
+        m.charge_bulk(100, 7, 3);
+        assert_eq!(m.energy(), 100);
+        assert_eq!(m.message_count(), 7);
+        assert_eq!(m.work(), 3);
+        assert_eq!(m.depth(), 0);
+    }
+
+    #[test]
+    fn tick_advances_one_clock() {
+        let m = line_machine(2);
+        m.tick(0);
+        m.tick(0);
+        assert_eq!(m.clock(0), 2);
+        assert_eq!(m.clock(1), 0);
+        assert_eq!(m.work(), 2);
+    }
+
+    #[test]
+    fn on_curve_placement_matches_curve() {
+        use spatial_sfc::{Curve as _, CurveKind};
+        let m = Machine::on_curve(CurveKind::Hilbert, 16);
+        let c = CurveKind::Hilbert.for_capacity(16);
+        for s in 0..16u32 {
+            assert_eq!(m.point_of(s), c.point(s as u64));
+        }
+        assert_eq!(m.side(), 4);
+    }
+
+    #[test]
+    fn trace_records_messages() {
+        let m = MachineBuilder::on_curve(CurveKind::Hilbert, 8)
+            .trace(true)
+            .build();
+        m.send(0, 3);
+        m.send(3, 5);
+        let tr = m.take_trace();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].from, 0);
+        assert_eq!(tr[0].to, 3);
+        assert_eq!(tr[1].depth_after, 2);
+        assert!(m.take_trace().is_empty(), "trace is drained");
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut m = line_machine(4);
+        m.send(0, 3);
+        m.advance_all(2);
+        m.reset();
+        assert_eq!(m.report(), CostReport::default());
+        assert_eq!(m.clock(3), 0);
+    }
+
+    #[test]
+    fn report_snapshot_diff() {
+        let m = line_machine(8);
+        m.send(0, 7);
+        let before = m.report();
+        m.send(7, 0);
+        let delta = m.report() - before;
+        assert_eq!(delta.energy, 7);
+        assert_eq!(delta.messages, 1);
+    }
+
+    #[test]
+    fn parallel_charging_is_consistent() {
+        use rayon::prelude::*;
+        let m = line_machine(1000);
+        (0..999u32).into_par_iter().for_each(|i| m.send(i, i + 1));
+        assert_eq!(m.message_count(), 999);
+        assert_eq!(m.energy(), 999);
+        // Depth is at least 1 and at most the chain length; with parallel
+        // interleaving the exact value varies, but energy must not.
+        assert!(m.depth() >= 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use spatial_sfc::CurveKind;
+
+    proptest! {
+        /// Energy equals the sum of per-message Manhattan distances,
+        /// independent of send interleaving.
+        #[test]
+        fn prop_energy_is_sum_of_distances(
+            msgs in proptest::collection::vec((0u32..64, 0u32..64), 1..50)
+        ) {
+            let m = Machine::on_curve(CurveKind::Hilbert, 64);
+            let mut expect = 0u64;
+            for &(a, b) in &msgs {
+                expect += m.dist(a, b);
+                m.send(a, b);
+            }
+            prop_assert_eq!(m.energy(), expect);
+            prop_assert_eq!(m.message_count(), msgs.len() as u64);
+        }
+
+        /// Depth is monotone: more messages never decrease it, and it
+        /// never exceeds the message count.
+        #[test]
+        fn prop_depth_monotone_and_bounded(
+            msgs in proptest::collection::vec((0u32..32, 0u32..32), 1..40)
+        ) {
+            let m = Machine::on_curve(CurveKind::Hilbert, 32);
+            let mut last = 0;
+            for &(a, b) in &msgs {
+                m.send(a, b);
+                let d = m.depth();
+                prop_assert!(d >= last);
+                last = d;
+            }
+            prop_assert!(m.depth() as usize <= msgs.len());
+        }
+
+        /// A round never chains its own messages: depth grows by ≤ 1.
+        #[test]
+        fn prop_round_depth_grows_by_at_most_one(
+            msgs in proptest::collection::vec((0u32..32, 0u32..32), 1..40)
+        ) {
+            let m = Machine::on_curve(CurveKind::Hilbert, 32);
+            let before = m.depth();
+            m.round(&msgs);
+            prop_assert!(m.depth() <= before + 1);
+        }
+
+        /// Clocks respect the floor after advance_all.
+        #[test]
+        fn prop_floor_lifts_all(extra in 1u32..50, slot in 0u32..16) {
+            let m = Machine::on_curve(CurveKind::Hilbert, 16);
+            m.send(0, 1);
+            m.advance_all(extra);
+            prop_assert!(m.clock(slot) > extra);
+        }
+    }
+}

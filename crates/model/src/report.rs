@@ -1,0 +1,144 @@
+//! Cost reports: snapshots of the machine's meters with helpers for
+//! normalized "is this O(f(n))?" experiment tables.
+
+use std::ops::{Add, Sub};
+
+/// A snapshot of the machine's cost meters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostReport {
+    /// Total energy (distance-weighted communication volume).
+    pub energy: u64,
+    /// Total number of messages.
+    pub messages: u64,
+    /// Total local compute operations charged via `tick`.
+    pub work: u64,
+    /// Depth: longest chain of dependent messages.
+    pub depth: u64,
+}
+
+impl CostReport {
+    /// Energy normalized by `n` — constant for linear-energy algorithms.
+    pub fn energy_per_n(&self, n: u64) -> f64 {
+        self.energy as f64 / n.max(1) as f64
+    }
+
+    /// Energy normalized by `n·log₂ n` — constant for the treefix/LCA
+    /// bounds of the paper.
+    pub fn energy_per_n_log_n(&self, n: u64) -> f64 {
+        let n = n.max(2) as f64;
+        self.energy as f64 / (n * n.log2())
+    }
+
+    /// Energy normalized by `n^{3/2}` — constant for sorting/permutation
+    /// and the PRAM-simulation baseline.
+    pub fn energy_per_n_three_halves(&self, n: u64) -> f64 {
+        let n = n.max(1) as f64;
+        self.energy as f64 / n.powf(1.5)
+    }
+
+    /// Depth normalized by `log₂ n`.
+    pub fn depth_per_log_n(&self, n: u64) -> f64 {
+        let n = n.max(2) as f64;
+        self.depth as f64 / n.log2()
+    }
+
+    /// Depth normalized by `log₂² n`.
+    pub fn depth_per_log2_n(&self, n: u64) -> f64 {
+        let n = n.max(2) as f64;
+        self.depth as f64 / (n.log2() * n.log2())
+    }
+
+    /// Mean distance travelled per message.
+    pub fn mean_message_distance(&self) -> f64 {
+        self.energy as f64 / self.messages.max(1) as f64
+    }
+}
+
+impl Sub for CostReport {
+    type Output = CostReport;
+
+    fn sub(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            energy: self.energy - rhs.energy,
+            messages: self.messages - rhs.messages,
+            work: self.work - rhs.work,
+            // Depth is a high-water mark, not additive; the difference is
+            // the depth added since the snapshot.
+            depth: self.depth.saturating_sub(rhs.depth),
+        }
+    }
+}
+
+impl Add for CostReport {
+    type Output = CostReport;
+
+    fn add(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            energy: self.energy + rhs.energy,
+            messages: self.messages + rhs.messages,
+            work: self.work + rhs.work,
+            depth: self.depth + rhs.depth,
+        }
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "energy={} messages={} work={} depth={}",
+            self.energy, self.messages, self.work, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(energy: u64, messages: u64, work: u64, depth: u64) -> CostReport {
+        CostReport {
+            energy,
+            messages,
+            work,
+            depth,
+        }
+    }
+
+    #[test]
+    fn normalizations() {
+        let c = r(1024, 100, 0, 20);
+        assert_eq!(c.energy_per_n(1024), 1.0);
+        assert!((c.energy_per_n_log_n(1024) - 1024.0 / (1024.0 * 10.0)).abs() < 1e-12);
+        assert!((c.energy_per_n_three_halves(1024) - 1024.0 / 32768.0).abs() < 1e-12);
+        assert_eq!(c.depth_per_log_n(1024), 2.0);
+        assert_eq!(c.depth_per_log2_n(1024), 0.2);
+        assert_eq!(c.mean_message_distance(), 10.24);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let c = r(10, 0, 0, 4);
+        assert_eq!(c.mean_message_distance(), 10.0);
+        assert_eq!(c.energy_per_n(0), 10.0);
+        assert!(c.depth_per_log_n(0) > 0.0);
+    }
+
+    #[test]
+    fn sub_and_add() {
+        let a = r(100, 10, 5, 8);
+        let b = r(40, 4, 2, 3);
+        assert_eq!(a - b, r(60, 6, 3, 5));
+        assert_eq!(a + b, r(140, 14, 7, 11));
+        // Depth saturates instead of underflowing.
+        assert_eq!((b - b).depth, 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            r(1, 2, 3, 4).to_string(),
+            "energy=1 messages=2 work=3 depth=4"
+        );
+    }
+}

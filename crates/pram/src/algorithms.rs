@@ -1,0 +1,404 @@
+//! Work-optimal(ish) PRAM algorithms, charged on the simulation machine.
+//!
+//! These are the baselines of experiment E8. Each returns both the
+//! result (verified against host references in tests) and leaves its
+//! cost on the [`PramMachine`] meter. The shapes to observe:
+//! `Θ(n^{3/2})` energy (every access pays `Θ(√n)`) and `O(log^k n)`
+//! depth from the per-step routing overhead.
+
+use crate::pram::PramMachine;
+use rand::Rng;
+use spatial_euler::tour::{down, up, ChildOrder, EulerTour, END};
+use spatial_tree::{NodeId, Tree};
+
+/// PRAM random-mate list ranking (Anderson–Miller, the algorithm §IV
+/// adapts): `O(n)` work ⇒ `Θ(n^{3/2})` simulated energy, `O(log n)`
+/// PRAM steps.
+///
+/// `next` is `END`-terminated; returns the rank of each list element
+/// (`u64::MAX` off-list).
+pub fn pram_list_rank<R: Rng>(
+    pram: &mut PramMachine,
+    next: &[u32],
+    start: u32,
+    rng: &mut R,
+) -> Vec<u64> {
+    let n = next.len();
+    let mut ranks = vec![u64::MAX; n];
+    if start == END {
+        return ranks;
+    }
+    // Mirror of the spatial algorithm, but every pointer/weight access
+    // is a shared-memory access (processor i owns element i; the list
+    // arrays live in cells 0..n).
+    let mut membership = vec![false; n];
+    let mut at = start;
+    while at != END {
+        membership[at as usize] = true;
+        at = next[at as usize];
+    }
+    let mut alive: Vec<u32> = (0..n as u32).filter(|&v| membership[v as usize]).collect();
+    let mut nxt = next.to_vec();
+    let mut prev = vec![END; n];
+    for &v in &alive {
+        if nxt[v as usize] != END {
+            prev[nxt[v as usize] as usize] = v;
+        }
+    }
+    let mut weight = vec![1u64; n];
+    let mut coin = vec![false; n];
+    let threshold = (2 * (usize::BITS - n.leading_zeros()) as usize).max(4);
+    let mut history: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+
+    while alive.len() > threshold {
+        for &v in &alive {
+            coin[v as usize] = rng.gen();
+            // Publish the coin; successor reads it.
+            pram.write(v, v);
+            if nxt[v as usize] != END {
+                pram.read(v, nxt[v as usize]);
+            }
+        }
+        pram.end_step();
+
+        let selected: Vec<u32> = alive
+            .iter()
+            .copied()
+            .filter(|&v| {
+                v != start
+                    && coin[v as usize]
+                    && prev[v as usize] != END
+                    && !coin[prev[v as usize] as usize]
+            })
+            .collect();
+        let mut splices = Vec::with_capacity(selected.len());
+        for &mid in &selected {
+            let left = prev[mid as usize];
+            let right = nxt[mid as usize];
+            // left reads mid's pointer+weight, right learns its new prev.
+            pram.read(left, mid);
+            pram.write(left, left);
+            if right != END {
+                pram.write(mid, right);
+                prev[right as usize] = left;
+            }
+            nxt[left as usize] = right;
+            weight[left as usize] += weight[mid as usize];
+            splices.push((mid, left, weight[mid as usize]));
+        }
+        pram.end_step();
+        history.push(splices);
+        let removed: std::collections::HashSet<u32> = selected.into_iter().collect();
+        alive.retain(|v| !removed.contains(v));
+    }
+
+    // Sequential base case.
+    let mut at = start;
+    let mut acc = 0u64;
+    while at != END {
+        ranks[at as usize] = acc;
+        acc += weight[at as usize];
+        pram.read(at, at);
+        at = nxt[at as usize];
+    }
+    pram.end_step();
+
+    for splices in history.into_iter().rev() {
+        for &(mid, left, w_mid) in &splices {
+            weight[left as usize] -= w_mid;
+            ranks[mid as usize] = ranks[left as usize] + weight[left as usize];
+            pram.read(mid, left);
+        }
+        pram.end_step();
+    }
+    ranks
+}
+
+/// PRAM Blelloch exclusive prefix sum over `values`: `O(n)` work,
+/// `O(log n)` steps ⇒ `Θ(n^{3/2})` simulated energy.
+pub fn pram_prefix_sum(pram: &mut PramMachine, values: &[u64]) -> Vec<u64> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let padded = n.next_power_of_two();
+    let mut a = values.to_vec();
+    a.resize(padded, 0);
+
+    let mut stride = 1usize;
+    while stride < padded {
+        let step = stride * 2;
+        for i in (step - 1..padded).step_by(step) {
+            if i < n {
+                pram.read(i as u32, (i - stride).min(n - 1) as u32);
+                pram.write(i as u32, i as u32);
+            }
+            a[i] += a[i - stride];
+        }
+        pram.end_step();
+        stride = step;
+    }
+    a[padded - 1] = 0;
+    stride = padded / 2;
+    while stride >= 1 {
+        let step = stride * 2;
+        for i in (step - 1..padded).step_by(step) {
+            if i < n {
+                pram.read(i as u32, (i - stride).min(n - 1) as u32);
+                pram.write(i as u32, i as u32);
+            }
+            let left = a[i - stride];
+            a[i - stride] = a[i];
+            a[i] += left;
+        }
+        pram.end_step();
+        stride /= 2;
+    }
+    a.truncate(n);
+    a
+}
+
+/// PRAM bottom-up subtree sums (`u64` addition) via Euler tour + list
+/// ranking + prefix sums — the classic work-optimal construction the
+/// paper's §I-C compares against. `Θ(n^{3/2})` simulated energy.
+pub fn pram_subtree_sums<R: Rng>(
+    pram: &mut PramMachine,
+    tree: &Tree,
+    values: &[u64],
+    rng: &mut R,
+) -> Vec<u64> {
+    let n = tree.n();
+    assert_eq!(values.len() as u32, n);
+    if n == 1 {
+        return vec![values[0]];
+    }
+    let tour = EulerTour::new(tree, ChildOrder::Natural);
+    let ranks = pram_list_rank(pram, tour.next_darts(), tour.start(), rng);
+
+    // Scatter: value of v at its down dart's rank (one write per dart).
+    let len = (2 * (n - 1)) as usize;
+    let mut by_rank = vec![0u64; len];
+    for v in tree.vertices() {
+        if v != tree.root() {
+            by_rank[ranks[down(v) as usize] as usize] = values[v as usize];
+            pram.write(v, ranks[down(v) as usize] as u32 % pram.cells());
+        }
+    }
+    pram.end_step();
+
+    let prefix = pram_prefix_sum(pram, &by_rank);
+    // sum(v) = val(v) + (prefix over the tour span of v) — two reads.
+    let total: u64 = values.iter().sum();
+    (0..n)
+        .map(|v| {
+            if v == tree.root() {
+                total
+            } else {
+                let lo = ranks[down(v) as usize] as usize;
+                let hi = ranks[up(v) as usize] as usize;
+                pram.read(v, lo as u32 % pram.cells());
+                pram.read(v, hi as u32 % pram.cells());
+                // Exclusive prefix: sum over darts in [lo, hi) plus v.
+                values[v as usize] + (prefix[hi] - prefix[lo] - values[v as usize])
+            }
+        })
+        .collect()
+}
+
+/// PRAM batched LCA via Euler tour + sparse-table RMQ (`O(n log n)`
+/// work): the standard shared-memory construction. Simulated energy
+/// `Θ(n^{3/2} log n)`.
+pub fn pram_lca_batch<R: Rng>(
+    pram: &mut PramMachine,
+    tree: &Tree,
+    queries: &[(NodeId, NodeId)],
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let n = tree.n();
+    if n == 1 {
+        return queries.iter().map(|_| tree.root()).collect();
+    }
+    let tour = EulerTour::new(tree, ChildOrder::Natural);
+    let ranks = pram_list_rank(pram, tour.next_darts(), tour.start(), rng);
+
+    // Vertex visit sequence: position 0 is the root, then one entry per
+    // dart arrival; depth-sequence RMQ gives the LCA.
+    let depths = tree.depths();
+    let len = 2 * (n as usize - 1) + 1;
+    let mut visit = vec![tree.root(); len];
+    let mut first = vec![0usize; n as usize];
+    for v in tree.vertices() {
+        if v != tree.root() {
+            let d_rank = ranks[down(v) as usize] as usize + 1;
+            visit[d_rank] = v;
+            first[v as usize] = d_rank;
+            let u_rank = ranks[up(v) as usize] as usize + 1;
+            visit[u_rank] = tree.parent(v).expect("non-root");
+        }
+    }
+    // Sparse table build: O(len log len) writes.
+    let levels = (usize::BITS - len.leading_zeros()) as usize;
+    let key = |v: NodeId| (depths[v as usize], v);
+    let mut table = vec![visit.clone()];
+    for k in 1..levels {
+        let half = 1usize << (k - 1);
+        let prev = &table[k - 1];
+        let row: Vec<NodeId> = (0..len)
+            .map(|i| {
+                let j = (i + half).min(len - 1);
+                if key(prev[i]) <= key(prev[j]) {
+                    prev[i]
+                } else {
+                    prev[j]
+                }
+            })
+            .collect();
+        for i in 0..len {
+            pram.write((i as u32) % n, (i as u32) % pram.cells());
+        }
+        pram.end_step();
+        table.push(row);
+    }
+
+    queries
+        .iter()
+        .enumerate()
+        .map(|(qi, &(a, b))| {
+            let (mut lo, mut hi) = (first[a as usize], first[b as usize]);
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            let k = (usize::BITS - 1 - (hi - lo + 1).leading_zeros()) as usize;
+            let proc = (qi as u32) % n;
+            pram.read(proc, (lo as u32) % pram.cells());
+            pram.read(proc, (hi as u32) % pram.cells());
+            let x = table[k][lo];
+            let y = table[k][hi + 1 - (1 << k)];
+            if key(x) <= key(y) {
+                x
+            } else {
+                y
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_tree::generators;
+
+    #[test]
+    fn list_rank_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 10, 500] {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut next = vec![END; n];
+            for w in order.windows(2) {
+                next[w[0] as usize] = w[1];
+            }
+            let mut pram = PramMachine::new(n as u32, n as u32, &mut rng);
+            let got = pram_list_rank(&mut pram, &next, order[0], &mut rng);
+            let expect = spatial_euler::rank_sequential(&next, order[0]);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn prefix_sum_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<u64> = (0..777).map(|_| rng.gen_range(0..50)).collect();
+        let mut pram = PramMachine::new(1024, 1024, &mut rng);
+        let got = pram_prefix_sum(&mut pram, &values);
+        let mut acc = 0;
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(got[i], acc, "index {i}");
+            acc += v;
+        }
+    }
+
+    #[test]
+    fn subtree_sums_match_host() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for fam in [
+            generators::TreeFamily::UniformRandom,
+            generators::TreeFamily::Comb,
+            generators::TreeFamily::Star,
+        ] {
+            let t = fam.generate(200, &mut rng);
+            let n = t.n();
+            let values: Vec<u64> = (0..n as u64).map(|v| v + 1).collect();
+            let mut pram = PramMachine::new(2 * n, 2 * n, &mut rng);
+            let got = pram_subtree_sums(&mut pram, &t, &values, &mut rng);
+            let sizes = t.subtree_sizes();
+            // Verify against a host bottom-up accumulation.
+            let mut expect = values.clone();
+            let order = spatial_tree::traversal::bfs_order(&t);
+            for &v in order.iter().rev() {
+                if let Some(p) = t.parent(v) {
+                    expect[p as usize] += expect[v as usize];
+                }
+            }
+            assert_eq!(got, expect, "{fam} sizes {:?}", &sizes[..3]);
+        }
+    }
+
+    #[test]
+    fn lca_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = generators::uniform_random(300, &mut rng);
+        let queries: Vec<(NodeId, NodeId)> = (0..100)
+            .map(|_| (rng.gen_range(0..300), rng.gen_range(0..300)))
+            .collect();
+        let mut pram = PramMachine::new(600, 600, &mut rng);
+        let got = pram_lca_batch(&mut pram, &t, &queries, &mut rng);
+        let host = spatial_lca_reference(&t, &queries);
+        assert_eq!(got, host);
+    }
+
+    fn spatial_lca_reference(t: &Tree, queries: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+        // Naive parent-walking reference.
+        let depth = t.depths();
+        queries
+            .iter()
+            .map(|&(mut u, mut v)| {
+                while depth[u as usize] > depth[v as usize] {
+                    u = t.parent(u).unwrap();
+                }
+                while depth[v as usize] > depth[u as usize] {
+                    v = t.parent(v).unwrap();
+                }
+                while u != v {
+                    u = t.parent(u).unwrap();
+                    v = t.parent(v).unwrap();
+                }
+                u
+            })
+            .collect()
+    }
+
+    #[test]
+    fn energy_is_three_halves() {
+        // The headline: PRAM treefix energy/n^{3/2} flat, and much worse
+        // than linear in n.
+        let mut ratios = Vec::new();
+        for log_n in [9u32, 11] {
+            let n = 1u32 << log_n;
+            let mut rng = StdRng::seed_from_u64(5);
+            let t = generators::random_binary(n, &mut rng);
+            let values = vec![1u64; n as usize];
+            let mut pram = PramMachine::new(2 * n, 2 * n, &mut rng);
+            pram_subtree_sums(&mut pram, &t, &values, &mut rng);
+            ratios.push(pram.report().energy_per_n_three_halves(n as u64));
+        }
+        let (lo, hi) = (ratios[0].min(ratios[1]), ratios[0].max(ratios[1]));
+        assert!(
+            hi / lo < 3.0,
+            "PRAM energy/n^1.5 should be near-flat: {ratios:?}"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! PRAM simulation baseline on the spatial computer (§II-A).
+//!
+//! The paper compares its spatial algorithms against simulating
+//! work-optimal PRAM algorithms: an algorithm with `p` processors, `m`
+//! memory cells and `T_p` steps simulates in `O(p(√p + √m)·T_p)` energy
+//! with poly-logarithmic depth overhead. The crucial point is that PRAM
+//! algorithms address *shared memory*, which has no spatial locality:
+//! every access travels an expected `Θ(√n)` grid distance. A
+//! work-optimal `O(n)`-work algorithm therefore burns `Θ(n^{3/2})`
+//! energy where the paper's layout-aware algorithms spend `O(n log n)`.
+//!
+//! [`PramMachine`] charges every shared-memory access as a real message
+//! to the hashed cell location, plus a logarithmic per-step routing
+//! overhead in depth. [`algorithms`] implements the baselines used in
+//! experiment E8: random-mate list ranking, Blelloch prefix sums,
+//! Euler-tour subtree sums, and sparse-table LCA (the standard
+//! `O(n log n)`-work PRAM construction; the paper's `O(n)`-work
+//! Schieber–Vishkin variant would shave a log factor off the energy but
+//! not change the `n^{3/2}` shape — see DESIGN.md).
+
+pub mod algorithms;
+pub mod pram;
+
+pub use algorithms::{pram_lca_batch, pram_list_rank, pram_prefix_sum, pram_subtree_sums};
+pub use pram::PramMachine;

@@ -1,0 +1,122 @@
+//! The PRAM simulation cost machine.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use spatial_model::{CostReport, CurveKind, Machine, Slot};
+
+/// A simulated EREW/CREW PRAM on the spatial grid.
+///
+/// Processor `i` occupies grid slot `i`; memory cell `j` lives at a slot
+/// chosen by a random permutation (the hashing that makes shared memory
+/// location-oblivious). Each [`read`](PramMachine::read) /
+/// [`write`](PramMachine::write) charges the Manhattan distance between
+/// the processor and the cell; [`end_step`](PramMachine::end_step)
+/// closes one synchronous PRAM step and charges the simulation's
+/// poly-logarithmic routing overhead in depth.
+pub struct PramMachine {
+    machine: Machine,
+    cell_slot: Vec<Slot>,
+    step_overhead: u32,
+    steps: u32,
+}
+
+impl PramMachine {
+    /// Creates a PRAM with `processors` processors and `cells` shared
+    /// memory cells, hashed over a grid of `max(processors, cells)`
+    /// slots.
+    pub fn new<R: Rng>(processors: u32, cells: u32, rng: &mut R) -> Self {
+        let slots = processors.max(cells).max(1);
+        let machine = Machine::on_curve(CurveKind::Hilbert, slots);
+        let mut cell_slot: Vec<Slot> = (0..slots).collect();
+        cell_slot.shuffle(rng);
+        cell_slot.truncate(cells as usize);
+        let step_overhead = 32 - slots.leading_zeros();
+        PramMachine {
+            machine,
+            cell_slot,
+            step_overhead,
+            steps: 0,
+        }
+    }
+
+    /// Number of shared memory cells.
+    pub fn cells(&self) -> u32 {
+        self.cell_slot.len() as u32
+    }
+
+    /// Charges a read of `cell` by `proc`: a request and a response
+    /// message across the grid.
+    pub fn read(&self, proc: u32, cell: u32) {
+        let d = self.machine.dist(proc, self.cell_slot[cell as usize]);
+        self.machine.charge_bulk(2 * d, 2, 1);
+    }
+
+    /// Charges a write to `cell` by `proc`: one message.
+    pub fn write(&self, proc: u32, cell: u32) {
+        let d = self.machine.dist(proc, self.cell_slot[cell as usize]);
+        self.machine.charge_bulk(d, 1, 1);
+    }
+
+    /// Ends one synchronous PRAM step: the simulation's routing costs
+    /// `O(log n)` depth per step (conservative; the paper quotes
+    /// poly-log overall overhead).
+    pub fn end_step(&mut self) {
+        self.machine.advance_all(self.step_overhead);
+        self.steps += 1;
+    }
+
+    /// Number of PRAM steps executed.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Cost snapshot of the underlying spatial machine.
+    pub fn report(&self) -> CostReport {
+        self.machine.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn accesses_cost_sqrt_n_on_average() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 1u32 << 12;
+        let mut pram = PramMachine::new(n, n, &mut rng);
+        for p in 0..n {
+            pram.read(p, (p * 7 + 13) % n);
+        }
+        pram.end_step();
+        let r = pram.report();
+        let mean = r.energy as f64 / n as f64;
+        let side = (n as f64).sqrt();
+        // Mean random distance on a √n × √n grid is Θ(√n).
+        assert!(
+            mean > 0.3 * side && mean < 4.0 * side,
+            "mean access energy {mean} vs side {side}"
+        );
+    }
+
+    #[test]
+    fn step_overhead_accumulates_depth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pram = PramMachine::new(1024, 1024, &mut rng);
+        for _ in 0..10 {
+            pram.end_step();
+        }
+        assert_eq!(pram.steps(), 10);
+        assert_eq!(pram.report().depth, 10 * 11); // 10 steps × log2(1024)+1
+    }
+
+    #[test]
+    fn cells_can_exceed_processors() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pram = PramMachine::new(4, 100, &mut rng);
+        assert_eq!(pram.cells(), 100);
+        pram.read(3, 99);
+        assert!(pram.report().messages == 2);
+    }
+}

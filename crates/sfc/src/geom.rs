@@ -1,0 +1,187 @@
+//! Grid geometry: points on the processor grid and the Manhattan metric.
+
+/// A coordinate on the processor grid.
+///
+/// `x` is the column and `y` the row; the origin is the upper-left corner,
+/// matching the Z-order quadrant convention of Fig. 2 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct GridPoint {
+    /// Column index.
+    pub x: u32,
+    /// Row index.
+    pub y: u32,
+}
+
+impl GridPoint {
+    /// Creates a point from column `x` and row `y`.
+    pub const fn new(x: u32, y: u32) -> Self {
+        GridPoint { x, y }
+    }
+
+    /// Manhattan distance to another point — the energy of one message.
+    pub fn manhattan(self, other: GridPoint) -> u64 {
+        manhattan(self, other)
+    }
+
+    /// Chebyshev (L∞) distance; used by alignment diagnostics.
+    pub fn chebyshev(self, other: GridPoint) -> u64 {
+        let dx = self.x.abs_diff(other.x) as u64;
+        let dy = self.y.abs_diff(other.y) as u64;
+        dx.max(dy)
+    }
+
+    /// Whether the two points are 4-neighbours on the grid
+    /// (Manhattan distance exactly 1).
+    pub fn is_adjacent(self, other: GridPoint) -> bool {
+        manhattan(self, other) == 1
+    }
+}
+
+impl std::fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Manhattan distance between two grid points: `|x₁−x₂| + |y₁−y₂|`.
+///
+/// This is the per-message energy of the spatial computer model (§II-A).
+#[inline]
+pub fn manhattan(a: GridPoint, b: GridPoint) -> u64 {
+    a.x.abs_diff(b.x) as u64 + a.y.abs_diff(b.y) as u64
+}
+
+/// Axis-aligned bounding box of a set of points; used to check the
+/// *alignment* property of curves (every `4^k` consecutive elements fit in
+/// a small square, Lemma 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundingBox {
+    /// Minimum column/row corner.
+    pub min: GridPoint,
+    /// Maximum column/row corner (inclusive).
+    pub max: GridPoint,
+}
+
+impl BoundingBox {
+    /// The degenerate box containing a single point.
+    pub fn of_point(p: GridPoint) -> Self {
+        BoundingBox { min: p, max: p }
+    }
+
+    /// Smallest box containing all points of the iterator.
+    ///
+    /// Returns `None` on an empty iterator.
+    pub fn of_points<I: IntoIterator<Item = GridPoint>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox::of_point(first);
+        for p in it {
+            bb.insert(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn insert(&mut self, p: GridPoint) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Width in cells (inclusive of both borders).
+    pub fn width(&self) -> u32 {
+        self.max.x - self.min.x + 1
+    }
+
+    /// Height in cells (inclusive of both borders).
+    pub fn height(&self) -> u32 {
+        self.max.y - self.min.y + 1
+    }
+
+    /// Longest side of the box.
+    pub fn max_side(&self) -> u32 {
+        self.width().max(self.height())
+    }
+
+    /// Whether `p` lies inside the box (borders inclusive).
+    pub fn contains(&self, p: GridPoint) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_basic() {
+        assert_eq!(manhattan(GridPoint::new(0, 0), GridPoint::new(0, 0)), 0);
+        assert_eq!(manhattan(GridPoint::new(0, 0), GridPoint::new(3, 4)), 7);
+        assert_eq!(manhattan(GridPoint::new(3, 4), GridPoint::new(0, 0)), 7);
+        assert_eq!(manhattan(GridPoint::new(5, 1), GridPoint::new(1, 5)), 8);
+    }
+
+    #[test]
+    fn manhattan_symmetry_and_triangle() {
+        let pts = [
+            GridPoint::new(0, 0),
+            GridPoint::new(10, 3),
+            GridPoint::new(7, 7),
+            GridPoint::new(2, 9),
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                assert_eq!(manhattan(a, b), manhattan(b, a));
+                for &c in &pts {
+                    assert!(manhattan(a, c) <= manhattan(a, b) + manhattan(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency() {
+        let p = GridPoint::new(4, 4);
+        assert!(p.is_adjacent(GridPoint::new(5, 4)));
+        assert!(p.is_adjacent(GridPoint::new(4, 3)));
+        assert!(!p.is_adjacent(GridPoint::new(5, 5)));
+        assert!(!p.is_adjacent(p));
+    }
+
+    #[test]
+    fn chebyshev_vs_manhattan() {
+        let a = GridPoint::new(0, 0);
+        let b = GridPoint::new(3, 4);
+        assert_eq!(a.chebyshev(b), 4);
+        assert!(a.chebyshev(b) <= manhattan(a, b));
+    }
+
+    #[test]
+    fn bounding_box_growth() {
+        let mut bb = BoundingBox::of_point(GridPoint::new(5, 5));
+        assert_eq!(bb.width(), 1);
+        assert_eq!(bb.height(), 1);
+        bb.insert(GridPoint::new(7, 2));
+        assert_eq!(bb.min, GridPoint::new(5, 2));
+        assert_eq!(bb.max, GridPoint::new(7, 5));
+        assert_eq!(bb.width(), 3);
+        assert_eq!(bb.height(), 4);
+        assert_eq!(bb.max_side(), 4);
+        assert!(bb.contains(GridPoint::new(6, 3)));
+        assert!(!bb.contains(GridPoint::new(4, 3)));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        assert_eq!(BoundingBox::of_points(std::iter::empty()), None);
+        let bb = BoundingBox::of_points([
+            GridPoint::new(1, 1),
+            GridPoint::new(0, 3),
+            GridPoint::new(2, 0),
+        ])
+        .unwrap();
+        assert_eq!(bb.min, GridPoint::new(0, 0));
+        assert_eq!(bb.max, GridPoint::new(2, 3));
+    }
+}

@@ -1,0 +1,217 @@
+//! The Hilbert curve.
+//!
+//! The Hilbert curve of order `k` covers a `2^k × 2^k` grid so that
+//! consecutive curve positions are always grid-adjacent. It is
+//! *distance-bound* with constant `α = 3` (Niedermeier & Sanders): sending
+//! a message from the `i`-th to the `(i+j)`-th processor costs at most
+//! `3·√j + o(√j)` energy. It is also *aligned* in the sense of Lemma 4:
+//! any `4^k` consecutive positions fit inside a `2·2^k × 2·2^k` box.
+
+use crate::geom::GridPoint;
+use crate::Curve;
+
+/// Hilbert curve over a `side × side` grid (`side` a power of two).
+#[derive(Debug, Clone)]
+pub struct HilbertCurve {
+    side: u32,
+    order: u32,
+}
+
+impl HilbertCurve {
+    /// Creates the Hilbert curve for a grid with the given side length.
+    ///
+    /// # Panics
+    /// Panics when `side` is zero or not a power of two.
+    pub fn new(side: u32) -> Self {
+        assert!(side > 0, "Hilbert curve needs a positive side");
+        assert!(
+            side.is_power_of_two(),
+            "Hilbert curve side must be a power of two, got {side}"
+        );
+        HilbertCurve {
+            side,
+            order: side.trailing_zeros(),
+        }
+    }
+
+    /// Curve order `k` (the grid is `2^k × 2^k`).
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+}
+
+impl Curve for HilbertCurve {
+    fn side(&self) -> u32 {
+        self.side
+    }
+
+    fn point(&self, index: u64) -> GridPoint {
+        debug_assert!(index < self.len(), "index {index} out of curve range");
+        let mut t = index;
+        let (mut x, mut y) = (0u64, 0u64);
+        let mut s = 1u64;
+        let n = self.side as u64;
+        while s < n {
+            let rx = 1 & (t / 2);
+            let ry = 1 & (t ^ rx);
+            rotate(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        GridPoint::new(x as u32, y as u32)
+    }
+
+    fn index(&self, p: GridPoint) -> u64 {
+        debug_assert!(p.x < self.side && p.y < self.side, "{p} outside grid");
+        let (mut x, mut y) = (p.x as u64, p.y as u64);
+        let mut d = 0u64;
+        let mut s = (self.side as u64) / 2;
+        while s > 0 {
+            let rx = u64::from((x & s) > 0);
+            let ry = u64::from((y & s) > 0);
+            d += s * s * ((3 * rx) ^ ry);
+            rotate(s, &mut x, &mut y, rx, ry);
+            s /= 2;
+        }
+        d
+    }
+}
+
+/// One step of the Hilbert quadrant rotation/reflection.
+#[inline]
+fn rotate(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{manhattan, BoundingBox};
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = HilbertCurve::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive side")]
+    fn rejects_zero_side() {
+        let _ = HilbertCurve::new(0);
+    }
+
+    #[test]
+    fn order_of_first_cells_is_consistent() {
+        // Whatever the orientation convention, position 0 must be a corner
+        // and the first four positions must cover one 2x2 quadrant.
+        let c = HilbertCurve::new(4);
+        let p0 = c.point(0);
+        assert!(
+            (p0.x == 0 || p0.x == 3) && (p0.y == 0 || p0.y == 3),
+            "start must be a corner, got {p0}"
+        );
+        let bb = BoundingBox::of_points((0..4).map(|i| c.point(i))).unwrap();
+        assert_eq!(bb.max_side(), 2);
+    }
+
+    #[test]
+    fn consecutive_positions_are_adjacent() {
+        for order in 0..=5 {
+            let c = HilbertCurve::new(1 << order);
+            for i in 1..c.len() {
+                let a = c.point(i - 1);
+                let b = c.point(i);
+                assert!(
+                    a.is_adjacent(b),
+                    "order {order}: positions {} and {i} not adjacent: {a} vs {b}",
+                    i - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bijective_roundtrip_small_orders() {
+        for order in 0..=5 {
+            let c = HilbertCurve::new(1 << order);
+            let mut seen = vec![false; c.len() as usize];
+            for i in 0..c.len() {
+                let p = c.point(i);
+                assert!(p.x < c.side() && p.y < c.side());
+                assert_eq!(c.index(p), i, "roundtrip failed at {i}");
+                let cell = (p.y * c.side() + p.x) as usize;
+                assert!(!seen[cell], "cell {p} visited twice");
+                seen[cell] = true;
+            }
+            assert!(seen.iter().all(|&v| v));
+        }
+    }
+
+    #[test]
+    fn alignment_property_lemma4() {
+        // Any 4^k consecutive (not necessarily aligned) elements fit in a
+        // 2·2^k × 2·2^k box.
+        let c = HilbertCurve::new(32);
+        for k in 0..=3u32 {
+            let window = 4u64.pow(k);
+            let limit = 2 * (1u64 << k);
+            for start in (0..c.len() - window).step_by(37) {
+                let bb =
+                    BoundingBox::of_points((start..start + window).map(|i| c.point(i))).unwrap();
+                assert!(
+                    (bb.max_side() as u64) <= limit,
+                    "window [{start}, {}) spans {} > {limit}",
+                    start + window,
+                    bb.max_side()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_bound_alpha_three() {
+        // dist(i, i+j) ≤ 3√j + small slack on a 64x64 grid.
+        let c = HilbertCurve::new(64);
+        let n = c.len();
+        for i in (0..n).step_by(11) {
+            for shift in 0..12 {
+                let j = 1u64 << shift;
+                if i + j >= n {
+                    break;
+                }
+                let d = manhattan(c.point(i), c.point(i + j)) as f64;
+                let bound = 3.0 * (j as f64).sqrt() + 2.0;
+                assert!(
+                    d <= bound,
+                    "dist({i}, {}) = {d} exceeds 3√{j} + 2 = {bound}",
+                    i + j
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(order in 1u32..7, idx in 0u64..4096) {
+            let c = HilbertCurve::new(1 << order);
+            let idx = idx % c.len();
+            prop_assert_eq!(c.index(c.point(idx)), idx);
+        }
+
+        #[test]
+        fn prop_adjacent_steps(order in 1u32..7, idx in 0u64..4095) {
+            let c = HilbertCurve::new(1 << order);
+            let idx = idx % (c.len() - 1);
+            prop_assert_eq!(manhattan(c.point(idx), c.point(idx + 1)), 1);
+        }
+    }
+}

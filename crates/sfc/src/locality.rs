@@ -1,0 +1,196 @@
+//! Empirical locality analysis of space-filling curves.
+//!
+//! §III-B of the paper defines a curve as *distance-bound* when
+//! `dist(i, i+j) ≤ α·√j + o(√j)` for every `i, j`, and *aligned* (Lemma 4)
+//! when every `4^k` consecutive elements fit inside a `2·2^k × 2·2^k`
+//! subgrid. This module measures both properties so that the experiment
+//! harness can print measured α values next to the proven constants
+//! (Hilbert 3, Peano √(10⅔), H-index 2√2) and show that Z-order, row-major
+//! and serpentine orders are unbounded.
+
+use crate::geom::{manhattan, BoundingBox};
+use crate::Curve;
+use rayon::prelude::*;
+
+/// Measured locality of one index gap `j` on a curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapStretch {
+    /// The index gap `j`.
+    pub gap: u64,
+    /// `max_i dist(i, i+j)` over the sampled starting positions.
+    pub max_dist: u64,
+    /// `max_dist / √gap` — the per-gap distance-bound constant.
+    pub ratio: f64,
+}
+
+/// Maximum `dist(i, i+j)` over all `i` in `0..len-j`, sampled with the
+/// given stride (stride 1 is exhaustive). Runs in parallel.
+pub fn max_dist_for_gap<C: Curve + Sync>(curve: &C, gap: u64, stride: u64) -> u64 {
+    assert!(gap >= 1, "gap must be positive");
+    assert!(stride >= 1, "stride must be positive");
+    let n = curve.len();
+    if gap >= n {
+        return 0;
+    }
+    let starts: Vec<u64> = (0..n - gap).step_by(stride as usize).collect();
+    starts
+        .par_iter()
+        .map(|&i| manhattan(curve.point(i), curve.point(i + gap)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Measures [`GapStretch`] for each gap in `gaps`.
+pub fn stretch_profile<C: Curve + Sync>(curve: &C, gaps: &[u64], stride: u64) -> Vec<GapStretch> {
+    gaps.iter()
+        .map(|&gap| {
+            let max_dist = max_dist_for_gap(curve, gap, stride);
+            GapStretch {
+                gap,
+                max_dist,
+                ratio: max_dist as f64 / (gap as f64).sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// Empirical distance-bound constant: the worst `dist/√j` over a sweep of
+/// power-of-two gaps. For a distance-bound curve this converges to its α;
+/// for Z-order/row-major it grows with the grid side.
+pub fn alpha_estimate<C: Curve + Sync>(curve: &C, stride: u64) -> f64 {
+    let n = curve.len();
+    let mut gaps = Vec::new();
+    let mut g = 1u64;
+    while g < n {
+        gaps.push(g);
+        g *= 2;
+    }
+    stretch_profile(curve, &gaps, stride)
+        .into_iter()
+        .map(|s| s.ratio)
+        .fold(0.0, f64::max)
+}
+
+/// Checks the alignment property of Lemma 4 on *sampled* windows: every
+/// `4^k` consecutive elements must fit in a `2·2^k`-sided box. Returns the
+/// largest observed `max_side / 2^k` ratio (≤ 2 means aligned).
+pub fn alignment_ratio<C: Curve + Sync>(curve: &C, k: u32, stride: u64) -> f64 {
+    let window = 4u64.pow(k);
+    let n = curve.len();
+    if window > n {
+        return 0.0;
+    }
+    let starts: Vec<u64> = (0..=n - window).step_by(stride as usize).collect();
+    let worst = starts
+        .par_iter()
+        .map(|&start| {
+            BoundingBox::of_points((start..start + window).map(|i| curve.point(i)))
+                .map(|bb| bb.max_side())
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
+    worst as f64 / (1u64 << k) as f64
+}
+
+/// Average Manhattan distance between consecutive curve positions — 1.0
+/// for edge-connected curves (Hilbert, Peano, serpentine), larger for
+/// Z-order and row-major.
+pub fn mean_step_distance<C: Curve + Sync>(curve: &C) -> f64 {
+    let n = curve.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let total: u64 = (0..n - 1)
+        .into_par_iter()
+        .map(|i| manhattan(curve.point(i), curve.point(i + 1)))
+        .sum();
+    total as f64 / (n - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CurveKind;
+
+    #[test]
+    fn hilbert_alpha_close_to_three() {
+        let c = CurveKind::Hilbert.with_side(64);
+        let a = alpha_estimate(&c, 1);
+        assert!(a <= 3.01, "Hilbert α measured {a} > 3");
+        assert!(a > 1.5, "Hilbert α measured {a} suspiciously small");
+    }
+
+    #[test]
+    fn peano_alpha_within_proof() {
+        let c = CurveKind::Peano.with_side(27);
+        let a = alpha_estimate(&c, 1);
+        let bound = (10.0 + 2.0 / 3.0f64).sqrt() + 0.01;
+        assert!(a <= bound, "Peano α measured {a} > {bound}");
+    }
+
+    #[test]
+    fn zorder_alpha_grows_with_side() {
+        let small = alpha_estimate(&CurveKind::ZOrder.with_side(16), 1);
+        let large = alpha_estimate(&CurveKind::ZOrder.with_side(128), 1);
+        assert!(
+            large > small * 1.8,
+            "Z-order α should grow with side: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn rowmajor_alpha_unbounded() {
+        let a = alpha_estimate(&CurveKind::RowMajor.with_side(64), 1);
+        assert!(a > 8.0, "row-major α measured only {a}");
+    }
+
+    #[test]
+    fn hilbert_is_aligned() {
+        let c = CurveKind::Hilbert.with_side(32);
+        for k in 0..=3 {
+            let r = alignment_ratio(&c, k, 7);
+            assert!(r <= 2.0, "alignment ratio {r} > 2 at k={k}");
+        }
+    }
+
+    #[test]
+    fn zorder_unaligned_windows_can_be_far_apart() {
+        // Lemma 3: unaligned Z-order windows span two subgrids "connected
+        // by some diagonal and could therefore be far apart" — the
+        // alignment ratio over arbitrary windows exceeds 2, which is
+        // exactly why Theorem 2 needs the Ed diagonal accounting.
+        let c = CurveKind::ZOrder.with_side(32);
+        let r = alignment_ratio(&c, 2, 1);
+        assert!(r > 2.0, "expected unaligned Z windows to spread, got {r}");
+    }
+
+    #[test]
+    fn mean_step_distance_edge_connected() {
+        assert_eq!(mean_step_distance(&CurveKind::Hilbert.with_side(16)), 1.0);
+        assert_eq!(mean_step_distance(&CurveKind::Peano.with_side(9)), 1.0);
+        assert_eq!(
+            mean_step_distance(&CurveKind::Serpentine.with_side(10)),
+            1.0
+        );
+        assert!(mean_step_distance(&CurveKind::ZOrder.with_side(16)) > 1.0);
+        assert!(mean_step_distance(&CurveKind::RowMajor.with_side(16)) > 1.0);
+    }
+
+    #[test]
+    fn stretch_profile_shapes() {
+        let c = CurveKind::Hilbert.with_side(16);
+        let profile = stretch_profile(&c, &[1, 4, 16, 64], 1);
+        assert_eq!(profile.len(), 4);
+        assert_eq!(profile[0].max_dist, 1, "unit gap on Hilbert is adjacent");
+        for w in profile.windows(2) {
+            assert!(w[0].max_dist <= w[1].max_dist, "max dist must be monotone");
+        }
+    }
+
+    #[test]
+    fn gap_larger_than_curve() {
+        let c = CurveKind::Hilbert.with_side(4);
+        assert_eq!(max_dist_for_gap(&c, 100, 1), 0);
+    }
+}

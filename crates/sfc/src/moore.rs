@@ -1,0 +1,185 @@
+//! The Moore curve: the closed (cyclic) Hilbert variant.
+//!
+//! The Moore curve of order `k` stitches four Hilbert curves of order
+//! `k−1` into a closed loop: the upper two quadrants are traversed left
+//! to right by vertically-flipped Hilbert curves, the lower two right
+//! to left by horizontally-flipped ones, and the last cell is adjacent
+//! to the first. This is the curve behind the *H-index* mesh-indexing
+//! the paper cites with `α = 2√2` (§III-B); being closed also makes it
+//! attractive for ring-style collectives.
+
+use crate::geom::GridPoint;
+use crate::hilbert::HilbertCurve;
+use crate::Curve;
+
+/// Moore curve over a `side × side` grid (`side` a power of two).
+#[derive(Debug, Clone)]
+pub struct MooreCurve {
+    side: u32,
+    /// Hilbert curve of the quadrants (`None` for the 1×1 grid).
+    quadrant: Option<HilbertCurve>,
+}
+
+impl MooreCurve {
+    /// Creates the Moore curve for the given side length.
+    ///
+    /// # Panics
+    /// Panics when `side` is zero or not a power of two.
+    pub fn new(side: u32) -> Self {
+        assert!(side > 0, "Moore curve needs a positive side");
+        assert!(
+            side.is_power_of_two(),
+            "Moore curve side must be a power of two, got {side}"
+        );
+        MooreCurve {
+            side,
+            quadrant: (side > 1).then(|| HilbertCurve::new(side / 2)),
+        }
+    }
+}
+
+impl Curve for MooreCurve {
+    fn side(&self) -> u32 {
+        self.side
+    }
+
+    fn point(&self, index: u64) -> GridPoint {
+        debug_assert!(index < self.len(), "index {index} out of curve range");
+        let Some(h) = &self.quadrant else {
+            return GridPoint::new(0, 0);
+        };
+        let s = (self.side / 2) as u64;
+        let cells = s * s;
+        let (q, t) = (index / cells, index % cells);
+        let p = h.point(t);
+        let (hx, hy) = (p.x as u64, p.y as u64);
+        // Quadrant cycle: UL → UR → LR → LL, upper halves vertically
+        // flipped (bottom-left → bottom-right), lower halves
+        // horizontally flipped (top-right → top-left).
+        let (x, y) = match q {
+            0 => (hx, s - 1 - hy),         // UL
+            1 => (s + hx, s - 1 - hy),     // UR
+            2 => (2 * s - 1 - hx, s + hy), // LR
+            _ => (s - 1 - hx, s + hy),     // LL
+        };
+        GridPoint::new(x as u32, y as u32)
+    }
+
+    fn index(&self, p: GridPoint) -> u64 {
+        debug_assert!(p.x < self.side && p.y < self.side, "{p} outside grid");
+        let Some(h) = &self.quadrant else {
+            return 0;
+        };
+        let s = self.side as u64 / 2;
+        let (x, y) = (p.x as u64, p.y as u64);
+        let (q, hx, hy) = match (x >= s, y >= s) {
+            (false, false) => (0, x, s - 1 - y),
+            (true, false) => (1, x - s, s - 1 - y),
+            (true, true) => (2, 2 * s - 1 - x, y - s),
+            (false, true) => (3, s - 1 - x, y - s),
+        };
+        q * s * s + h.index(GridPoint::new(hx as u32, hy as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::manhattan;
+    use crate::locality::alpha_estimate;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = MooreCurve::new(6);
+    }
+
+    #[test]
+    fn two_by_two_is_a_cycle() {
+        let c = MooreCurve::new(2);
+        let pts: Vec<GridPoint> = (0..4).map(|i| c.point(i)).collect();
+        assert_eq!(
+            pts,
+            vec![
+                GridPoint::new(0, 0),
+                GridPoint::new(1, 0),
+                GridPoint::new(1, 1),
+                GridPoint::new(0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn consecutive_positions_adjacent_and_closed() {
+        for side in [2u32, 4, 8, 16, 32] {
+            let c = MooreCurve::new(side);
+            for i in 1..c.len() {
+                assert!(
+                    c.point(i - 1).is_adjacent(c.point(i)),
+                    "side {side}: step {i} not adjacent: {} → {}",
+                    c.point(i - 1),
+                    c.point(i)
+                );
+            }
+            // Closure: the loop property that distinguishes Moore from
+            // Hilbert.
+            assert!(
+                c.point(c.len() - 1).is_adjacent(c.point(0)),
+                "side {side}: curve is not closed"
+            );
+        }
+    }
+
+    #[test]
+    fn bijective_roundtrip() {
+        for side in [1u32, 2, 4, 16] {
+            let c = MooreCurve::new(side);
+            let mut seen = vec![false; c.len() as usize];
+            for i in 0..c.len() {
+                let p = c.point(i);
+                assert_eq!(c.index(p), i, "roundtrip failed at {i} (side {side})");
+                let cell = (p.y * side + p.x) as usize;
+                assert!(!seen[cell], "cell {p} visited twice");
+                seen[cell] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn distance_bound_close_to_hilbert() {
+        // The H-index (a Moore-curve indexing) achieves α = 2√2; our
+        // quadrant orientation may not be the optimal one, but it must
+        // stay within the Hilbert constant 3 plus small-j slack.
+        let a = alpha_estimate(&MooreCurve::new(64), 1);
+        assert!(a <= 3.1, "Moore α measured {a}");
+    }
+
+    #[test]
+    fn wraparound_distance_is_short() {
+        // Unlike Hilbert (endpoints on opposite top corners at distance
+        // side−1), Moore's first and last cells touch.
+        let side = 64;
+        let m = MooreCurve::new(side);
+        assert_eq!(manhattan(m.point(0), m.point(m.len() - 1)), 1);
+        let h = HilbertCurve::new(side);
+        assert_eq!(manhattan(h.point(0), h.point(h.len() - 1)), side as u64 - 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(side_log in 1u32..7, raw in 0u64..u64::MAX) {
+            let c = MooreCurve::new(1 << side_log);
+            let idx = raw % c.len();
+            prop_assert_eq!(c.index(c.point(idx)), idx);
+        }
+
+        #[test]
+        fn prop_adjacent(raw in 0u64..u64::MAX) {
+            let c = MooreCurve::new(32);
+            let idx = raw % c.len();
+            let next = (idx + 1) % c.len(); // adjacency incl. wraparound
+            prop_assert_eq!(manhattan(c.point(idx), c.point(next)), 1);
+        }
+    }
+}

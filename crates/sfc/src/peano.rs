@@ -1,0 +1,207 @@
+//! The Peano curve.
+//!
+//! The Peano curve of order `m` covers a `3^m × 3^m` grid by a serpentine
+//! recursion over 3×3 blocks, mirroring sub-blocks so that consecutive
+//! positions stay grid-adjacent. It is distance-bound with constant
+//! `α = √(10 + 2/3) ≈ 3.266` (Bader), slightly worse than the Hilbert
+//! curve but still energy-bound for light-first layouts via Theorem 1.
+//!
+//! Implementation: the classic digit formula. Writing the index in base 3
+//! as `a₁ b₁ a₂ b₂ … a_m b_m` (most significant first), the `x` digit at
+//! level `i` is `a_i`, complemented (`2 − a_i`) iff `b₁ + … + b_{i−1}` is
+//! odd, and the `y` digit is `b_i`, complemented iff `a₁ + … + a_i` is
+//! odd. This produces the boustrophedon block order with the reflections
+//! that keep the curve continuous.
+
+use crate::geom::GridPoint;
+use crate::Curve;
+
+/// Peano curve over a `side × side` grid (`side` a power of three).
+#[derive(Debug, Clone)]
+pub struct PeanoCurve {
+    side: u32,
+    levels: u32,
+}
+
+impl PeanoCurve {
+    /// Creates the Peano curve for the given side length.
+    ///
+    /// # Panics
+    /// Panics when `side` is zero or not a power of three.
+    pub fn new(side: u32) -> Self {
+        assert!(side > 0, "Peano curve needs a positive side");
+        let mut levels = 0;
+        let mut s = side;
+        while s > 1 {
+            assert!(
+                s.is_multiple_of(3),
+                "Peano curve side must be a power of three, got {side}"
+            );
+            s /= 3;
+            levels += 1;
+        }
+        PeanoCurve { side, levels }
+    }
+
+    /// Number of recursion levels `m` (the grid is `3^m × 3^m`).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+}
+
+impl Curve for PeanoCurve {
+    fn side(&self) -> u32 {
+        self.side
+    }
+
+    fn point(&self, index: u64) -> GridPoint {
+        debug_assert!(index < self.len(), "index {index} out of curve range");
+        let m = self.levels as usize;
+        // Extract the 2m base-3 digits, most significant first.
+        let mut digits = vec![0u8; 2 * m];
+        let mut t = index;
+        for slot in (0..2 * m).rev() {
+            digits[slot] = (t % 3) as u8;
+            t /= 3;
+        }
+        let mut x = 0u64;
+        let mut y = 0u64;
+        let mut a_parity = 0u8; // parity of a₁ + … + a_i (updated as we go)
+        let mut b_parity = 0u8; // parity of b₁ + … + b_{i-1}
+        for i in 0..m {
+            let a = digits[2 * i];
+            let b = digits[2 * i + 1];
+            let xd = if b_parity & 1 == 1 { 2 - a } else { a };
+            a_parity = a_parity.wrapping_add(a);
+            let yd = if a_parity & 1 == 1 { 2 - b } else { b };
+            b_parity = b_parity.wrapping_add(b);
+            x = x * 3 + xd as u64;
+            y = y * 3 + yd as u64;
+        }
+        GridPoint::new(x as u32, y as u32)
+    }
+
+    fn index(&self, p: GridPoint) -> u64 {
+        debug_assert!(p.x < self.side && p.y < self.side, "{p} outside grid");
+        let m = self.levels as usize;
+        // Base-3 digits of the coordinates, most significant first.
+        let mut xd = vec![0u8; m];
+        let mut yd = vec![0u8; m];
+        let (mut x, mut y) = (p.x, p.y);
+        for i in (0..m).rev() {
+            xd[i] = (x % 3) as u8;
+            yd[i] = (y % 3) as u8;
+            x /= 3;
+            y /= 3;
+        }
+        let mut idx = 0u64;
+        let mut a_parity = 0u8;
+        let mut b_parity = 0u8;
+        for i in 0..m {
+            let a = if b_parity & 1 == 1 { 2 - xd[i] } else { xd[i] };
+            a_parity = a_parity.wrapping_add(a);
+            let b = if a_parity & 1 == 1 { 2 - yd[i] } else { yd[i] };
+            b_parity = b_parity.wrapping_add(b);
+            idx = idx * 9 + (a as u64) * 3 + b as u64;
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::manhattan;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "power of three")]
+    fn rejects_non_power_of_three() {
+        let _ = PeanoCurve::new(6);
+    }
+
+    #[test]
+    fn order_one_serpentine() {
+        let c = PeanoCurve::new(3);
+        let expect = [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 1),
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+        ];
+        for (i, (x, y)) in expect.into_iter().enumerate() {
+            assert_eq!(c.point(i as u64), GridPoint::new(x, y), "index {i}");
+        }
+    }
+
+    #[test]
+    fn consecutive_positions_are_adjacent() {
+        for side in [3u32, 9, 27] {
+            let c = PeanoCurve::new(side);
+            for i in 1..c.len() {
+                let a = c.point(i - 1);
+                let b = c.point(i);
+                assert!(
+                    a.is_adjacent(b),
+                    "side {side}: positions {} and {i} not adjacent: {a} vs {b}",
+                    i - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bijective_roundtrip() {
+        for side in [1u32, 3, 9, 27] {
+            let c = PeanoCurve::new(side);
+            let mut seen = vec![false; c.len() as usize];
+            for i in 0..c.len() {
+                let p = c.point(i);
+                assert_eq!(c.index(p), i, "roundtrip failed at {i} (side {side})");
+                let cell = (p.y * side + p.x) as usize;
+                assert!(!seen[cell], "cell {p} visited twice");
+                seen[cell] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn distance_bound_alpha() {
+        // α = √(10 + 2/3) ≈ 3.266; allow additive slack for small j.
+        let c = PeanoCurve::new(27);
+        let alpha = (10.0 + 2.0 / 3.0f64).sqrt();
+        let n = c.len();
+        for i in (0..n).step_by(5) {
+            for j in [1u64, 2, 4, 9, 27, 81, 243] {
+                if i + j >= n {
+                    break;
+                }
+                let d = manhattan(c.point(i), c.point(i + j)) as f64;
+                let bound = alpha * (j as f64).sqrt() + 2.0;
+                assert!(d <= bound, "dist({i}, {}) = {d} > {bound}", i + j);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(level in 0u32..4, raw in 0u64..u64::MAX) {
+            let side = 3u32.pow(level);
+            let c = PeanoCurve::new(side);
+            let idx = raw % c.len();
+            prop_assert_eq!(c.index(c.point(idx)), idx);
+        }
+
+        #[test]
+        fn prop_adjacent(raw in 0u64..u64::MAX) {
+            let c = PeanoCurve::new(27);
+            let idx = raw % (c.len() - 1);
+            prop_assert_eq!(manhattan(c.point(idx), c.point(idx + 1)), 1);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Row-major and serpentine orders: negative controls for locality.
+//!
+//! Neither order is distance-bound, so Theorem 1 does not apply to them;
+//! the experiments use them to demonstrate that the choice of curve
+//! matters. Row-major additionally has non-adjacent consecutive positions
+//! (the `Θ(√n)` jump at each row end), while the serpentine
+//! (boustrophedon) order is edge-connected but still pays `Θ(√n)` for
+//! index gaps of `√n` along a row, violating the `O(√j)` requirement.
+
+use crate::geom::GridPoint;
+use crate::Curve;
+
+/// Plain row-major order: `index = y·side + x`.
+#[derive(Debug, Clone)]
+pub struct RowMajorCurve {
+    side: u32,
+}
+
+impl RowMajorCurve {
+    /// Creates the row-major order for the given side length.
+    ///
+    /// # Panics
+    /// Panics when `side` is zero.
+    pub fn new(side: u32) -> Self {
+        assert!(side > 0, "row-major order needs a positive side");
+        RowMajorCurve { side }
+    }
+}
+
+impl Curve for RowMajorCurve {
+    fn side(&self) -> u32 {
+        self.side
+    }
+
+    fn point(&self, index: u64) -> GridPoint {
+        debug_assert!(index < self.len(), "index {index} out of range");
+        let s = self.side as u64;
+        GridPoint::new((index % s) as u32, (index / s) as u32)
+    }
+
+    fn index(&self, p: GridPoint) -> u64 {
+        debug_assert!(p.x < self.side && p.y < self.side, "{p} outside grid");
+        (p.y as u64) * (self.side as u64) + p.x as u64
+    }
+}
+
+/// Serpentine (boustrophedon) order: rows alternate direction, so
+/// consecutive positions are always grid-adjacent.
+#[derive(Debug, Clone)]
+pub struct SerpentineCurve {
+    side: u32,
+}
+
+impl SerpentineCurve {
+    /// Creates the serpentine order for the given side length.
+    ///
+    /// # Panics
+    /// Panics when `side` is zero.
+    pub fn new(side: u32) -> Self {
+        assert!(side > 0, "serpentine order needs a positive side");
+        SerpentineCurve { side }
+    }
+}
+
+impl Curve for SerpentineCurve {
+    fn side(&self) -> u32 {
+        self.side
+    }
+
+    fn point(&self, index: u64) -> GridPoint {
+        debug_assert!(index < self.len(), "index {index} out of range");
+        let s = self.side as u64;
+        let y = index / s;
+        let r = index % s;
+        let x = if y.is_multiple_of(2) { r } else { s - 1 - r };
+        GridPoint::new(x as u32, y as u32)
+    }
+
+    fn index(&self, p: GridPoint) -> u64 {
+        debug_assert!(p.x < self.side && p.y < self.side, "{p} outside grid");
+        let s = self.side as u64;
+        let r = if p.y.is_multiple_of(2) {
+            p.x as u64
+        } else {
+            s - 1 - p.x as u64
+        };
+        (p.y as u64) * s + r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::manhattan;
+
+    #[test]
+    fn row_major_layout() {
+        let c = RowMajorCurve::new(3);
+        assert_eq!(c.point(0), GridPoint::new(0, 0));
+        assert_eq!(c.point(2), GridPoint::new(2, 0));
+        assert_eq!(c.point(3), GridPoint::new(0, 1));
+        assert_eq!(c.point(8), GridPoint::new(2, 2));
+        for i in 0..9 {
+            assert_eq!(c.index(c.point(i)), i);
+        }
+    }
+
+    #[test]
+    fn row_major_row_end_jump() {
+        let side = 32;
+        let c = RowMajorCurve::new(side);
+        let d = manhattan(c.point(side as u64 - 1), c.point(side as u64));
+        assert_eq!(d, side as u64, "row wrap costs the full side length");
+    }
+
+    #[test]
+    fn serpentine_layout() {
+        let c = SerpentineCurve::new(3);
+        let expect = [
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (1, 1),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 2),
+        ];
+        for (i, (x, y)) in expect.into_iter().enumerate() {
+            assert_eq!(c.point(i as u64), GridPoint::new(x, y), "index {i}");
+        }
+    }
+
+    #[test]
+    fn serpentine_adjacent_and_bijective() {
+        for side in [1u32, 2, 5, 16] {
+            let c = SerpentineCurve::new(side);
+            let mut seen = vec![false; c.len() as usize];
+            for i in 0..c.len() {
+                let p = c.point(i);
+                assert_eq!(c.index(p), i);
+                let cell = (p.y * side + p.x) as usize;
+                assert!(!seen[cell]);
+                seen[cell] = true;
+                if i > 0 {
+                    assert!(c.point(i - 1).is_adjacent(p), "step {i} not adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serpentine_not_distance_bound() {
+        // Index gap side−1 along the first row costs side−1 ≫ √(side−1).
+        let side = 64u32;
+        let c = SerpentineCurve::new(side);
+        let j = side as u64 - 1;
+        let d = manhattan(c.point(0), c.point(j));
+        assert_eq!(d, j);
+        assert!((d as f64) > 4.0 * (j as f64).sqrt());
+    }
+}

@@ -1,0 +1,477 @@
+//! Tree generators: every family used by the paper's arguments and the
+//! experiment harness.
+//!
+//! - [`perfect_kary`]: the BFS-layout adversary of §III ("a perfect
+//!   binary tree will have a breadth-first layout where the average
+//!   distance between neighbors is Ω(√n)").
+//! - [`comb`]: the DFS-layout adversary ("a tree formed by adding an
+//!   additional vertex as a child of each vertex in a path graph").
+//! - [`star`], [`broom`]: unbounded-degree stress tests for the virtual
+//!   tree construction of §III-D.
+//! - [`uniform_random`]: uniformly random labelled trees via Prüfer
+//!   sequences (unbounded degree, `Θ(log n / log log n)` max degree in
+//!   expectation).
+//! - [`random_recursive`], [`preferential_attachment`]: growth models;
+//!   preferential attachment yields power-law degrees.
+//! - [`random_binary`]: uniformly random binary search tree shape
+//!   (bounded degree 3).
+//! - [`yule`]: birth-process phylogenies — the paper's computational
+//!   biology motivation.
+//! - [`path`]: degenerate depth for worst-case traversal tests.
+
+use crate::tree::{NodeId, Tree, NIL};
+use rand::Rng;
+
+/// Perfect `k`-ary tree of the given depth (`depth = 0` is a single
+/// vertex). Vertices are numbered in BFS order.
+///
+/// # Panics
+/// Panics when `k == 0`, or when the tree would exceed `u32` vertices.
+pub fn perfect_kary(k: u32, depth: u32) -> Tree {
+    assert!(k >= 1, "arity must be at least 1");
+    // n = (k^(depth+1) - 1) / (k - 1) for k > 1, depth+1 for k = 1.
+    let mut n: u64 = 1;
+    let mut level: u64 = 1;
+    for _ in 0..depth {
+        level *= k as u64;
+        n += level;
+        assert!(n <= u32::MAX as u64, "tree too large");
+    }
+    let mut parent = vec![NIL; n as usize];
+    for v in 1..n {
+        parent[v as usize] = ((v - 1) / k as u64) as NodeId;
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Path graph: vertex `i` is the parent of `i + 1`.
+pub fn path(n: u32) -> Tree {
+    assert!(n >= 1);
+    let mut parent = vec![NIL; n as usize];
+    for v in 1..n {
+        parent[v as usize] = v - 1;
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Star: the root is the parent of all other vertices (maximum degree
+/// `n − 1`).
+pub fn star(n: u32) -> Tree {
+    assert!(n >= 1);
+    let mut parent = vec![0 as NodeId; n as usize];
+    parent[0] = NIL;
+    Tree::from_parents(0, parent)
+}
+
+/// Comb (caterpillar): a path of `⌈n/2⌉` spine vertices, each spine
+/// vertex with one extra leaf child. The DFS-order adversary of §III.
+pub fn comb(n: u32) -> Tree {
+    assert!(n >= 1);
+    let spine = n.div_ceil(2);
+    let mut parent = vec![NIL; n as usize];
+    for v in 1..spine {
+        parent[v as usize] = v - 1; // spine
+    }
+    for leaf in spine..n {
+        parent[leaf as usize] = leaf - spine; // leaf under spine vertex
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Broom: a path handle of `handle` vertices whose last vertex is the
+/// center of a star over the remaining `n − handle` vertices. Combines
+/// depth with unbounded degree.
+pub fn broom(n: u32, handle: u32) -> Tree {
+    assert!(n >= 1 && handle >= 1 && handle <= n);
+    let mut parent = vec![NIL; n as usize];
+    for v in 1..handle {
+        parent[v as usize] = v - 1;
+    }
+    for v in handle..n {
+        parent[v as usize] = handle - 1;
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Uniformly random labelled tree on `n` vertices via a random Prüfer
+/// sequence, rooted at vertex 0.
+pub fn uniform_random<R: Rng>(n: u32, rng: &mut R) -> Tree {
+    assert!(n >= 1);
+    if n == 1 {
+        return Tree::from_parents(0, vec![NIL]);
+    }
+    if n == 2 {
+        return Tree::from_parents(0, vec![NIL, 0]);
+    }
+    let seq: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let edges = prufer_decode(n, &seq);
+    Tree::from_edges(n, 0, &edges)
+}
+
+/// Decodes a Prüfer sequence into the `n − 1` edges of the tree.
+pub fn prufer_decode(n: u32, seq: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    assert_eq!(seq.len() as u32, n - 2, "Prüfer sequence has n-2 entries");
+    let mut degree = vec![1u32; n as usize];
+    for &s in seq {
+        degree[s as usize] += 1;
+    }
+    // `ptr` walks the vertices; `leaf` is the current smallest leaf.
+    let mut edges = Vec::with_capacity(n as usize - 1);
+    let mut ptr = 0u32;
+    while degree[ptr as usize] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &s in seq {
+        edges.push((leaf, s));
+        degree[s as usize] -= 1;
+        if degree[s as usize] == 1 && s < ptr {
+            leaf = s;
+        } else {
+            ptr += 1;
+            while degree[ptr as usize] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    edges.push((leaf, n - 1));
+    edges
+}
+
+/// Random recursive tree: vertex `i` attaches to a uniformly random
+/// earlier vertex. Expected maximum degree `Θ(log n)`.
+pub fn random_recursive<R: Rng>(n: u32, rng: &mut R) -> Tree {
+    assert!(n >= 1);
+    let mut parent = vec![NIL; n as usize];
+    for v in 1..n {
+        parent[v as usize] = rng.gen_range(0..v);
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Preferential attachment: vertex `i` attaches to an earlier vertex
+/// with probability proportional to `degree + 1`, producing power-law
+/// degrees (heavy unbounded-degree stress).
+pub fn preferential_attachment<R: Rng>(n: u32, rng: &mut R) -> Tree {
+    assert!(n >= 1);
+    let mut parent = vec![NIL; n as usize];
+    // Endpoint pool: every edge contributes both endpoints, plus each
+    // vertex once, giving attachment probability ∝ degree + 1.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * n as usize);
+    pool.push(0);
+    for v in 1..n {
+        let p = pool[rng.gen_range(0..pool.len())];
+        parent[v as usize] = p;
+        pool.push(p);
+        pool.push(v);
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Uniformly random binary tree shape on `n` vertices (≤ 2 children per
+/// vertex): a random permutation inserted into an unbalanced BST. Max
+/// degree 3, expected height `Θ(log n)`.
+pub fn random_binary<R: Rng>(n: u32, rng: &mut R) -> Tree {
+    assert!(n >= 1);
+    // Insert a random permutation of keys 0..n into a BST; the resulting
+    // shape (relabelled by insertion id) is our tree.
+    let mut keys: Vec<u32> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        keys.swap(i, rng.gen_range(0..=i));
+    }
+    // BST over keys with explicit arrays; vertex id = insertion order.
+    let mut left = vec![NIL; n as usize];
+    let mut right = vec![NIL; n as usize];
+    let mut key_of = vec![0u32; n as usize];
+    let mut parent = vec![NIL; n as usize];
+    key_of[0] = keys[0];
+    for (id, &key) in keys.iter().enumerate().skip(1) {
+        let id = id as NodeId;
+        key_of[id as usize] = key;
+        let mut at = 0 as NodeId;
+        loop {
+            if key < key_of[at as usize] {
+                if left[at as usize] == NIL {
+                    left[at as usize] = id;
+                    parent[id as usize] = at;
+                    break;
+                }
+                at = left[at as usize];
+            } else {
+                if right[at as usize] == NIL {
+                    right[at as usize] = id;
+                    parent[id as usize] = at;
+                    break;
+                }
+                at = right[at as usize];
+            }
+        }
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Yule (pure-birth) phylogeny with `leaves` extant species: repeatedly
+/// split a uniformly random leaf into two children. Returns a binary
+/// tree with `2·leaves − 1` vertices — the classic model for species
+/// trees in computational biology.
+pub fn yule<R: Rng>(leaves: u32, rng: &mut R) -> Tree {
+    assert!(leaves >= 1);
+    let n = 2 * leaves - 1;
+    let mut parent = vec![NIL; n as usize];
+    let mut frontier: Vec<NodeId> = vec![0];
+    let mut next = 1 as NodeId;
+    while (frontier.len() as u32) < leaves {
+        let at = rng.gen_range(0..frontier.len());
+        let v = frontier.swap_remove(at);
+        parent[next as usize] = v;
+        parent[next as usize + 1] = v;
+        frontier.push(next);
+        frontier.push(next + 1);
+        next += 2;
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// A named tree family, used by the experiment harness to sweep
+/// workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeFamily {
+    /// Perfect binary tree (BFS adversary).
+    PerfectBinary,
+    /// Comb/caterpillar (DFS adversary).
+    Comb,
+    /// Path graph.
+    Path,
+    /// Star (max unbounded degree).
+    Star,
+    /// Broom (path + star).
+    Broom,
+    /// Uniform random labelled tree (Prüfer).
+    UniformRandom,
+    /// Random recursive tree.
+    RandomRecursive,
+    /// Preferential attachment (power-law degrees).
+    PreferentialAttachment,
+    /// Random binary tree.
+    RandomBinary,
+    /// Yule phylogeny.
+    Yule,
+}
+
+impl TreeFamily {
+    /// All families, in experiment-table order.
+    pub const ALL: [TreeFamily; 10] = [
+        TreeFamily::PerfectBinary,
+        TreeFamily::Comb,
+        TreeFamily::Path,
+        TreeFamily::Star,
+        TreeFamily::Broom,
+        TreeFamily::UniformRandom,
+        TreeFamily::RandomRecursive,
+        TreeFamily::PreferentialAttachment,
+        TreeFamily::RandomBinary,
+        TreeFamily::Yule,
+    ];
+
+    /// Families whose maximum degree is bounded by a constant.
+    pub const BOUNDED_DEGREE: [TreeFamily; 4] = [
+        TreeFamily::PerfectBinary,
+        TreeFamily::Comb,
+        TreeFamily::Path,
+        TreeFamily::RandomBinary,
+    ];
+
+    /// Table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeFamily::PerfectBinary => "perfect-binary",
+            TreeFamily::Comb => "comb",
+            TreeFamily::Path => "path",
+            TreeFamily::Star => "star",
+            TreeFamily::Broom => "broom",
+            TreeFamily::UniformRandom => "uniform-random",
+            TreeFamily::RandomRecursive => "random-recursive",
+            TreeFamily::PreferentialAttachment => "pref-attach",
+            TreeFamily::RandomBinary => "random-binary",
+            TreeFamily::Yule => "yule",
+        }
+    }
+
+    /// Generates a member of the family with *approximately* `n`
+    /// vertices (exactly `n` where the family allows it).
+    pub fn generate<R: Rng>(self, n: u32, rng: &mut R) -> Tree {
+        match self {
+            TreeFamily::PerfectBinary => {
+                // Largest perfect binary tree with ≤ n vertices.
+                let depth = (n + 1).ilog2().saturating_sub(1);
+                perfect_kary(2, depth)
+            }
+            TreeFamily::Comb => comb(n),
+            TreeFamily::Path => path(n),
+            TreeFamily::Star => star(n),
+            TreeFamily::Broom => broom(n, (n / 2).max(1)),
+            TreeFamily::UniformRandom => uniform_random(n, rng),
+            TreeFamily::RandomRecursive => random_recursive(n, rng),
+            TreeFamily::PreferentialAttachment => preferential_attachment(n, rng),
+            TreeFamily::RandomBinary => random_binary(n, rng),
+            TreeFamily::Yule => yule((n / 2).max(1), rng),
+        }
+    }
+}
+
+impl std::fmt::Display for TreeFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn perfect_binary_shape() {
+        let t = perfect_kary(2, 3);
+        assert_eq!(t.n(), 15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.max_degree(), 3);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4]);
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[0], 15);
+        assert_eq!(sizes[1], 7);
+        assert_eq!(sizes[3], 3);
+    }
+
+    #[test]
+    fn perfect_unary_is_path() {
+        let t = perfect_kary(1, 5);
+        assert_eq!(t.n(), 6);
+        assert_eq!(t.height(), 5);
+    }
+
+    #[test]
+    fn path_and_star_shapes() {
+        let p = path(5);
+        assert_eq!(p.height(), 4);
+        assert_eq!(p.max_degree(), 2);
+        let s = star(5);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.max_degree(), 4);
+        assert_eq!(s.num_children(0), 4);
+    }
+
+    #[test]
+    fn comb_shape() {
+        let t = comb(10);
+        assert_eq!(t.n(), 10);
+        // 5 spine vertices each with ≤ 1 leaf + next spine.
+        assert_eq!(t.height(), 5);
+        let leaves = (0..10).filter(|&v| t.is_leaf(v)).count();
+        assert_eq!(leaves, 5);
+    }
+
+    #[test]
+    fn comb_odd() {
+        let t = comb(7);
+        assert_eq!(t.n(), 7);
+        // 4 spine, 3 leaves.
+        assert_eq!((0..7).filter(|&v| t.is_leaf(v)).count(), 4);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let t = broom(10, 4);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.num_children(3), 6);
+    }
+
+    #[test]
+    fn prufer_uniform_tree_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [3u32, 4, 10, 257, 1000] {
+            let t = uniform_random(n, &mut rng);
+            assert_eq!(t.n(), n);
+            assert_eq!(t.subtree_sizes()[t.root() as usize], n);
+        }
+    }
+
+    #[test]
+    fn prufer_known_sequence() {
+        // Sequence [3, 3, 3, 4] over n=6 gives star-ish tree around 3, 4.
+        let edges = prufer_decode(6, &[3, 3, 3, 4]);
+        assert_eq!(edges.len(), 5);
+        let t = Tree::from_edges(6, 0, &edges);
+        assert_eq!(t.n(), 6);
+        // Vertex 3 has degree 4 in the undirected tree.
+        assert_eq!(t.degree(3), 4);
+    }
+
+    #[test]
+    fn random_models_valid_and_reproducible() {
+        for n in [1u32, 2, 64, 500] {
+            let t1 = random_recursive(n, &mut StdRng::seed_from_u64(9));
+            let t2 = random_recursive(n, &mut StdRng::seed_from_u64(9));
+            assert_eq!(t1, t2, "same seed must reproduce");
+            let t3 = preferential_attachment(n, &mut StdRng::seed_from_u64(9));
+            assert_eq!(t3.n(), n);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_skews_degrees() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let t = preferential_attachment(5000, &mut rng);
+        let u = random_recursive(5000, &mut StdRng::seed_from_u64(17));
+        assert!(
+            t.max_degree() > u.max_degree(),
+            "preferential attachment should have heavier hubs: {} vs {}",
+            t.max_degree(),
+            u.max_degree()
+        );
+    }
+
+    #[test]
+    fn random_binary_bounded_degree() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [1u32, 2, 100, 2000] {
+            let t = random_binary(n, &mut rng);
+            assert_eq!(t.n(), n);
+            assert!(t.max_degree() <= 3, "binary tree degree ≤ 3");
+            assert!(t.vertices().all(|v| t.num_children(v) <= 2));
+        }
+    }
+
+    #[test]
+    fn yule_binary_phylogeny() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let t = yule(100, &mut rng);
+        assert_eq!(t.n(), 199);
+        let leaves = t.vertices().filter(|&v| t.is_leaf(v)).count();
+        assert_eq!(leaves, 100);
+        assert!(t
+            .vertices()
+            .all(|v| t.num_children(v) == 0 || t.num_children(v) == 2));
+    }
+
+    #[test]
+    fn family_generate_all() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for fam in TreeFamily::ALL {
+            let t = fam.generate(300, &mut rng);
+            assert!(t.n() >= 100, "{fam}: got only {} vertices", t.n());
+            assert!(t.n() <= 300, "{fam}: got {} vertices", t.n());
+        }
+    }
+
+    #[test]
+    fn bounded_families_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for fam in TreeFamily::BOUNDED_DEGREE {
+            let t = fam.generate(1000, &mut rng);
+            assert!(t.max_degree() <= 3, "{fam} degree {}", t.max_degree());
+        }
+    }
+}

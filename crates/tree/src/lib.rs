@@ -1,0 +1,26 @@
+//! Rooted trees: representation, generators, traversals, decompositions.
+//!
+//! Everything in the workspace operates on the [`Tree`] type defined
+//! here: a rooted tree in CSR (compressed children) form with a parent
+//! array. The representation is immutable after construction — the
+//! paper's algorithms never mutate the input tree, they only relabel and
+//! relocate it — and all traversals are iterative so that path-shaped
+//! trees of millions of vertices cannot overflow the stack.
+//!
+//! The [`generators`] module provides every tree family used by the
+//! paper's arguments and by our experiments: perfect `k`-ary trees
+//! (breadth-first adversary, §III), combs (depth-first adversary, §III),
+//! stars and brooms (unbounded-degree stress, §III-D), uniformly random
+//! labelled trees via Prüfer sequences, random recursive and preferential
+//! attachment trees, random binary trees, and Yule phylogenies (the
+//! paper's motivating application domain).
+
+pub mod decomposition;
+pub mod generators;
+pub mod stats;
+pub mod traversal;
+pub mod tree;
+
+pub use decomposition::HeavyPathDecomposition;
+pub use stats::TreeStats;
+pub use tree::{NodeId, Tree, NIL};

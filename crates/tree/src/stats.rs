@@ -1,0 +1,97 @@
+//! Summary statistics over trees, used by the experiment tables.
+
+use crate::tree::Tree;
+
+/// Shape statistics of a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of vertices.
+    pub n: u32,
+    /// Height (maximum depth).
+    pub height: u32,
+    /// Maximum degree `Δ` (children + parent).
+    pub max_degree: u32,
+    /// Number of leaves.
+    pub leaves: u32,
+    /// Mean vertex depth.
+    pub mean_depth: f64,
+}
+
+impl TreeStats {
+    /// Computes all statistics in one pass over the tree.
+    pub fn of(tree: &Tree) -> Self {
+        let depths = tree.depths();
+        let n = tree.n();
+        let leaves = tree.vertices().filter(|&v| tree.is_leaf(v)).count() as u32;
+        TreeStats {
+            n,
+            height: depths.iter().copied().max().unwrap_or(0),
+            max_degree: tree.max_degree(),
+            leaves,
+            mean_depth: depths.iter().map(|&d| d as f64).sum::<f64>() / n as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} height={} Δ={} leaves={} mean_depth={:.2}",
+            self.n, self.height, self.max_degree, self.leaves, self.mean_depth
+        )
+    }
+}
+
+/// Histogram of child counts: `histogram[d]` = number of vertices with
+/// exactly `d` children (truncated at the maximum occurring count).
+pub fn child_count_histogram(tree: &Tree) -> Vec<u32> {
+    let max = tree
+        .vertices()
+        .map(|v| tree.num_children(v))
+        .max()
+        .unwrap_or(0) as usize;
+    let mut hist = vec![0u32; max + 1];
+    for v in tree.vertices() {
+        hist[tree.num_children(v) as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_star() {
+        let s = TreeStats::of(&generators::star(10));
+        assert_eq!(s.n, 10);
+        assert_eq!(s.height, 1);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.leaves, 9);
+        assert!((s.mean_depth - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_path() {
+        let s = TreeStats::of(&generators::path(4));
+        assert_eq!(s.height, 3);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_depth - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_children() {
+        let t = generators::perfect_kary(2, 2); // 7 vertices
+        let h = child_count_histogram(&t);
+        assert_eq!(h, vec![4, 0, 3]); // 4 leaves, 3 internal with 2 kids
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = TreeStats::of(&generators::path(2));
+        assert!(s.to_string().contains("n=2"));
+    }
+}

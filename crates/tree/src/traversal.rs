@@ -1,0 +1,350 @@
+//! Tree traversal orders: BFS, DFS, and the paper's light-first order.
+//!
+//! §III-A defines *light-first order*: a depth-first order in which each
+//! vertex's children are visited in increasing order of subtree size.
+//! Stored on a distance-bound space-filling curve, it makes parent→child
+//! messaging energy linear (Theorem 1). BFS and DFS orders are provided
+//! as the adversarial baselines the paper calls out: a perfect binary
+//! tree in BFS order has `Ω(√n)` average neighbour distance, and a comb
+//! in (arbitrary-child-order) DFS order fares similarly.
+//!
+//! Both a sequential and a rayon fork-join light-first construction are
+//! provided; the fork-join version is the "low depth ⇒ real CPU
+//! parallelism" demonstration and recursively splits the output slice
+//! between children, so it is safe without any atomics.
+
+use crate::tree::{NodeId, Tree};
+use rayon::prelude::*;
+
+/// Breadth-first order starting at the root, children in construction
+/// order. The returned vector lists vertices in visit order.
+pub fn bfs_order(tree: &Tree) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(tree.n() as usize);
+    let mut head = 0usize;
+    order.push(tree.root());
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        order.extend_from_slice(tree.children(v));
+    }
+    order
+}
+
+/// Iterative depth-first preorder, children in construction order.
+pub fn dfs_preorder(tree: &Tree) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(tree.n() as usize);
+    let mut stack = vec![tree.root()];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        // Push children reversed so the first child is visited first.
+        for &c in tree.children(v).iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Children of every vertex sorted by increasing subtree size (ties by
+/// vertex id, for determinism). This is the child order that defines
+/// light-first order; the largest ("heavy") child comes last.
+pub fn children_by_size(tree: &Tree, sizes: &[u32]) -> Vec<Vec<NodeId>> {
+    (0..tree.n())
+        .map(|v| {
+            let mut cs: Vec<NodeId> = tree.children(v).to_vec();
+            cs.sort_by_key(|&c| (sizes[c as usize], c));
+            cs
+        })
+        .collect()
+}
+
+/// Light-first order (§III-A): DFS preorder visiting children in
+/// increasing subtree size. Sequential, iterative.
+pub fn light_first_order(tree: &Tree) -> Vec<NodeId> {
+    let sizes = tree.subtree_sizes();
+    light_first_order_with_sizes(tree, &sizes)
+}
+
+/// Light-first order given precomputed subtree sizes.
+pub fn light_first_order_with_sizes(tree: &Tree, sizes: &[u32]) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(tree.n() as usize);
+    let mut stack = vec![tree.root()];
+    // Children are sorted on demand to avoid materializing all lists.
+    let mut buf: Vec<NodeId> = Vec::new();
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        buf.clear();
+        buf.extend_from_slice(tree.children(v));
+        buf.sort_by_key(|&c| (sizes[c as usize], c));
+        // Reverse push: smallest child on top of the stack.
+        for &c in buf.iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Heavy-first order: DFS preorder visiting children in *decreasing*
+/// subtree size — the mirror image of light-first, used as an ablation
+/// control (it lacks light-first's "small subtrees stay near their
+/// parent" property, so Theorem 1's recursion does not apply).
+pub fn heavy_first_order(tree: &Tree) -> Vec<NodeId> {
+    let sizes = tree.subtree_sizes();
+    let mut order = Vec::with_capacity(tree.n() as usize);
+    let mut stack = vec![tree.root()];
+    let mut buf: Vec<NodeId> = Vec::new();
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        buf.clear();
+        buf.extend_from_slice(tree.children(v));
+        // Reverse of light-first: largest subtree first.
+        buf.sort_by_key(|&c| std::cmp::Reverse((sizes[c as usize], c)));
+        for &c in buf.iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Rayon fork-join light-first order: the output slice is recursively
+/// split between children, mirroring the spatial algorithm's low depth.
+pub fn light_first_order_par(tree: &Tree) -> Vec<NodeId> {
+    let sizes = subtree_sizes_par(tree);
+    light_first_order_par_with_sizes(tree, &sizes)
+}
+
+/// Parallel light-first order given precomputed subtree sizes.
+pub fn light_first_order_par_with_sizes(tree: &Tree, sizes: &[u32]) -> Vec<NodeId> {
+    let n = tree.n() as usize;
+    let mut order = vec![0 as NodeId; n];
+    assign_subtree(tree, sizes, tree.root(), &mut order);
+    order
+}
+
+/// Sequential cutoff for the fork-join recursion: subtrees smaller than
+/// this are laid out without spawning.
+const SEQ_CUTOFF: u32 = 1 << 11;
+
+fn assign_subtree(tree: &Tree, sizes: &[u32], v: NodeId, out: &mut [NodeId]) {
+    debug_assert_eq!(out.len(), sizes[v as usize] as usize);
+    // Spawned light subtrees have at most half their parent's size, so
+    // the *recursion* nests at most log₂(n) scopes; the heavy chain is
+    // followed iteratively so path-shaped trees cannot blow the stack.
+    rayon::scope(|s| {
+        let mut v = v;
+        let mut out = out;
+        loop {
+            if sizes[v as usize] <= SEQ_CUTOFF {
+                assign_subtree_seq(tree, sizes, v, out);
+                return;
+            }
+            let (head, mut rest) = out.split_first_mut().expect("subtree size ≥ 1");
+            *head = v;
+            let mut cs: Vec<NodeId> = tree.children(v).to_vec();
+            cs.sort_by_key(|&c| (sizes[c as usize], c));
+            let Some((&heavy, light)) = cs.split_last() else {
+                return;
+            };
+            for &c in light {
+                let (chunk, tail) = rest.split_at_mut(sizes[c as usize] as usize);
+                rest = tail;
+                s.spawn(move |_| assign_subtree(tree, sizes, c, chunk));
+            }
+            v = heavy;
+            out = rest;
+        }
+    });
+}
+
+fn assign_subtree_seq(tree: &Tree, sizes: &[u32], v: NodeId, out: &mut [NodeId]) {
+    // Iterative: stack of (vertex, offset into out).
+    let mut stack: Vec<(NodeId, usize)> = vec![(v, 0)];
+    let mut buf: Vec<NodeId> = Vec::new();
+    while let Some((u, at)) = stack.pop() {
+        out[at] = u;
+        buf.clear();
+        buf.extend_from_slice(tree.children(u));
+        buf.sort_by_key(|&c| (sizes[c as usize], c));
+        let mut off = at + 1;
+        for &c in buf.iter() {
+            stack.push((c, off));
+            off += sizes[c as usize] as usize;
+        }
+    }
+}
+
+/// Parallel subtree sizes: processes BFS levels bottom-up, each level in
+/// parallel. Equivalent to [`Tree::subtree_sizes`].
+pub fn subtree_sizes_par(tree: &Tree) -> Vec<u32> {
+    let n = tree.n() as usize;
+    let depths = tree.depths();
+    let max_depth = depths.iter().copied().max().unwrap_or(0) as usize;
+    // Bucket vertices by depth.
+    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth + 1];
+    for v in 0..n {
+        levels[depths[v] as usize].push(v as NodeId);
+    }
+    let mut sizes = vec![1u32; n];
+    for level in levels.iter().rev() {
+        let computed: Vec<(NodeId, u32)> = level
+            .par_iter()
+            .map(|&v| {
+                let s = 1 + tree
+                    .children(v)
+                    .iter()
+                    .map(|&c| sizes[c as usize])
+                    .sum::<u32>();
+                (v, s)
+            })
+            .collect();
+        for (v, s) in computed {
+            sizes[v as usize] = s;
+        }
+    }
+    sizes
+}
+
+/// Inverse of an order: `positions[v]` is the index of vertex `v`.
+pub fn positions_of(order: &[NodeId]) -> Vec<u32> {
+    let mut pos = vec![0u32; order.len()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    pos
+}
+
+/// Checks the defining property of light-first order (§III-A): every
+/// vertex `v` at position `p` has its `i`-th-smallest child at position
+/// `1 + p + Σ_{j<i} s(c_j)`. Returns the first violating vertex.
+pub fn verify_light_first(tree: &Tree, order: &[NodeId]) -> Result<(), NodeId> {
+    let sizes = tree.subtree_sizes();
+    let pos = positions_of(order);
+    for v in tree.vertices() {
+        let mut cs: Vec<NodeId> = tree.children(v).to_vec();
+        cs.sort_by_key(|&c| (sizes[c as usize], c));
+        let mut expected = pos[v as usize] + 1;
+        for &c in &cs {
+            if pos[c as usize] != expected {
+                return Err(v);
+            }
+            expected += sizes[c as usize];
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::tree::{Tree, NIL};
+    use rand::prelude::*;
+
+    fn sample_tree() -> Tree {
+        Tree::from_parents(0, vec![NIL, 0, 0, 0, 1, 1, 3, 6])
+    }
+
+    #[test]
+    fn bfs_order_levels() {
+        let t = sample_tree();
+        assert_eq!(bfs_order(&t), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn dfs_preorder_first_child_first() {
+        let t = sample_tree();
+        assert_eq!(dfs_preorder(&t), vec![0, 1, 4, 5, 2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn light_first_smallest_subtree_first() {
+        let t = sample_tree();
+        // Subtree sizes: 0→8, 1→3, 2→1, 3→3, 4,5→1, 6→2, 7→1.
+        // Root children sorted: 2 (1), then 1 (3, id 1), then 3 (3, id 3).
+        let order = light_first_order(&t);
+        assert_eq!(order, vec![0, 2, 1, 4, 5, 3, 6, 7]);
+        assert_eq!(verify_light_first(&t, &order), Ok(()));
+    }
+
+    #[test]
+    fn heavy_first_mirrors_light_first() {
+        let t = sample_tree();
+        // Root children by decreasing (size, id): 3 (3), 1 (3), 2 (1).
+        let order = heavy_first_order(&t);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 3, "heaviest child first");
+        assert_eq!(*order.last().unwrap(), 2, "lightest child last");
+        // Same vertex set as light-first.
+        let mut a = order.clone();
+        let mut b = light_first_order(&t);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn light_first_property_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [2u32, 3, 10, 100, 1000] {
+            let t = generators::uniform_random(n, &mut rng);
+            let order = light_first_order(&t);
+            assert_eq!(verify_light_first(&t, &order), Ok(()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_order() {
+        let t = sample_tree();
+        let bfs = bfs_order(&t);
+        assert!(verify_light_first(&t, &bfs).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1u32, 2, 50, 500, 5000, 50_000] {
+            let t = generators::uniform_random(n, &mut rng);
+            assert_eq!(
+                light_first_order(&t),
+                light_first_order_par(&t),
+                "light-first mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sizes_match() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1u32, 7, 333, 4096] {
+            let t = generators::preferential_attachment(n, &mut rng);
+            assert_eq!(t.subtree_sizes(), subtree_sizes_par(&t), "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_path_does_not_overflow() {
+        // Deep recursion guard: a path of 200k vertices.
+        let t = generators::path(200_000);
+        let order = light_first_order_par(&t);
+        assert_eq!(order.len(), 200_000);
+        assert_eq!(verify_light_first(&t, &order), Ok(()));
+    }
+
+    #[test]
+    fn positions_invert_order() {
+        let t = sample_tree();
+        let order = light_first_order(&t);
+        let pos = positions_of(&order);
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(pos[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn children_by_size_sorted() {
+        let t = sample_tree();
+        let sizes = t.subtree_sizes();
+        let sorted = children_by_size(&t, &sizes);
+        assert_eq!(sorted[0], vec![2, 1, 3]);
+        assert_eq!(sorted[1], vec![4, 5]);
+    }
+}

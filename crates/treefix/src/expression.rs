@@ -1,0 +1,587 @@
+//! Parallel expression tree evaluation (Miller & Reif \[38\], the
+//! application §V cites as the origin of treefix-style contraction).
+//!
+//! An arithmetic expression tree has constants at the leaves and binary
+//! `+`/`×` operators at internal vertices. Rake/compress evaluates *all*
+//! subexpressions in `O(log n)` COMPACT rounds: raking a known leaf
+//! partially applies its parent's operator, turning the parent into an
+//! affine function `x ↦ a·x + b` of its remaining operand, and
+//! compressing a unary chain composes the affine functions. Affine maps
+//! over a (wrapping) semiring are closed under composition, which is
+//! the whole trick.
+//!
+//! Costs mirror the treefix bounds: on an energy-bound light-first
+//! layout, `O(n log n)` energy and `O(log n)` depth w.h.p. (expression
+//! trees are binary, so the bounded-degree bound of Lemma 11 applies).
+//! Arithmetic wraps modulo 2⁶⁴ so adversarial inputs cannot overflow;
+//! the host reference wraps identically, keeping verification exact.
+
+use crate::contraction::ContractionStats;
+use rand::Rng;
+use spatial_layout::Layout;
+use spatial_model::{Machine, Slot};
+use spatial_tree::{NodeId, Tree, NIL};
+
+/// An expression-tree vertex: a constant leaf or a binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprNode {
+    /// A constant leaf.
+    Leaf(u64),
+    /// Binary addition (wrapping).
+    Add,
+    /// Binary multiplication (wrapping).
+    Mul,
+}
+
+/// A well-formed expression tree: every leaf is an [`ExprNode::Leaf`],
+/// every internal vertex a binary operator with exactly two children.
+#[derive(Debug, Clone)]
+pub struct ExprTree {
+    tree: Tree,
+    nodes: Vec<ExprNode>,
+}
+
+impl ExprTree {
+    /// Validates and wraps a tree + node labelling.
+    ///
+    /// # Panics
+    /// Panics when a leaf is not a constant or an internal vertex is
+    /// not a binary operator with exactly two children.
+    pub fn new(tree: Tree, nodes: Vec<ExprNode>) -> Self {
+        assert_eq!(nodes.len() as u32, tree.n(), "one node label per vertex");
+        for v in tree.vertices() {
+            match (tree.num_children(v), nodes[v as usize]) {
+                (0, ExprNode::Leaf(_)) => {}
+                (2, ExprNode::Add | ExprNode::Mul) => {}
+                (k, node) => panic!(
+                    "vertex {v} has {k} children but label {node:?}; expression \
+                     trees need constant leaves and binary operators"
+                ),
+            }
+        }
+        ExprTree { tree, nodes }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The node labels.
+    pub fn nodes(&self) -> &[ExprNode] {
+        &self.nodes
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u32 {
+        self.tree.n()
+    }
+
+    /// A random expression tree with the given number of leaves:
+    /// a uniformly random binary shape with random constants and
+    /// operators.
+    pub fn random<R: Rng>(leaves: u32, rng: &mut R) -> Self {
+        assert!(leaves >= 1);
+        let n = 2 * leaves - 1;
+        let mut parent = vec![NIL; n as usize];
+        // Random binary shape: repeatedly split a random current leaf.
+        let mut frontier: Vec<NodeId> = vec![0];
+        let mut next = 1 as NodeId;
+        while next < n {
+            let at = rng.gen_range(0..frontier.len());
+            let v = frontier.swap_remove(at);
+            parent[next as usize] = v;
+            parent[next as usize + 1] = v;
+            frontier.push(next);
+            frontier.push(next + 1);
+            next += 2;
+        }
+        let tree = Tree::from_parents(0, parent);
+        let nodes: Vec<ExprNode> = tree
+            .vertices()
+            .map(|v| {
+                if tree.is_leaf(v) {
+                    ExprNode::Leaf(rng.gen_range(0..1000))
+                } else if rng.gen_bool(0.5) {
+                    ExprNode::Add
+                } else {
+                    ExprNode::Mul
+                }
+            })
+            .collect();
+        ExprTree::new(tree, nodes)
+    }
+}
+
+/// An affine map `x ↦ a·x + b` over wrapping `u64` arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Affine {
+    a: u64,
+    b: u64,
+}
+
+impl Affine {
+    const IDENTITY: Affine = Affine { a: 1, b: 0 };
+
+    fn apply(self, x: u64) -> u64 {
+        self.a.wrapping_mul(x).wrapping_add(self.b)
+    }
+
+    /// `self ∘ other`: first `other`, then `self`.
+    fn compose(self, other: Affine) -> Affine {
+        Affine {
+            a: self.a.wrapping_mul(other.a),
+            b: self.a.wrapping_mul(other.b).wrapping_add(self.b),
+        }
+    }
+
+    /// The operator with one operand fixed: `x ↦ op(c, x)`.
+    fn partial(op: ExprNode, c: u64) -> Affine {
+        match op {
+            ExprNode::Add => Affine { a: 1, b: c },
+            ExprNode::Mul => Affine { a: c, b: 0 },
+            ExprNode::Leaf(_) => unreachable!("leaves have no operands"),
+        }
+    }
+}
+
+/// Result of a spatial expression evaluation.
+#[derive(Debug, Clone)]
+pub struct ExprResult {
+    /// `values[v]`: the value of the subexpression rooted at `v`.
+    pub values: Vec<u64>,
+    /// Contraction statistics.
+    pub stats: ContractionStats,
+}
+
+/// Host reference: evaluates every subexpression bottom-up.
+pub fn evaluate_expression_host(expr: &ExprTree) -> Vec<u64> {
+    let t = expr.tree();
+    let mut values = vec![0u64; t.n() as usize];
+    for &v in spatial_tree::traversal::bfs_order(t).iter().rev() {
+        values[v as usize] = match expr.nodes()[v as usize] {
+            ExprNode::Leaf(c) => c,
+            op => {
+                let cs = t.children(v);
+                let (l, r) = (values[cs[0] as usize], values[cs[1] as usize]);
+                match op {
+                    ExprNode::Add => l.wrapping_add(r),
+                    ExprNode::Mul => l.wrapping_mul(r),
+                    ExprNode::Leaf(_) => unreachable!(),
+                }
+            }
+        };
+    }
+    values
+}
+
+/// One undo record, stored on the deactivated vertex (O(1)/processor).
+#[derive(Debug, Clone, Copy)]
+enum ExprLog {
+    /// Raked with a fully known subexpression value.
+    Rake { value: u64 },
+    /// Compressed; the frozen map takes the merge-time child's value to
+    /// this vertex's value.
+    Compress { child: NodeId, g: Affine },
+}
+
+/// Evaluates every subexpression on the spatial machine via rake and
+/// compress contraction with affine-map composition.
+///
+/// `O(n log n)` energy and `O(log n)` depth w.h.p. on an energy-bound
+/// light-first layout (binary trees ⇒ Lemma 11's bounded-degree case).
+pub fn evaluate_expression<R: Rng>(
+    machine: &Machine,
+    layout: &Layout,
+    expr: &ExprTree,
+    rng: &mut R,
+) -> ExprResult {
+    let t = expr.tree();
+    let n = t.n() as usize;
+    assert_eq!(layout.n() as usize, n, "layout size mismatch");
+    let slot = |v: NodeId| -> Slot { layout.slot(v) };
+
+    // Mutable contracted-tree state (children ≤ 2 throughout).
+    let mut parent: Vec<NodeId> = t.parents().to_vec();
+    let mut children: Vec<[NodeId; 2]> = t
+        .vertices()
+        .map(|v| {
+            let cs = t.children(v);
+            [
+                cs.first().copied().unwrap_or(NIL),
+                cs.get(1).copied().unwrap_or(NIL),
+            ]
+        })
+        .collect();
+    let child_count = |children: &[[NodeId; 2]], v: NodeId| -> u32 {
+        children[v as usize].iter().filter(|&&c| c != NIL).count() as u32
+    };
+    // Known value for resolved-leaf supervertices.
+    let mut value: Vec<Option<u64>> = expr
+        .nodes()
+        .iter()
+        .map(|&nd| match nd {
+            ExprNode::Leaf(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    // Pending affine map: value(v) = g[v](op_v(remaining children)).
+    let mut g: Vec<Affine> = vec![Affine::IDENTITY; n];
+    let mut active = vec![true; n];
+    let mut alive: Vec<NodeId> = t.vertices().collect();
+    let mut coin = vec![false; n];
+    let mut log: Vec<Option<(u32, ExprLog)>> = vec![None; n];
+    let mut step_groups: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::new(); // (compresses, rakes)
+    let mut stats = ContractionStats {
+        compact_rounds: 0,
+        compresses: 0,
+        rakes: 0,
+    };
+
+    while alive.len() > 1 {
+        let round = stats.compact_rounds;
+        let mut compresses = Vec::new();
+        let mut rakes = Vec::new();
+
+        // Random-mate COMPRESS over unary chains (vertices whose single
+        // remaining operand is a single-child vertex).
+        for &v in &alive {
+            coin[v as usize] = rng.gen();
+        }
+        let viable: Vec<NodeId> = alive
+            .iter()
+            .copied()
+            .filter(|&v| {
+                let p = parent[v as usize];
+                p != NIL
+                    && child_count(&children, p) == 1
+                    && child_count(&children, v) == 1
+                    && value[v as usize].is_none()
+                    && value[p as usize].is_none()
+            })
+            .collect();
+        let coin_msgs: Vec<(Slot, Slot)> = viable
+            .iter()
+            .map(|&v| (slot(parent[v as usize]), slot(v)))
+            .collect();
+        machine.round(&coin_msgs);
+        let selected: Vec<NodeId> = viable
+            .into_iter()
+            .filter(|&v| coin[v as usize] && !coin[parent[v as usize] as usize])
+            .collect();
+
+        let mut compress_msgs = Vec::with_capacity(2 * selected.len());
+        for &v in &selected {
+            let u = parent[v as usize];
+            let c = if children[v as usize][0] != NIL {
+                children[v as usize][0]
+            } else {
+                children[v as usize][1]
+            };
+            debug_assert!(c != NIL);
+            log[v as usize] = Some((
+                round,
+                ExprLog::Compress {
+                    child: c,
+                    g: g[v as usize],
+                },
+            ));
+            g[u as usize] = g[u as usize].compose(g[v as usize]);
+            children[u as usize] = [c, NIL];
+            parent[c as usize] = u;
+            active[v as usize] = false;
+            compress_msgs.push((slot(v), slot(u)));
+            compress_msgs.push((slot(v), slot(c)));
+            compresses.push(v);
+        }
+        machine.round(&compress_msgs);
+        stats.compresses += selected.len() as u64;
+        alive.retain(|&v| active[v as usize]);
+
+        // RAKE resolved children into their parents.
+        let parents: Vec<NodeId> = alive.clone();
+        let mut rake_msgs = Vec::new();
+        for u in parents {
+            if !active[u as usize] || value[u as usize].is_some() {
+                continue;
+            }
+            let kids = children[u as usize];
+            let resolved: Vec<NodeId> = kids
+                .iter()
+                .copied()
+                .filter(|&c| c != NIL && value[c as usize].is_some())
+                .collect();
+            if resolved.is_empty() {
+                continue;
+            }
+            let remaining = child_count(&children, u) - resolved.len() as u32;
+            match remaining {
+                0 => {
+                    // All operands known: u resolves to a constant.
+                    let x = match (kids[0], kids[1]) {
+                        (a, NIL) => {
+                            // Unary u (previous partial application).
+                            value[a as usize].expect("resolved")
+                        }
+                        (a, b) => {
+                            let (xa, xb) = (value[a as usize].unwrap(), value[b as usize].unwrap());
+                            match expr.nodes()[u as usize] {
+                                ExprNode::Add => xa.wrapping_add(xb),
+                                ExprNode::Mul => xa.wrapping_mul(xb),
+                                ExprNode::Leaf(_) => unreachable!(),
+                            }
+                        }
+                    };
+                    value[u as usize] = Some(g[u as usize].apply(x));
+                }
+                1 => {
+                    // One operand known: u becomes an affine map of the
+                    // other.
+                    let c = resolved[0];
+                    let partial =
+                        Affine::partial(expr.nodes()[u as usize], value[c as usize].unwrap());
+                    g[u as usize] = g[u as usize].compose(partial);
+                }
+                _ => unreachable!("binary trees have ≤ 2 children"),
+            }
+            for &c in &resolved {
+                log[c as usize] = Some((
+                    round,
+                    ExprLog::Rake {
+                        value: value[c as usize].unwrap(),
+                    },
+                ));
+                active[c as usize] = false;
+                rake_msgs.push((slot(c), slot(u)));
+                rakes.push(c);
+                // Unlink.
+                let ks = &mut children[u as usize];
+                if ks[0] == c {
+                    ks[0] = ks[1];
+                }
+                ks[1] = NIL;
+            }
+            stats.rakes += resolved.len() as u64;
+        }
+        machine.round(&rake_msgs);
+        alive.retain(|&v| active[v as usize]);
+
+        step_groups.push((compresses, rakes));
+        stats.compact_rounds += 1;
+        assert!(
+            stats.compact_rounds <= 4 * t.n() + 64,
+            "expression contraction failed to converge"
+        );
+    }
+
+    // The surviving supervertex is the root with its value resolved.
+    let root = t.root();
+    let mut values = vec![0u64; n];
+    values[root as usize] = value[root as usize].expect("root resolves at the end");
+
+    // Uncontraction: rakes ground themselves; compresses evaluate their
+    // frozen affine map on the (already recovered) merge-time child.
+    for (compresses, rakes) in step_groups.into_iter().rev() {
+        let mut msgs = Vec::new();
+        for &c in rakes.iter().rev() {
+            let Some((_, ExprLog::Rake { value: x })) = log[c as usize] else {
+                unreachable!("rake log missing");
+            };
+            values[c as usize] = x;
+            msgs.push((slot(parent[c as usize]), slot(c)));
+        }
+        machine.round(&msgs);
+        let mut msgs = Vec::new();
+        for &v in compresses.iter().rev() {
+            let Some((_, ExprLog::Compress { child, g: gv })) = log[v as usize] else {
+                unreachable!("compress log missing");
+            };
+            values[v as usize] = gv.apply(values[child as usize]);
+            msgs.push((slot(parent[v as usize]), slot(v)));
+        }
+        machine.round(&msgs);
+    }
+
+    ExprResult { values, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+
+    fn eval(expr: &ExprTree, seed: u64) -> (ExprResult, spatial_model::CostReport) {
+        let layout = Layout::light_first(expr.tree(), CurveKind::Hilbert);
+        let machine = layout.machine();
+        let res = evaluate_expression(&machine, &layout, expr, &mut StdRng::seed_from_u64(seed));
+        (res, machine.report())
+    }
+
+    #[test]
+    fn tiny_sum() {
+        // (3 + 4)
+        let tree = Tree::from_parents(0, vec![NIL, 0, 0]);
+        let expr = ExprTree::new(
+            tree,
+            vec![ExprNode::Add, ExprNode::Leaf(3), ExprNode::Leaf(4)],
+        );
+        let (res, _) = eval(&expr, 1);
+        assert_eq!(res.values, vec![7, 3, 4]);
+    }
+
+    #[test]
+    fn nested_mixed() {
+        // (2 + 3) * (4 + (5 * 6)) = 5 * 34 = 170
+        //        0(*)
+        //      1(+)   2(+)
+        //    3:2 4:3  5:4  6(*)
+        //                 7:5 8:6
+        let tree = Tree::from_parents(0, vec![NIL, 0, 0, 1, 1, 2, 2, 6, 6]);
+        let expr = ExprTree::new(
+            tree,
+            vec![
+                ExprNode::Mul,
+                ExprNode::Add,
+                ExprNode::Add,
+                ExprNode::Leaf(2),
+                ExprNode::Leaf(3),
+                ExprNode::Leaf(4),
+                ExprNode::Mul,
+                ExprNode::Leaf(5),
+                ExprNode::Leaf(6),
+            ],
+        );
+        let (res, _) = eval(&expr, 2);
+        assert_eq!(res.values[0], 170);
+        assert_eq!(res.values[1], 5);
+        assert_eq!(res.values[2], 34);
+        assert_eq!(res.values[6], 30);
+        assert_eq!(res.values, evaluate_expression_host(&expr));
+    }
+
+    #[test]
+    fn deep_left_chain() {
+        // ((((1+1)+1)+1)+1): exercises compress-heavy contraction.
+        let leaves = 64u32;
+        let n = 2 * leaves - 1;
+        let mut parent = vec![NIL; n as usize];
+        let mut nodes = vec![ExprNode::Add; n as usize];
+        // Vertex 2k+1 = internal chain continues; 2k+2 = leaf.
+        let mut chain = 0 as NodeId;
+        let mut next = 1 as NodeId;
+        while next + 1 < n {
+            parent[next as usize] = chain;
+            parent[next as usize + 1] = chain;
+            nodes[next as usize + 1] = ExprNode::Leaf(1);
+            chain = next;
+            next += 2;
+        }
+        nodes[chain as usize] = ExprNode::Leaf(1);
+        // chain became a leaf: rebuild labels so internals are Add.
+        let tree = Tree::from_parents(0, parent);
+        let nodes: Vec<ExprNode> = tree
+            .vertices()
+            .map(|v| {
+                if tree.is_leaf(v) {
+                    ExprNode::Leaf(1)
+                } else {
+                    ExprNode::Add
+                }
+            })
+            .collect();
+        let expr = ExprTree::new(tree, nodes);
+        let (res, report) = eval(&expr, 3);
+        assert_eq!(res.values[0], leaves as u64);
+        assert_eq!(res.values, evaluate_expression_host(&expr));
+        assert!(report.depth > 0);
+    }
+
+    #[test]
+    fn random_expressions_match_host() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for leaves in [1u32, 2, 3, 10, 100, 1000] {
+            let expr = ExprTree::random(leaves, &mut rng);
+            let (res, _) = eval(&expr, 5);
+            assert_eq!(
+                res.values,
+                evaluate_expression_host(&expr),
+                "leaves={leaves}"
+            );
+        }
+    }
+
+    #[test]
+    fn las_vegas_any_seed() {
+        let expr = ExprTree::random(200, &mut StdRng::seed_from_u64(6));
+        let expect = evaluate_expression_host(&expr);
+        for seed in 0..8 {
+            let (res, _) = eval(&expr, seed);
+            assert_eq!(res.values, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn costs_match_lemma11() {
+        // Binary trees ⇒ bounded degree: O(n log n) energy, O(log n)
+        // depth, O(log n) rounds.
+        let mut e_norm = Vec::new();
+        for log_leaves in [10u32, 12] {
+            let expr = ExprTree::random(1 << log_leaves, &mut StdRng::seed_from_u64(7));
+            let n = expr.n() as u64;
+            let (res, report) = eval(&expr, 8);
+            e_norm.push(report.energy_per_n_log_n(n));
+            let log_n = (n as f64).log2();
+            assert!(
+                (report.depth as f64) < 25.0 * log_n,
+                "depth {} not O(log n)",
+                report.depth
+            );
+            assert!(res.stats.compact_rounds as f64 <= 6.0 * log_n);
+        }
+        assert!(
+            e_norm[1] / e_norm[0] < 2.0,
+            "energy/(n log n) should stay flat: {e_norm:?}"
+        );
+    }
+
+    #[test]
+    fn wrapping_semantics_consistent() {
+        // Huge products wrap identically in both evaluators.
+        let tree = Tree::from_parents(0, vec![NIL, 0, 0, 1, 1, 2, 2]);
+        let expr = ExprTree::new(
+            tree,
+            vec![
+                ExprNode::Mul,
+                ExprNode::Mul,
+                ExprNode::Mul,
+                ExprNode::Leaf(u64::MAX / 3),
+                ExprNode::Leaf(12345),
+                ExprNode::Leaf(u64::MAX / 7),
+                ExprNode::Leaf(67890),
+            ],
+        );
+        let (res, _) = eval(&expr, 9);
+        assert_eq!(res.values, evaluate_expression_host(&expr));
+    }
+
+    #[test]
+    #[should_panic(expected = "expression trees need constant leaves")]
+    fn rejects_unary_internal() {
+        let tree = Tree::from_parents(0, vec![NIL, 0]);
+        let _ = ExprTree::new(tree, vec![ExprNode::Add, ExprNode::Leaf(1)]);
+    }
+
+    #[test]
+    fn affine_algebra() {
+        let f = Affine { a: 2, b: 3 }; // 2x + 3
+        let h = Affine { a: 5, b: 7 }; // 5x + 7
+                                       // f ∘ h = 2(5x + 7) + 3 = 10x + 17.
+        assert_eq!(f.compose(h), Affine { a: 10, b: 17 });
+        assert_eq!(f.compose(Affine::IDENTITY), f);
+        assert_eq!(Affine::IDENTITY.compose(f), f);
+        assert_eq!(f.apply(10), 23);
+        assert_eq!(Affine::partial(ExprNode::Add, 9).apply(4), 13);
+        assert_eq!(Affine::partial(ExprNode::Mul, 9).apply(4), 36);
+    }
+}

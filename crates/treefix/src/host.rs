@@ -1,0 +1,146 @@
+//! Host (non-spatial) reference implementations of treefix sums.
+//!
+//! Used to verify the spatial contraction algorithm and as the
+//! sequential baseline in the wall-clock benchmarks. A rayon
+//! level-synchronous variant demonstrates the fork-join parallelism the
+//! paper's low depth implies.
+
+use crate::monoid::CommutativeMonoid;
+use rayon::prelude::*;
+use spatial_tree::{NodeId, Tree};
+
+/// Bottom-up treefix: `result[v] = ⊕ values over the subtree of v`.
+/// Sequential, one pass over reverse BFS order.
+pub fn treefix_bottom_up_host<M: CommutativeMonoid>(tree: &Tree, values: &[M]) -> Vec<M> {
+    assert_eq!(values.len() as u32, tree.n());
+    let mut result = values.to_vec();
+    let order = spatial_tree::traversal::bfs_order(tree);
+    for &v in order.iter().rev() {
+        if let Some(p) = tree.parent(v) {
+            result[p as usize] = result[p as usize].combine(result[v as usize]);
+        }
+    }
+    result
+}
+
+/// Top-down treefix: `result[v] = ⊕ values along the root → v path`
+/// (inclusive). Sequential, one pass over BFS order.
+pub fn treefix_top_down_host<M: CommutativeMonoid>(tree: &Tree, values: &[M]) -> Vec<M> {
+    assert_eq!(values.len() as u32, tree.n());
+    let mut result = values.to_vec();
+    for &v in spatial_tree::traversal::bfs_order(tree).iter() {
+        if let Some(p) = tree.parent(v) {
+            result[v as usize] = result[p as usize].combine(values[v as usize]);
+        }
+    }
+    result
+}
+
+/// Rayon level-synchronous bottom-up treefix: processes depth levels
+/// from the deepest up, each level in parallel.
+pub fn treefix_bottom_up_par<M: CommutativeMonoid>(tree: &Tree, values: &[M]) -> Vec<M> {
+    assert_eq!(values.len() as u32, tree.n());
+    let levels = depth_levels(tree);
+    let mut result = values.to_vec();
+    for level in levels.iter().rev() {
+        let partial: Vec<(NodeId, M)> = level
+            .par_iter()
+            .map(|&v| {
+                let mut acc = values[v as usize];
+                for &c in tree.children(v) {
+                    acc = acc.combine(result[c as usize]);
+                }
+                (v, acc)
+            })
+            .collect();
+        for (v, m) in partial {
+            result[v as usize] = m;
+        }
+    }
+    result
+}
+
+/// Rayon level-synchronous top-down treefix.
+pub fn treefix_top_down_par<M: CommutativeMonoid>(tree: &Tree, values: &[M]) -> Vec<M> {
+    assert_eq!(values.len() as u32, tree.n());
+    let levels = depth_levels(tree);
+    let mut result = values.to_vec();
+    for level in levels.iter() {
+        let partial: Vec<(NodeId, M)> = level
+            .par_iter()
+            .filter_map(|&v| {
+                tree.parent(v)
+                    .map(|p| (v, result[p as usize].combine(values[v as usize])))
+            })
+            .collect();
+        for (v, m) in partial {
+            result[v as usize] = m;
+        }
+    }
+    result
+}
+
+fn depth_levels(tree: &Tree) -> Vec<Vec<NodeId>> {
+    let depths = tree.depths();
+    let max = depths.iter().copied().max().unwrap_or(0) as usize;
+    let mut levels = vec![Vec::new(); max + 1];
+    for v in tree.vertices() {
+        levels[depths[v as usize] as usize].push(v);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::{Add, Max};
+    use rand::prelude::*;
+    use spatial_tree::generators;
+
+    #[test]
+    fn bottom_up_sizes() {
+        let t = generators::perfect_kary(2, 3);
+        let ones = vec![Add(1); t.n() as usize];
+        let sums = treefix_bottom_up_host(&t, &ones);
+        let sizes: Vec<u64> = sums.iter().map(|a| a.0).collect();
+        let expect: Vec<u64> = t.subtree_sizes().iter().map(|&s| s as u64).collect();
+        assert_eq!(sizes, expect);
+    }
+
+    #[test]
+    fn top_down_depths() {
+        let t = generators::comb(20);
+        let ones = vec![Add(1); 20];
+        let sums = treefix_top_down_host(&t, &ones);
+        let got: Vec<u64> = sums.iter().map(|a| a.0).collect();
+        let expect: Vec<u64> = t.depths().iter().map(|&d| d as u64 + 1).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bottom_up_max() {
+        let t = generators::path(5);
+        let vals: Vec<Max> = [3u64, 9, 1, 7, 2].iter().map(|&v| Max(v)).collect();
+        let got = treefix_bottom_up_host(&t, &vals);
+        assert_eq!(got, vec![Max(9), Max(9), Max(7), Max(7), Max(2)]);
+    }
+
+    #[test]
+    fn par_matches_host() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for n in [1u32, 2, 100, 5000] {
+            let t = generators::preferential_attachment(n, &mut rng);
+            let vals: Vec<Add> = (0..n as u64).map(|v| Add(v * v + 1)).collect();
+            assert_eq!(
+                treefix_bottom_up_par(&t, &vals),
+                treefix_bottom_up_host(&t, &vals),
+                "bottom-up n={n}"
+            );
+            assert_eq!(
+                treefix_top_down_par(&t, &vals),
+                treefix_top_down_host(&t, &vals),
+                "top-down n={n}"
+            );
+        }
+    }
+}

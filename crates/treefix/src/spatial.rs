@@ -1,0 +1,252 @@
+//! Driver entry points for the spatial treefix algorithms (§V-C, §V-D).
+
+use crate::contraction::{ContractionEngine, ContractionStats};
+use crate::monoid::CommutativeMonoid;
+use rand::Rng;
+use spatial_layout::Layout;
+use spatial_model::Machine;
+use spatial_tree::Tree;
+
+/// Result of a spatial treefix run.
+#[derive(Debug, Clone)]
+pub struct TreefixResult<M> {
+    /// Per-vertex result (subtree sums for bottom-up, root-path sums for
+    /// top-down).
+    pub values: Vec<M>,
+    /// Contraction statistics (Las Vegas cost evidence).
+    pub stats: ContractionStats,
+}
+
+/// Bottom-up treefix sum on the spatial machine: `result[v] = ⊕ values
+/// over the subtree of v`.
+///
+/// `O(n log n)` energy w.h.p.; depth `O(log n)` for bounded-degree trees
+/// and `O(log² n)` in general (Lemmas 11–12). The tree must be laid out
+/// in an energy-bound light-first order for those bounds to hold — any
+/// layout is accepted, the meter simply reports what it costs.
+pub fn treefix_bottom_up<M: CommutativeMonoid, R: Rng>(
+    machine: &Machine,
+    layout: &Layout,
+    tree: &Tree,
+    values: &[M],
+    rng: &mut R,
+) -> TreefixResult<M> {
+    let mut engine = ContractionEngine::new(tree, layout, machine, values, true);
+    let stats = engine.contract(rng);
+    TreefixResult {
+        values: engine.uncontract_bottom_up(),
+        stats,
+    }
+}
+
+/// Top-down treefix sum on the spatial machine: `result[v] = ⊕ values
+/// along the root → v path` (inclusive). Costs as
+/// [`treefix_bottom_up`].
+pub fn treefix_top_down<M: CommutativeMonoid, R: Rng>(
+    machine: &Machine,
+    layout: &Layout,
+    tree: &Tree,
+    values: &[M],
+    rng: &mut R,
+) -> TreefixResult<M> {
+    let mut engine = ContractionEngine::new(tree, layout, machine, values, false);
+    let stats = engine.contract(rng);
+    TreefixResult {
+        values: engine.uncontract_top_down(values),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{treefix_bottom_up_host, treefix_top_down_host};
+    use crate::monoid::Add;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::generators;
+
+    #[test]
+    fn lemma11_bounded_degree_costs() {
+        // Bounded degree: O(n log n) energy, O(log n) depth.
+        let mut e_norm = Vec::new();
+        for log_n in [10u32, 12, 14] {
+            let n = 1u32 << log_n;
+            let t = generators::random_binary(n, &mut StdRng::seed_from_u64(1));
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let m = layout.machine();
+            let values = vec![Add(1); n as usize];
+            let res = treefix_bottom_up(&m, &layout, &t, &values, &mut StdRng::seed_from_u64(2));
+            let r = m.report();
+            e_norm.push(r.energy_per_n_log_n(n as u64));
+            assert!(
+                r.depth as f64 <= 25.0 * log_n as f64,
+                "n=2^{log_n}: depth {} not O(log n)",
+                r.depth
+            );
+            // Sanity: correct output.
+            assert_eq!(res.values[t.root() as usize], Add(n as u64));
+        }
+        let (lo, hi) = (
+            e_norm.iter().cloned().fold(f64::MAX, f64::min),
+            e_norm.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(
+            hi / lo < 3.0,
+            "energy/(n log n) should be near-flat: {e_norm:?}"
+        );
+    }
+
+    #[test]
+    fn lemma12_unbounded_degree_costs() {
+        // Unbounded degree: still O(n log n) energy; depth O(log² n).
+        for log_n in [10u32, 12] {
+            let n = 1u32 << log_n;
+            let t = generators::preferential_attachment(n, &mut StdRng::seed_from_u64(3));
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let m = layout.machine();
+            let values = vec![Add(1); n as usize];
+            treefix_bottom_up(&m, &layout, &t, &values, &mut StdRng::seed_from_u64(4));
+            let r = m.report();
+            assert!(
+                r.energy_per_n_log_n(n as u64) < 60.0,
+                "n=2^{log_n}: energy/(n log n) = {}",
+                r.energy_per_n_log_n(n as u64)
+            );
+            let log2 = (log_n as f64) * (log_n as f64);
+            assert!(
+                (r.depth as f64) < 25.0 * log2,
+                "n=2^{log_n}: depth {} not O(log² n)",
+                r.depth
+            );
+        }
+    }
+
+    #[test]
+    fn zorder_layout_same_bounds() {
+        // Theorem 2: Z-order light-first is also energy-bound.
+        let n = 1u32 << 12;
+        let t = generators::random_binary(n, &mut StdRng::seed_from_u64(5));
+        let layout = Layout::light_first(&t, CurveKind::ZOrder);
+        let m = layout.machine();
+        treefix_bottom_up(
+            &m,
+            &layout,
+            &t,
+            &vec![Add(1); n as usize],
+            &mut StdRng::seed_from_u64(6),
+        );
+        assert!(m.report().energy_per_n_log_n(n as u64) < 60.0);
+    }
+
+    #[test]
+    fn bad_layout_costs_more() {
+        // The meter doesn't lie: a random layout burns far more energy
+        // for the same computation.
+        let n = 1u32 << 12;
+        let t = generators::random_binary(n, &mut StdRng::seed_from_u64(7));
+        let mut rng = StdRng::seed_from_u64(8);
+
+        let good = Layout::light_first(&t, CurveKind::Hilbert);
+        let mg = good.machine();
+        treefix_bottom_up(&mg, &good, &t, &vec![Add(1); n as usize], &mut rng);
+
+        let bad = Layout::random(&t, CurveKind::Hilbert, &mut rng);
+        let mb = bad.machine();
+        treefix_bottom_up(&mb, &bad, &t, &vec![Add(1); n as usize], &mut rng);
+
+        assert!(
+            mb.report().energy > 4 * mg.report().energy,
+            "random layout {} vs light-first {}",
+            mb.report().energy,
+            mg.report().energy
+        );
+    }
+
+    #[test]
+    fn top_down_driver_matches_host() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = generators::yule(300, &mut rng);
+        let n = t.n();
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let m = layout.machine();
+        let values: Vec<Add> = (0..n as u64).map(|v| Add(v % 17)).collect();
+        let res = treefix_top_down(&m, &layout, &t, &values, &mut rng);
+        assert_eq!(res.values, treefix_top_down_host(&t, &values));
+    }
+
+    #[test]
+    fn bottom_up_driver_matches_host() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let t = generators::comb(777);
+        let values: Vec<Add> = (0..777u64).map(|v| Add(v + 3)).collect();
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let m = layout.machine();
+        let res = treefix_bottom_up(&m, &layout, &t, &values, &mut rng);
+        assert_eq!(res.values, treefix_bottom_up_host(&t, &values));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::host::{treefix_bottom_up_host, treefix_top_down_host};
+    use crate::monoid::{Add, Max, Min};
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::generators;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Fused product-monoid treefix equals three independent host
+        /// treefixes, on any tree and seed.
+        #[test]
+        fn prop_product_monoid_fuses(
+            n in 2u32..200,
+            tree_seed in 0u64..10_000,
+            algo_seed in 0u64..10_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(tree_seed);
+            let t = generators::uniform_random(n, &mut rng);
+            let layout = spatial_layout::Layout::light_first(&t, CurveKind::Hilbert);
+            let machine = layout.machine();
+            let values: Vec<(Add, Max, Min)> = (0..n as u64)
+                .map(|v| (Add(v + 1), Max(v * 7 % 50), Min(v * 13 % 90)))
+                .collect();
+            let fused = treefix_bottom_up(
+                &machine, &layout, &t, &values, &mut StdRng::seed_from_u64(algo_seed),
+            );
+            let adds: Vec<Add> = values.iter().map(|v| v.0).collect();
+            let maxs: Vec<Max> = values.iter().map(|v| v.1).collect();
+            let mins: Vec<Min> = values.iter().map(|v| v.2).collect();
+            let ea = treefix_bottom_up_host(&t, &adds);
+            let em = treefix_bottom_up_host(&t, &maxs);
+            let en = treefix_bottom_up_host(&t, &mins);
+            for v in 0..n as usize {
+                prop_assert_eq!(fused.values[v], (ea[v], em[v], en[v]));
+            }
+        }
+
+        /// Top-down and bottom-up treefix agree with host references on
+        /// arbitrary bounded-degree trees.
+        #[test]
+        fn prop_binary_trees_both_directions(
+            n in 1u32..250,
+            tree_seed in 0u64..10_000,
+            algo_seed in 0u64..10_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(tree_seed);
+            let t = generators::random_binary(n, &mut rng);
+            let layout = spatial_layout::Layout::light_first(&t, CurveKind::Hilbert);
+            let machine = layout.machine();
+            let values: Vec<Add> = (0..n as u64).map(|v| Add(v % 31)).collect();
+            let mut rng2 = StdRng::seed_from_u64(algo_seed);
+            let bu = treefix_bottom_up(&machine, &layout, &t, &values, &mut rng2);
+            prop_assert_eq!(bu.values, treefix_bottom_up_host(&t, &values));
+            let td = treefix_top_down(&machine, &layout, &t, &values, &mut rng2);
+            prop_assert_eq!(td.values, treefix_top_down_host(&t, &values));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Random-forest workload: the paper's machine-learning motivation.
+//!
+//! Decision trees and random forests "can realize enhanced performance
+//! through spatial locality" (§I). This example builds a forest of
+//! random binary decision trees, lays each out light-first, and runs
+//! two analyses per tree entirely with treefix sums:
+//!
+//! - **sample routing counts** (how many training samples reach each
+//!   node) — a bottom-up treefix over per-leaf sample counts;
+//! - **path costs** (feature-evaluation cost from root to node) — a
+//!   top-down treefix.
+//!
+//! The per-tree energy stays near-linear, so the whole forest scales the
+//! same way — that is the amortization story of §I-D: lay out once,
+//! query many times.
+//!
+//! ```sh
+//! cargo run --release --example decision_forest
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let forest_size = 16usize;
+    let nodes_per_tree = 1u32 << 12;
+
+    let mut total = CostReport::default();
+    let mut total_nodes = 0u64;
+    println!("random forest: {forest_size} trees × {nodes_per_tree} nodes");
+    println!(
+        "{:<6} {:>10} {:>12} {:>8} {:>14} {:>12}",
+        "tree", "nodes", "energy", "depth", "energy/(nlogn)", "samples@root"
+    );
+
+    for t in 0..forest_size {
+        let tree = generators::random_binary(nodes_per_tree, &mut rng);
+        let n = tree.n();
+        let st = SpatialTree::new(tree);
+
+        // Each leaf drains a random number of training samples; internal
+        // nodes route the sum of their children (bottom-up treefix).
+        let samples: Vec<Add> = (0..n)
+            .map(|v| {
+                if st.tree().is_leaf(v) {
+                    Add(rng.gen_range(1..100))
+                } else {
+                    Add(0)
+                }
+            })
+            .collect();
+        let machine = st.machine();
+        let routed = st.treefix_sum(&machine, &samples, &mut rng);
+
+        // Feature-evaluation cost along each root→node path (top-down).
+        let costs: Vec<Add> = (0..n).map(|_| Add(rng.gen_range(1..5))).collect();
+        let _path_cost = st.treefix_top_down(&machine, &costs, &mut rng);
+
+        let report = machine.report();
+        let Add(at_root) = routed.values[st.tree().root() as usize];
+        println!(
+            "{:<6} {:>10} {:>12} {:>8} {:>14.2} {:>12}",
+            t,
+            n,
+            report.energy,
+            report.depth,
+            report.energy_per_n_log_n(n as u64),
+            at_root
+        );
+        total = total + report;
+        total_nodes += n as u64;
+    }
+
+    println!(
+        "\nforest totals: {total_nodes} nodes, energy {}, {:.2} energy per node·log(node)",
+        total.energy,
+        total.energy as f64 / (total_nodes as f64 * (nodes_per_tree as f64).log2())
+    );
+    println!(
+        "(forest trees are independent: on a real spatial chip they run \
+         side-by-side, so forest depth = max tree depth, not the sum)"
+    );
+}

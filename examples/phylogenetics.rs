@@ -1,0 +1,102 @@
+//! Phylogenetics workload: the paper's computational-biology motivation.
+//!
+//! A Yule (pure-birth) species tree is analyzed with the spatial
+//! algorithms: clade sizes via treefix sums, most-recent-common-ancestor
+//! (MRCA) queries via batched LCA, and a layout comparison showing why
+//! the light-first order matters when the same tree is reused across
+//! many analysis passes (§I-D's amortization argument).
+//!
+//! ```sh
+//! cargo run --release --example phylogenetics
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_trees::layout::{edge_distance_stats, Layout, LayoutKind};
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let species = 8192u32;
+    let tree = generators::yule(species, &mut rng);
+    let n = tree.n();
+    println!("Yule phylogeny: {species} extant species, {n} tree vertices");
+
+    // Collect the leaves (= species) before the tree moves into the
+    // spatial wrapper.
+    let leaves: Vec<NodeId> = tree.vertices().filter(|&v| tree.is_leaf(v)).collect();
+
+    // --- Layout comparison: mean branch length on the grid. ---
+    println!("\nlayout comparison (mean parent-child grid distance):");
+    for kind in LayoutKind::ALL {
+        let layout = Layout::of_kind(kind, &tree, CurveKind::Hilbert, &mut rng);
+        let stats = edge_distance_stats(&tree, &layout);
+        println!(
+            "  {kind:<12} mean = {:>8.2}   max = {:>6}",
+            stats.mean, stats.max
+        );
+    }
+
+    let st = SpatialTree::new(tree);
+
+    // --- Clade sizes: one bottom-up treefix sum. ---
+    let machine = st.machine();
+    let clade = st.treefix_sum(&machine, &vec![Add(1); n as usize], &mut rng);
+    let report = machine.report();
+    let Add(root_clade) = clade.values[st.tree().root() as usize];
+    println!("\nclade sizes via treefix sum: root clade = {root_clade}");
+    println!("  {report}");
+
+    // Largest non-root clade (a real phylogenetic statistic: the deepest
+    // split's balance).
+    let (balance_left, balance_right) = {
+        let root = st.tree().root();
+        let kids = st.tree().children(root);
+        let Add(a) = clade.values[kids[0] as usize];
+        let b = kids.get(1).map(|&c| match clade.values[c as usize] {
+            Add(v) => v,
+        });
+        (a, b.unwrap_or(0))
+    };
+    println!("  root split balance: {balance_left} vs {balance_right}");
+
+    // --- MRCA queries: random species pairs. ---
+    let queries: Vec<(NodeId, NodeId)> = (0..species)
+        .map(|_| {
+            (
+                leaves[rng.gen_range(0..leaves.len())],
+                leaves[rng.gen_range(0..leaves.len())],
+            )
+        })
+        .collect();
+    let machine = st.machine();
+    let mrca = st.lca_batch(&machine, &queries, &mut rng);
+    let report = machine.report();
+    println!(
+        "\nMRCA of {} random species pairs ({} cover layers):",
+        queries.len(),
+        mrca.stats.layers
+    );
+    println!("  {report}");
+
+    // Depth distribution of the MRCAs — how deep do random pairs
+    // coalesce? (Yule trees coalesce near the root.)
+    let depths = st.tree().depths();
+    let mut mrca_depths: Vec<u32> = mrca.answers.iter().map(|&w| depths[w as usize]).collect();
+    mrca_depths.sort_unstable();
+    println!(
+        "  MRCA depth: min={} median={} max={} (tree height {})",
+        mrca_depths[0],
+        mrca_depths[mrca_depths.len() / 2],
+        mrca_depths[mrca_depths.len() - 1],
+        st.tree().height()
+    );
+
+    // Verify a sample against the host oracle.
+    let oracle = spatial_trees::lca::HostLca::new(st.tree());
+    for (qi, &(a, b)) in queries.iter().enumerate().take(1000) {
+        assert_eq!(mrca.answers[qi], oracle.query(a, b));
+    }
+    println!("  verified 1000 answers against the host oracle ✓");
+}

@@ -1,0 +1,80 @@
+//! Quickstart: lay a tree out on the grid, run the paper's algorithms,
+//! and read the energy/depth meters.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 1u32 << 14;
+
+    // A uniformly random labelled tree (unbounded degree).
+    let tree = generators::uniform_random(n, &mut rng);
+    println!("tree: {}", spatial_trees::tree::TreeStats::of(&tree));
+
+    // Light-first layout on a Hilbert curve (Theorem 1's construction).
+    let st = SpatialTree::new(tree);
+    println!(
+        "light-first layout on {} curve, grid side {}",
+        st.layout().curve().kind(),
+        st.machine().side()
+    );
+    println!(
+        "parent→children kernel energy: {} ({:.2} per vertex — Theorem 1 says O(1))",
+        st.messaging_energy(),
+        st.messaging_energy() as f64 / n as f64
+    );
+
+    // Treefix sum: subtree sizes in O(n log n) energy, O(log² n) depth.
+    let machine = st.machine();
+    let sums = st.treefix_sum(&machine, &vec![Add(1); n as usize], &mut rng);
+    let report = machine.report();
+    println!(
+        "\ntreefix sum (subtree sizes): root = {} (expected {n})",
+        match sums.values[st.tree().root() as usize] {
+            Add(v) => v,
+        }
+    );
+    println!(
+        "  {report}\n  energy/(n·log n) = {:.2}   depth/log² n = {:.2}   COMPACT rounds = {}",
+        report.energy_per_n_log_n(n as u64),
+        report.depth_per_log2_n(n as u64),
+        sums.stats.compact_rounds
+    );
+
+    // Batched LCA: n/2 random queries.
+    let queries: Vec<(NodeId, NodeId)> = (0..n / 2)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let machine = st.machine();
+    let lca = st.lca_batch(&machine, &queries, &mut rng);
+    let report = machine.report();
+    println!(
+        "\nbatched LCA over {} queries: {} answered as ancestor pairs, {} cover layers",
+        queries.len(),
+        lca.stats.answered_step1,
+        lca.stats.layers
+    );
+    println!(
+        "  {report}\n  energy/(n·log n) = {:.2}   depth/log² n = {:.2}",
+        report.energy_per_n_log_n(n as u64),
+        report.depth_per_log2_n(n as u64)
+    );
+
+    // Spot-check three answers against the host oracle.
+    let oracle = spatial_trees::lca::HostLca::new(st.tree());
+    for &(a, b) in queries.iter().take(3) {
+        assert_eq!(
+            lca.answers[queries.iter().position(|q| *q == (a, b)).unwrap()],
+            oracle.query(a, b)
+        );
+        println!("  LCA({a}, {b}) = {}", oracle.query(a, b));
+    }
+    println!("\nall good — see EXPERIMENTS.md for the full reproduction.");
+}

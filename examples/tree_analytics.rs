@@ -1,0 +1,114 @@
+//! Tree analytics: the treefix-sum toolbox on one tree, spatial vs PRAM.
+//!
+//! Treefix sums are the paper's workhorse ("applications in minimum cut
+//! computations", §V). This example runs a battery of analytics on one
+//! large random tree — subtree sums / max / min, root-path sums, path
+//! decomposition layers — and compares the spatial cost against the
+//! simulated-PRAM baseline for the same computation (the §I-C headline:
+//! `O(n log n)` vs `Θ(n^{3/2})` energy).
+//!
+//! ```sh
+//! cargo run --release --example tree_analytics
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_trees::pram::PramMachine;
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 1u32 << 14;
+    let tree = generators::preferential_attachment(n, &mut rng);
+    println!("tree: {}", spatial_trees::tree::TreeStats::of(&tree));
+    let st = SpatialTree::new(tree);
+    let weights: Vec<u64> = (0..n as u64).map(|v| (v * 2654435761) % 1000).collect();
+
+    println!(
+        "\n{:<28} {:>12} {:>8} {:>16}",
+        "analytic", "energy", "depth", "energy/(n log n)"
+    );
+
+    // Subtree weight sums.
+    let machine = st.machine();
+    let vals: Vec<Add> = weights.iter().map(|&w| Add(w)).collect();
+    let sums = st.treefix_sum(&machine, &vals, &mut rng);
+    row("subtree weight sums", &machine, n);
+
+    // Subtree maxima (no inverse exists — the paper's "any associative
+    // operator" clause, via our saved-state uncontraction).
+    let machine = st.machine();
+    let vals: Vec<Max> = weights.iter().map(|&w| Max(w)).collect();
+    let maxima = st.treefix_sum(&machine, &vals, &mut rng);
+    row("subtree weight maxima", &machine, n);
+
+    // Subtree minima.
+    let machine = st.machine();
+    let vals: Vec<Min> = weights.iter().map(|&w| Min(w)).collect();
+    let _minima = st.treefix_sum(&machine, &vals, &mut rng);
+    row("subtree weight minima", &machine, n);
+
+    // Root-path sums (top-down).
+    let machine = st.machine();
+    let vals: Vec<Add> = weights.iter().map(|&w| Add(w)).collect();
+    let paths = st.treefix_top_down(&machine, &vals, &mut rng);
+    row("root-path weight sums", &machine, n);
+
+    // Cross-check a few entries against host references.
+    let host_sums = spatial_trees::treefix::treefix_bottom_up_host(
+        st.tree(),
+        &weights.iter().map(|&w| Add(w)).collect::<Vec<_>>(),
+    );
+    assert_eq!(sums.values, host_sums);
+    let host_paths = spatial_trees::treefix::treefix_top_down_host(
+        st.tree(),
+        &weights.iter().map(|&w| Add(w)).collect::<Vec<_>>(),
+    );
+    assert_eq!(paths.values, host_paths);
+    let Max(root_max) = maxima.values[st.tree().root() as usize];
+    assert_eq!(root_max, *weights.iter().max().unwrap());
+    println!("  (all results verified against host references ✓)");
+
+    // PRAM baseline for the subtree sums.
+    let mut pram = PramMachine::new(2 * n, 2 * n, &mut rng);
+    let pram_sums =
+        spatial_trees::pram::pram_subtree_sums(&mut pram, st.tree(), &weights, &mut rng);
+    let expect: Vec<u64> = sums.values.iter().map(|&Add(v)| v).collect();
+    assert_eq!(pram_sums, expect);
+    let pr = pram.report();
+    println!(
+        "\nPRAM-simulation baseline (same subtree sums): energy {} depth {}",
+        pr.energy, pr.depth
+    );
+    println!(
+        "  energy/n^1.5 = {:.2};    spatial wins by {:.1}×",
+        pr.energy_per_n_three_halves(n as u64),
+        pr.energy as f64 / {
+            let machine = st.machine();
+            let vals: Vec<Add> = weights.iter().map(|&w| Add(w)).collect();
+            st.treefix_sum(&machine, &vals, &mut rng);
+            machine.report().energy as f64
+        }
+    );
+
+    // A sampling of concrete analytics.
+    let interesting: Vec<NodeId> = (0..4).map(|_| rng.gen_range(0..n)).collect();
+    println!("\nsample analytics:");
+    for v in interesting {
+        let Add(s) = sums.values[v as usize];
+        let Max(mx) = maxima.values[v as usize];
+        let Add(p) = paths.values[v as usize];
+        println!("  vertex {v}: subtree sum {s}, subtree max {mx}, root-path sum {p}");
+    }
+}
+
+fn row(label: &str, machine: &Machine, n: u32) {
+    let r = machine.report();
+    println!(
+        "{label:<28} {:>12} {:>8} {:>16.2}",
+        r.energy,
+        r.depth,
+        r.energy_per_n_log_n(n as u64)
+    );
+}

@@ -1,0 +1,157 @@
+//! Las Vegas integration: across the whole stack, randomness may change
+//! *costs* but never *results* — plus property-based invariants tying
+//! the crates together.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_trees::layout::Layout;
+use spatial_trees::lca::{batched_lca, HostLca};
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators;
+use spatial_trees::treefix::{treefix_bottom_up, treefix_bottom_up_host};
+
+#[test]
+fn treefix_results_identical_costs_vary() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = generators::uniform_random(800, &mut rng);
+    let layout = Layout::light_first(&t, CurveKind::Hilbert);
+    let values: Vec<Add> = (0..800u64).map(Add).collect();
+
+    let mut all_energies = Vec::new();
+    let expect = treefix_bottom_up_host(&t, &values);
+    for seed in 0..12 {
+        let machine = layout.machine();
+        let res = treefix_bottom_up(
+            &machine,
+            &layout,
+            &t,
+            &values,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert_eq!(res.values, expect, "seed {seed} changed the result");
+        all_energies.push(machine.report().energy);
+    }
+    // Las Vegas: the cost is a random variable — different seeds should
+    // not all coincide (they could in principle, but 12 identical
+    // energies would indicate the rng is not reaching the algorithm).
+    let distinct: std::collections::HashSet<u64> = all_energies.iter().copied().collect();
+    assert!(
+        distinct.len() > 1,
+        "energy identical across seeds: {all_energies:?}"
+    );
+}
+
+#[test]
+fn lca_results_identical_across_seeds() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = generators::preferential_attachment(500, &mut rng);
+    let layout = Layout::light_first(&t, CurveKind::Hilbert);
+    let queries: Vec<(NodeId, NodeId)> = (0..250)
+        .map(|_| (rng.gen_range(0..500), rng.gen_range(0..500)))
+        .collect();
+    let oracle = HostLca::new(&t);
+    for seed in 0..6 {
+        let machine = layout.machine();
+        let res = batched_lca(
+            &machine,
+            &layout,
+            &t,
+            &queries,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            assert_eq!(res.answers[qi], oracle.query(a, b), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn compact_rounds_concentrate() {
+    // W.h.p. bounds: over many seeds, COMPACT rounds stay within a
+    // narrow band around log n (Lemma 11's concentration).
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 1u32 << 12;
+    let t = generators::random_binary(n, &mut rng);
+    let layout = Layout::light_first(&t, CurveKind::Hilbert);
+    let values = vec![Add(1); n as usize];
+    let mut rounds = Vec::new();
+    for seed in 0..20 {
+        let machine = layout.machine();
+        let res = treefix_bottom_up(
+            &machine,
+            &layout,
+            &t,
+            &values,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        rounds.push(res.stats.compact_rounds);
+    }
+    let max = *rounds.iter().max().unwrap();
+    let min = *rounds.iter().min().unwrap();
+    assert!(max <= 6 * 12, "worst seed took {max} rounds");
+    assert!(
+        max - min <= 30,
+        "rounds spread too wide: {min}..{max} ({rounds:?})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any tree (via random Prüfer sequences), any seed: spatial treefix
+    /// equals the host reference, and the layout keeps subtree ranges
+    /// contiguous.
+    #[test]
+    fn prop_treefix_matches_host(n in 2u32..160, tree_seed in 0u64..1000, algo_seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t = generators::uniform_random(n, &mut rng);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let values: Vec<Add> = (0..n as u64).map(|v| Add(v + 1)).collect();
+        let res = treefix_bottom_up(
+            &machine, &layout, &t, &values, &mut StdRng::seed_from_u64(algo_seed),
+        );
+        prop_assert_eq!(res.values, treefix_bottom_up_host(&t, &values));
+    }
+
+    /// Light-first layouts place every subtree in a contiguous slot
+    /// range (the property the LCA ranges rely on).
+    #[test]
+    fn prop_subtree_ranges_contiguous(n in 1u32..200, tree_seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t = generators::uniform_random(n.max(2), &mut rng);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let sizes = t.subtree_sizes();
+        for v in t.vertices() {
+            let lo = layout.slot(v);
+            let hi = lo + sizes[v as usize];
+            // Every descendant's slot falls inside [lo, hi).
+            let mut stack = vec![v];
+            while let Some(u) = stack.pop() {
+                let s = layout.slot(u);
+                prop_assert!(lo <= s && s < hi, "vertex {} outside range of {}", u, v);
+                stack.extend_from_slice(t.children(u));
+            }
+        }
+    }
+
+    /// Batched LCA equals binary lifting for arbitrary query batches.
+    #[test]
+    fn prop_lca_matches_host(n in 2u32..120, tree_seed in 0u64..500, algo_seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t = generators::uniform_random(n, &mut rng);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let queries: Vec<(NodeId, NodeId)> = (0..n.min(40))
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let res = batched_lca(
+            &machine, &layout, &t, &queries, &mut StdRng::seed_from_u64(algo_seed),
+        );
+        let oracle = HostLca::new(&t);
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            prop_assert_eq!(res.answers[qi], oracle.query(a, b));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end pipeline integration: §IV layout construction feeding §V
+//! treefix and §VI LCA, verified against host oracles on every tree
+//! family.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_trees::layout::{build_light_first_spatial, Layout};
+use spatial_trees::lca::{batched_lca, HostLca};
+use spatial_trees::prelude::*;
+use spatial_trees::tree::generators::{self, TreeFamily};
+use spatial_trees::treefix::{
+    treefix_bottom_up, treefix_bottom_up_host, treefix_top_down, treefix_top_down_host,
+};
+
+/// The full §IV → §V → §VI pipeline on one tree: build the layout *on
+/// the machine*, then run both treefix directions and a batch of LCA
+/// queries on that layout, checking everything against host oracles.
+fn full_pipeline(tree: &Tree, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tree.n();
+
+    // §IV: spatial layout construction.
+    let (layout, build) = build_light_first_spatial(tree, CurveKind::Hilbert, &mut rng);
+    assert_eq!(
+        layout.order(),
+        &spatial_trees::tree::traversal::light_first_order(tree)[..],
+        "spatial pipeline must produce the light-first order"
+    );
+    if n > 1 {
+        assert!(build.total().energy > 0);
+    }
+
+    // §V: treefix sums on the constructed layout.
+    let machine = layout.machine();
+    let values: Vec<Add> = (0..n as u64).map(|v| Add(v % 97 + 1)).collect();
+    let bu = treefix_bottom_up(&machine, &layout, tree, &values, &mut rng);
+    assert_eq!(bu.values, treefix_bottom_up_host(tree, &values));
+    let td = treefix_top_down(&machine, &layout, tree, &values, &mut rng);
+    assert_eq!(td.values, treefix_top_down_host(tree, &values));
+
+    // §VI: batched LCA on the same layout and machine.
+    let queries: Vec<(NodeId, NodeId)> = (0..(n / 2).max(1))
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let res = batched_lca(&machine, &layout, tree, &queries, &mut rng);
+    let oracle = HostLca::new(tree);
+    for (qi, &(a, b)) in queries.iter().enumerate() {
+        assert_eq!(res.answers[qi], oracle.query(a, b), "LCA({a}, {b})");
+    }
+}
+
+#[test]
+fn pipeline_on_every_family() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for fam in TreeFamily::ALL {
+        let tree = fam.generate(200, &mut rng);
+        full_pipeline(&tree, 2);
+    }
+}
+
+#[test]
+fn pipeline_on_medium_random_tree() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree = generators::uniform_random(2000, &mut rng);
+    full_pipeline(&tree, 4);
+}
+
+#[test]
+fn pipeline_tiny_trees() {
+    // Degenerate sizes through the whole stack.
+    full_pipeline(&Tree::from_parents(0, vec![spatial_trees::tree::NIL]), 5);
+    full_pipeline(&generators::path(2), 6);
+    full_pipeline(&generators::path(3), 7);
+    full_pipeline(&generators::star(4), 8);
+}
+
+#[test]
+fn facade_matches_manual_pipeline() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let tree = generators::yule(256, &mut rng);
+    let n = tree.n();
+
+    // Facade route.
+    let st = SpatialTree::new(tree.clone());
+    let m1 = st.machine();
+    let facade = st.treefix_sum(
+        &m1,
+        &vec![Add(1); n as usize],
+        &mut StdRng::seed_from_u64(10),
+    );
+
+    // Manual route.
+    let layout = Layout::light_first(&tree, CurveKind::Hilbert);
+    let m2 = layout.machine();
+    let manual = treefix_bottom_up(
+        &m2,
+        &layout,
+        &tree,
+        &vec![Add(1); n as usize],
+        &mut StdRng::seed_from_u64(10),
+    );
+
+    assert_eq!(facade.values, manual.values);
+    assert_eq!(
+        m1.report(),
+        m2.report(),
+        "identical seeds ⇒ identical costs"
+    );
+}
+
+#[test]
+fn all_curves_support_the_pipeline() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let tree = generators::preferential_attachment(300, &mut rng);
+    let n = tree.n();
+    for curve in [CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::Peano] {
+        let layout = Layout::light_first(&tree, curve);
+        let machine = layout.machine();
+        let values = vec![Add(1); n as usize];
+        let res = treefix_bottom_up(&machine, &layout, &tree, &values, &mut rng);
+        let sizes: Vec<u64> = res.values.iter().map(|&Add(v)| v).collect();
+        let expect: Vec<u64> = tree.subtree_sizes().iter().map(|&s| s as u64).collect();
+        assert_eq!(sizes, expect, "{curve}");
+    }
+}
