@@ -9,8 +9,47 @@ use spatial_trees::layout::Layout;
 use spatial_trees::model::CurveKind;
 use spatial_trees::prelude::*;
 use spatial_trees::tree::generators::TreeFamily;
+use spatial_trees::treefix::contraction::ContractionEngine;
+use spatial_trees::treefix::reference::ReferenceEngine;
 use spatial_trees::treefix::{treefix_bottom_up, treefix_top_down};
 use std::hint::black_box;
+
+/// The tentpole comparison: the allocation-free CSR engine against the
+/// retained seed engine (per-round Vec allocations), same tree, same
+/// seed, identical results.
+fn bench_engine_old_vs_new(c: &mut Criterion) {
+    for (family, n) in [
+        (TreeFamily::RandomBinary, 1u32 << 14),
+        (TreeFamily::PreferentialAttachment, 1u32 << 14),
+    ] {
+        let tree = workload(family, n, 5);
+        let layout = Layout::light_first(&tree, CurveKind::Hilbert);
+        let values = vec![Add(1); tree.n() as usize];
+        let mut group = c.benchmark_group(format!("contraction_2^14/{}", family.name()));
+        group.sample_size(10);
+        group.bench_function("csr_alloc_free", |b| {
+            b.iter(|| {
+                let machine = layout.machine();
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut eng =
+                    ContractionEngine::new(black_box(&tree), &layout, &machine, &values, true);
+                eng.contract(&mut rng);
+                eng.uncontract_bottom_up()
+            })
+        });
+        group.bench_function("seed_reference", |b| {
+            b.iter(|| {
+                let machine = layout.machine();
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut eng =
+                    ReferenceEngine::new(black_box(&tree), &layout, &machine, &values, true);
+                eng.contract(&mut rng);
+                eng.uncontract_bottom_up()
+            })
+        });
+        group.finish();
+    }
+}
 
 fn bench_spatial_treefix(c: &mut Criterion) {
     let mut group = c.benchmark_group("spatial_treefix_2^14");
@@ -87,6 +126,7 @@ fn bench_mincut(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_engine_old_vs_new,
     bench_spatial_treefix,
     bench_expression,
     bench_mincut

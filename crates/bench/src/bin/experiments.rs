@@ -66,6 +66,140 @@ fn main() {
     if want("a3") {
         a3_expression_evaluation();
     }
+    if want("bench-json") {
+        bench_json();
+    }
+}
+
+/// `bench-json` — the machine-readable perf baseline for the two hot
+/// paths: curve indexing (scalar reference vs LUT/magic-mask vs batch)
+/// and treefix contraction (seed engine vs allocation-free CSR engine).
+/// Writes `BENCH_sfc_treefix.json` next to the workspace root.
+fn bench_json() {
+    use spatial_trees::sfc::reference as scalar_ref;
+    use spatial_trees::sfc::GridPoint;
+    use spatial_trees::treefix::contraction::ContractionEngine;
+    use spatial_trees::treefix::reference::ReferenceEngine;
+    use std::time::Instant;
+
+    /// Times `f` (which must consume its input once per call): three
+    /// measurement passes, best pass wins (robust against scheduler
+    /// noise on shared machines); returns ns per call.
+    fn time_ns(mut f: impl FnMut() -> u64) -> f64 {
+        // Warmup + calibration.
+        let start = Instant::now();
+        let mut sink = 0u64;
+        sink ^= f();
+        let once = start.elapsed().max(std::time::Duration::from_nanos(100));
+        let reps = (std::time::Duration::from_millis(60).as_nanos() / once.as_nanos())
+            .clamp(3, 10_000) as u32;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..reps {
+                sink ^= f();
+            }
+            best = best.min(start.elapsed().as_nanos() as f64 / reps as f64);
+        }
+        std::hint::black_box(sink);
+        best
+    }
+
+    println!("\n### bench-json — SFC + treefix perf baseline → BENCH_sfc_treefix.json\n");
+    // The acceptance-criterion order-10 grid, as concrete curve types:
+    // the reference paths are direct function calls, so the optimized
+    // paths must not pay enum dispatch either.
+    let side = 1u32 << 10;
+    let hilbert = spatial_trees::sfc::HilbertCurve::new(side);
+    let zorder = spatial_trees::sfc::zorder::ZOrderCurve::new(side);
+    let n = hilbert.len();
+    let points: Vec<GridPoint> = hilbert.all_points();
+    let zpoints: Vec<GridPoint> = zorder.all_points();
+
+    // ns per op = ns per full sweep / n.
+    let per = |sweep_ns: f64| sweep_ns / n as f64;
+
+    let h_point_lut = per(time_ns(|| (0..n).map(|i| hilbert.point(i).x as u64).sum()));
+    let h_point_ref = per(time_ns(|| {
+        (0..n)
+            .map(|i| scalar_ref::hilbert_point_scalar(side, i).x as u64)
+            .sum()
+    }));
+    let h_index_lut = per(time_ns(|| points.iter().map(|&p| hilbert.index(p)).sum()));
+    let h_index_ref = per(time_ns(|| {
+        points
+            .iter()
+            .map(|&p| scalar_ref::hilbert_index_scalar(side, p))
+            .sum()
+    }));
+    let mut batch_out = vec![GridPoint::default(); n as usize];
+    let h_point_batch = per(time_ns(|| {
+        hilbert.point_range_batch(0, &mut batch_out);
+        batch_out[0].x as u64
+    }));
+    let z_index_mask = per(time_ns(|| zpoints.iter().map(|&p| zorder.index(p)).sum()));
+    let z_index_ref = per(time_ns(|| {
+        zpoints
+            .iter()
+            .map(|&p| scalar_ref::zorder_index_scalar(side, p))
+            .sum()
+    }));
+    let mut zidx_out = vec![0u64; n as usize];
+    let z_index_batch = per(time_ns(|| {
+        zorder.index_batch(&zpoints, &mut zidx_out);
+        zidx_out[0]
+    }));
+
+    // Treefix contraction: whole bottom-up runs on a 2^13 random binary
+    // tree, old engine vs new.
+    let t = workload(TreeFamily::RandomBinary, 1 << 13, 5);
+    let layout = Layout::light_first(&t, CurveKind::Hilbert);
+    let values = vec![Add(1); t.n() as usize];
+    let tf_new = time_ns(|| {
+        let machine = layout.machine();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut eng = ContractionEngine::new(&t, &layout, &machine, &values, true);
+        eng.contract(&mut rng);
+        eng.uncontract_bottom_up()[0].0
+    });
+    let tf_ref = time_ns(|| {
+        let machine = layout.machine();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut eng = ReferenceEngine::new(&t, &layout, &machine, &values, true);
+        eng.contract(&mut rng);
+        eng.uncontract_bottom_up()[0].0
+    });
+
+    let mut table = Table::new(["benchmark", "optimized ns/op", "reference ns/op", "speedup"]);
+    let mut rows = Vec::new();
+    for (name, opt, reference) in [
+        ("hilbert_point_order10", h_point_lut, h_point_ref),
+        ("hilbert_index_order10", h_index_lut, h_index_ref),
+        ("hilbert_point_batch_order10", h_point_batch, h_point_ref),
+        ("zorder_index_order10", z_index_mask, z_index_ref),
+        ("zorder_index_batch_order10", z_index_batch, z_index_ref),
+        ("treefix_bottom_up_2^13", tf_new, tf_ref),
+    ] {
+        table.row([
+            name.to_string(),
+            f2(opt),
+            f2(reference),
+            format!("{:.2}x", reference / opt),
+        ]);
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"optimized_ns_per_op\": {opt:.2}, \"reference_ns_per_op\": {reference:.2}, \"speedup\": {:.3}}}",
+            reference / opt
+        ));
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"grid\": \"order-10 (1024x1024)\",\n  \"treefix_tree\": \"random_binary n=2^13\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = "BENCH_sfc_treefix.json";
+    std::fs::write(path, &json).expect("write BENCH_sfc_treefix.json");
+    println!("\n  wrote {path}\n");
 }
 
 /// E11 — the cited application: 1-respecting minimum cuts (Karger)

@@ -44,11 +44,21 @@ impl EulerTour {
         match order {
             ChildOrder::Natural => Self::with_children(tree, |v| tree.children(v)),
             ChildOrder::LightFirst => {
+                // Flat CSR child lists: one arena allocation instead of
+                // n nested Vecs (the same representation the treefix
+                // contraction engine consumes downstream).
                 let sizes = tree.subtree_sizes();
-                let sorted = spatial_tree::traversal::children_by_size(tree, &sizes);
-                Self::with_children(tree, |v| &sorted[v as usize][..])
+                let sorted = spatial_tree::ChildrenCsr::by_size(tree, &sizes);
+                Self::with_children(tree, |v| sorted.children(v))
             }
         }
+    }
+
+    /// Threads the light-first tour from prebuilt CSR child lists,
+    /// letting callers that already hold a [`spatial_tree::ChildrenCsr`]
+    /// (the contraction engine, the layout builder) avoid re-sorting.
+    pub fn light_first_from_csr(tree: &Tree, sorted: &spatial_tree::ChildrenCsr) -> Self {
+        Self::with_children(tree, |v| sorted.children(v))
     }
 
     /// Threads the tour with an explicit per-vertex child order.

@@ -53,7 +53,10 @@ impl SpatialBuildReport {
 /// *input* placement the paper starts from).
 fn dart_machine(curve_kind: CurveKind, n: u32) -> Machine {
     let curve = curve_kind.for_capacity(n as u64);
-    let points: Vec<GridPoint> = (0..2 * n).map(|d| curve.point((d / 2) as u64)).collect();
+    // Batch the n vertex positions, then fan each out to its two darts.
+    let mut vertex_points = vec![GridPoint::default(); n as usize];
+    curve.point_range_batch(0, &mut vertex_points);
+    let points: Vec<GridPoint> = vertex_points.into_iter().flat_map(|p| [p, p]).collect();
     Machine::from_points(points)
 }
 

@@ -169,6 +169,20 @@ impl Layout {
     pub fn machine(&self) -> Machine {
         Machine::on_curve(self.curve.kind(), self.n())
     }
+
+    /// Grid coordinate of every vertex, indexed by vertex id — one
+    /// batch curve transform plus a permutation, instead of `n` scalar
+    /// [`Layout::point`] calls. The backbone of the quality metrics.
+    pub fn grid_points(&self) -> Vec<GridPoint> {
+        let n = self.vertex_at.len();
+        let mut by_slot = vec![GridPoint::default(); n];
+        self.curve.point_range_batch(0, &mut by_slot);
+        let mut by_vertex = vec![GridPoint::default(); n];
+        for (slot, &v) in self.vertex_at.iter().enumerate() {
+            by_vertex[v as usize] = by_slot[slot];
+        }
+        by_vertex
+    }
 }
 
 #[cfg(test)]

@@ -31,34 +31,36 @@ pub struct EdgeDistanceStats {
 /// with bounded degree; Theorem 2: same for Z-order. The reverse kernel
 /// (children → parent) has identical energy by symmetry of the metric.
 pub fn local_kernel_energy(tree: &Tree, layout: &Layout) -> u64 {
+    // One batch transform for all vertex coordinates, then a pure
+    // array scan over the edges.
+    let points = layout.grid_points();
     (0..tree.n())
         .into_par_iter()
         .map(|v| {
             tree.children(v)
                 .iter()
-                .map(|&c| layout.dist(v, c))
+                .map(|&c| spatial_sfc::manhattan(points[v as usize], points[c as usize]))
                 .sum::<u64>()
         })
         .sum()
 }
 
 /// Per-edge distance statistics under a layout.
+///
+/// A plain sequential scan: the batch `grid_points` transform is the
+/// expensive part, and a tuple fold over edges keeps the function
+/// valid against both the in-repo rayon shim and the real crate.
 pub fn edge_distance_stats(tree: &Tree, layout: &Layout) -> EdgeDistanceStats {
-    let (total, max, edges) = (0..tree.n())
-        .into_par_iter()
-        .map(|v| {
-            let mut t = 0u64;
-            let mut mx = 0u64;
-            let mut e = 0u64;
-            for &c in tree.children(v) {
-                let d = layout.dist(v, c);
-                t += d;
-                mx = mx.max(d);
-                e += 1;
-            }
-            (t, mx, e)
-        })
-        .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1.max(b.1), a.2 + b.2));
+    let points = layout.grid_points();
+    let (mut total, mut max, mut edges) = (0u64, 0u64, 0u64);
+    for v in tree.vertices() {
+        for &c in tree.children(v) {
+            let d = spatial_sfc::manhattan(points[v as usize], points[c as usize]);
+            total += d;
+            max = max.max(d);
+            edges += 1;
+        }
+    }
     EdgeDistanceStats {
         edges,
         total,

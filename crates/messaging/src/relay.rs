@@ -146,6 +146,150 @@ pub fn charge_broadcast_relays(m: &Machine, groups: &[(Slot, Vec<Slot>)]) {
     }
 }
 
+/// Reusable buffers for the CSR relay charging functions. One instance
+/// serves any number of calls; after it has grown to the largest
+/// participant set (or been pre-sized with
+/// [`RelayScratch::with_capacity`]), relay charging performs **zero
+/// heap allocation** — the property the treefix contraction engine
+/// relies on.
+#[derive(Debug, Default)]
+pub struct RelayScratch {
+    msgs: Vec<(Slot, Slot)>,
+    seg: Vec<(u32, u32)>,
+    seg_next: Vec<(u32, u32)>,
+    work: Vec<Slot>,
+    group_len: Vec<u32>,
+}
+
+impl RelayScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for up to `participants` total relay
+    /// participants across up to `groups` groups, so no call ever
+    /// allocates.
+    pub fn with_capacity(participants: usize, groups: usize) -> Self {
+        RelayScratch {
+            msgs: Vec::with_capacity(participants + groups),
+            seg: Vec::with_capacity(participants + 1),
+            seg_next: Vec::with_capacity(participants + 1),
+            work: Vec::with_capacity(participants),
+            group_len: Vec::with_capacity(groups),
+        }
+    }
+}
+
+/// CSR variant of [`charge_broadcast_relays`]: group `g` broadcasts
+/// from `sources[g]` to participants `parts[offsets[g]..offsets[g+1]]`.
+/// Charges the identical message set, level structure, energy and depth
+/// as the `Vec`-of-`Vec`s API, without allocating (given a warm
+/// `scratch`).
+pub fn charge_broadcast_relays_csr(
+    m: &Machine,
+    sources: &[Slot],
+    parts: &[Slot],
+    offsets: &[u32],
+    scratch: &mut RelayScratch,
+) {
+    debug_assert_eq!(offsets.len(), sources.len() + 1);
+    // Round 0: every source reaches its first participant.
+    scratch.msgs.clear();
+    for (g, &src) in sources.iter().enumerate() {
+        if offsets[g] < offsets[g + 1] {
+            scratch.msgs.push((src, parts[offsets[g] as usize]));
+        }
+    }
+    if scratch.msgs.is_empty() {
+        return;
+    }
+    m.round(&scratch.msgs);
+
+    // Segment doubling, one machine round per level across all groups.
+    // Segments are absolute [lo, hi) index ranges into `parts`.
+    scratch.seg.clear();
+    for g in 0..sources.len() {
+        if offsets[g + 1] - offsets[g] > 1 {
+            scratch.seg.push((offsets[g], offsets[g + 1]));
+        }
+    }
+    while !scratch.seg.is_empty() {
+        scratch.msgs.clear();
+        scratch.seg_next.clear();
+        for &(lo, hi) in &scratch.seg {
+            if hi - lo <= 1 {
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            scratch.msgs.push((parts[lo as usize], parts[mid as usize]));
+            scratch.seg_next.push((lo, mid));
+            scratch.seg_next.push((mid, hi));
+        }
+        if scratch.msgs.is_empty() {
+            break;
+        }
+        m.round(&scratch.msgs);
+        std::mem::swap(&mut scratch.seg, &mut scratch.seg_next);
+    }
+}
+
+/// CSR variant of [`charge_reduce_relays`]: group `g` reduces
+/// participants `parts[offsets[g]..offsets[g+1]]` into `targets[g]`.
+/// Charges identically to the `Vec`-of-`Vec`s API, without allocating
+/// (given a warm `scratch`).
+pub fn charge_reduce_relays_csr(
+    m: &Machine,
+    parts: &[Slot],
+    offsets: &[u32],
+    targets: &[Slot],
+    scratch: &mut RelayScratch,
+) {
+    debug_assert_eq!(offsets.len(), targets.len() + 1);
+    // Copy participants into the halving work buffer; group g's
+    // survivors live at work[offsets[g] .. offsets[g] + group_len[g]].
+    scratch.work.clear();
+    scratch.work.extend_from_slice(parts);
+    scratch.group_len.clear();
+    scratch
+        .group_len
+        .extend((0..targets.len()).map(|g| offsets[g + 1] - offsets[g]));
+
+    loop {
+        scratch.msgs.clear();
+        for (g, &target) in targets.iter().enumerate() {
+            let k = scratch.group_len[g];
+            let start = offsets[g] as usize;
+            match k {
+                0 => {}
+                1 => {
+                    scratch.msgs.push((scratch.work[start], target));
+                    scratch.group_len[g] = 0;
+                }
+                _ => {
+                    // Pair up (work[2j+1] → work[2j]); survivors are the
+                    // even-indexed elements, compacted in place.
+                    let k = k as usize;
+                    let survivors = k.div_ceil(2);
+                    for j in 0..k / 2 {
+                        scratch
+                            .msgs
+                            .push((scratch.work[start + 2 * j + 1], scratch.work[start + 2 * j]));
+                    }
+                    for j in 0..survivors {
+                        scratch.work[start + j] = scratch.work[start + 2 * j];
+                    }
+                    scratch.group_len[g] = survivors as u32;
+                }
+            }
+        }
+        if scratch.msgs.is_empty() {
+            break;
+        }
+        m.round(&scratch.msgs);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +396,77 @@ mod tests {
         // 0 messages + 1 + 16 + 77.
         assert_eq!(m.report().messages, 94);
         assert!(m.report().depth <= 8);
+    }
+
+    #[test]
+    fn csr_broadcast_matches_vec_charging() {
+        // Random group shapes: the CSR path must charge the identical
+        // energy, message count, and depth as the Vec-of-Vecs path.
+        let shapes: Vec<Vec<(Slot, Vec<Slot>)>> = vec![
+            vec![
+                (0, vec![]),
+                (1, vec![2]),
+                (3, (4..20).collect()),
+                (50, (51..128).collect()),
+            ],
+            (0..63).map(|i| (i, vec![i + 1])).collect(),
+            vec![
+                (5, (6..7).collect()),
+                (10, vec![]),
+                (20, (21..100).collect()),
+            ],
+            vec![],
+        ];
+        for groups in shapes {
+            let m_vec = line(128);
+            charge_broadcast_relays(&m_vec, &groups);
+
+            let m_csr = line(128);
+            let sources: Vec<Slot> = groups.iter().map(|(s, _)| *s).collect();
+            let mut parts = Vec::new();
+            let mut offsets = vec![0u32];
+            for (_, ps) in &groups {
+                parts.extend_from_slice(ps);
+                offsets.push(parts.len() as u32);
+            }
+            let mut scratch = RelayScratch::new();
+            charge_broadcast_relays_csr(&m_csr, &sources, &parts, &offsets, &mut scratch);
+
+            assert_eq!(m_vec.report(), m_csr.report(), "groups {groups:?}");
+        }
+    }
+
+    #[test]
+    fn csr_reduce_matches_vec_charging() {
+        let shapes: Vec<Vec<(Vec<Slot>, Slot)>> = vec![
+            vec![
+                (vec![], 0),
+                (vec![2], 1),
+                ((4..20).collect(), 3),
+                ((51..128).collect(), 50),
+            ],
+            (0..63).map(|i| (vec![i + 1], i)).collect(),
+            vec![((1..200).collect(), 0)],
+            vec![((10..17).collect(), 2), ((30..31).collect(), 29)],
+        ];
+        for groups in shapes {
+            let m_vec = line(256);
+            let mut vec_groups = groups.clone();
+            charge_reduce_relays(&m_vec, &mut vec_groups);
+
+            let m_csr = line(256);
+            let targets: Vec<Slot> = groups.iter().map(|(_, t)| *t).collect();
+            let mut parts = Vec::new();
+            let mut offsets = vec![0u32];
+            for (ps, _) in &groups {
+                parts.extend_from_slice(ps);
+                offsets.push(parts.len() as u32);
+            }
+            let mut scratch = RelayScratch::with_capacity(parts.len(), targets.len());
+            charge_reduce_relays_csr(&m_csr, &parts, &offsets, &targets, &mut scratch);
+
+            assert_eq!(m_vec.report(), m_csr.report(), "groups {groups:?}");
+        }
     }
 
     #[test]

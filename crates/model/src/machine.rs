@@ -38,7 +38,9 @@ impl MachineBuilder {
     /// Machine whose slots `0..n` lie on the given space-filling curve.
     pub fn on_curve(kind: CurveKind, n_slots: u32) -> Self {
         let curve: AnyCurve = kind.for_capacity(n_slots as u64);
-        let points = (0..n_slots as u64).map(|i| curve.point(i)).collect();
+        // Batch transform: one parallel pass instead of n scalar calls.
+        let mut points = vec![GridPoint::default(); n_slots as usize];
+        curve.point_range_batch(0, &mut points);
         MachineBuilder {
             points,
             side: curve.side(),
@@ -75,6 +77,7 @@ impl MachineBuilder {
             clocks: (0..n).map(|_| AtomicU32::new(0)).collect(),
             max_clock: CachePadded::new(AtomicU32::new(0)),
             floor: CachePadded::new(AtomicU32::new(0)),
+            staging: Mutex::new(Vec::new()),
             trace: self.trace.then(|| Mutex::new(Vec::new())),
         }
     }
@@ -97,6 +100,10 @@ pub struct Machine {
     /// Lower bound applied to every clock; lets collectives synchronize
     /// all processors in O(1) accounting work instead of O(n).
     floor: CachePadded<AtomicU32>,
+    /// Reusable staging buffer for [`Machine::round`]; grows to the
+    /// largest round seen and is never shrunk, so steady-state rounds
+    /// are allocation-free.
+    staging: Mutex<Vec<(Slot, u32, u64)>>,
     trace: Option<Mutex<Vec<TraceEvent>>>,
 }
 
@@ -167,18 +174,34 @@ impl Machine {
         }
     }
 
+    /// Pre-grows the round staging buffer so subsequent
+    /// [`Machine::round`] calls with at most `capacity` messages never
+    /// allocate — lets allocation-free algorithms (the treefix
+    /// contraction engine) warm the meter at setup time.
+    pub fn reserve_round_capacity(&self, capacity: usize) {
+        let mut staging = self.staging.lock();
+        let missing = capacity.saturating_sub(staging.len());
+        if staging.capacity() < capacity {
+            staging.reserve(missing);
+        }
+    }
+
     /// Sends a batch of *simultaneous* messages (one communication round):
     /// all sender clocks are read before any receiver clock is advanced,
     /// so messages inside one batch never chain on each other.
     pub fn round(&self, msgs: &[(Slot, Slot)]) {
-        // Phase 1: read sender clocks and distances.
-        let staged: Vec<(Slot, u32, u64)> = msgs
-            .iter()
-            .map(|&(f, t)| (t, self.clock(f) + 1, self.dist(f, t)))
-            .collect();
+        // Phase 1: read sender clocks and distances, staged in a
+        // reusable buffer (no allocation once its capacity has grown to
+        // the largest round; see `reserve_round_capacity`).
+        let mut staged = self.staging.lock();
+        staged.clear();
+        staged.extend(
+            msgs.iter()
+                .map(|&(f, t)| (t, self.clock(f) + 1, self.dist(f, t))),
+        );
         // Phase 2: apply.
         let mut e_sum = 0u64;
-        for &(t, after, e) in &staged {
+        for &(t, after, e) in staged.iter() {
             e_sum += e;
             let prev = self.clocks[t as usize].fetch_max(after, Ordering::Relaxed);
             self.max_clock.fetch_max(prev.max(after), Ordering::Relaxed);

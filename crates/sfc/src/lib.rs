@@ -29,6 +29,8 @@ pub mod hilbert;
 pub mod locality;
 pub mod moore;
 pub mod peano;
+#[doc(hidden)]
+pub mod reference;
 pub mod simple;
 pub mod zorder;
 
@@ -70,6 +72,113 @@ pub trait Curve {
     fn dist(&self, i: u64, j: u64) -> u64 {
         manhattan(self.point(i), self.point(j))
     }
+
+    /// Batch [`Curve::point`]: fills `out[k] = point(indices[k])`.
+    ///
+    /// The default maps the scalar transform; the hot curves (Hilbert,
+    /// Z-order, and [`AnyCurve`]) override it with branchless inner
+    /// loops split across threads for large batches.
+    fn point_batch(&self, indices: &[u64], out: &mut [GridPoint]) {
+        assert_eq!(indices.len(), out.len(), "batch size mismatch");
+        for (o, &i) in out.iter_mut().zip(indices) {
+            *o = self.point(i);
+        }
+    }
+
+    /// Batch [`Curve::index`]: fills `out[k] = index(points[k])`.
+    fn index_batch(&self, points: &[GridPoint], out: &mut [u64]) {
+        assert_eq!(points.len(), out.len(), "batch size mismatch");
+        for (o, &p) in out.iter_mut().zip(points) {
+            *o = self.index(p);
+        }
+    }
+
+    /// Batch [`Curve::point`] over the contiguous position range
+    /// `start..start + out.len()` — the layout/machine construction
+    /// pattern, with no index buffer to materialize.
+    fn point_range_batch(&self, start: u64, out: &mut [GridPoint]) {
+        let end = start
+            .checked_add(out.len() as u64)
+            .expect("curve position range overflows u64");
+        assert!(end <= self.len(), "range end {end} out of curve range");
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.point(start + k as u64);
+        }
+    }
+
+    /// Convenience [`Curve::point_range_batch`] allocating the output:
+    /// the grid coordinates of every position in `0..len()`.
+    fn all_points(&self) -> Vec<GridPoint> {
+        let mut out = vec![GridPoint::default(); self.len() as usize];
+        self.point_range_batch(0, &mut out);
+        out
+    }
+}
+
+/// Batches at least this large are split across threads by the
+/// parallel `point_batch`/`index_batch` overrides; smaller ones stay on
+/// the calling thread (thread spawn costs more than it saves — the
+/// "measure before parallelizing" lesson).
+pub const PAR_BATCH_MIN: usize = 1 << 14;
+
+/// Fills `out` by handing contiguous chunks (with their start offsets)
+/// to `fill` on worker threads; sequential below `min_chunk`. Built on
+/// `rayon::scope` only, so it works with both the in-repo rayon shim
+/// and the real crate.
+pub fn par_fill<T: Send, F: Fn(usize, &mut [T]) + Sync>(out: &mut [T], min_chunk: usize, fill: F) {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || out.len() <= min_chunk {
+        fill(0, out);
+        return;
+    }
+    let chunk = out.len().div_ceil(threads).max(min_chunk);
+    rayon::scope(|s| {
+        for (ci, part) in out.chunks_mut(chunk).enumerate() {
+            let fill = &fill;
+            s.spawn(move |_| fill(ci * chunk, part));
+        }
+    });
+}
+
+/// Runs `f` over matching chunks of `input` and `out` on worker
+/// threads; sequential below `min_chunk`. The map-shaped sibling of
+/// [`par_fill`] used by the batch curve transforms.
+pub fn par_map_fill<T: Sync, U: Send, F: Fn(&[T], &mut [U]) + Sync>(
+    input: &[T],
+    out: &mut [U],
+    min_chunk: usize,
+    f: F,
+) {
+    assert_eq!(input.len(), out.len(), "batch size mismatch");
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || input.len() <= min_chunk {
+        f(input, out);
+        return;
+    }
+    let chunk = input.len().div_ceil(threads).max(min_chunk);
+    rayon::scope(|s| {
+        for (part, opart) in input.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move |_| f(part, opart));
+        }
+    });
+}
+
+/// Chunked parallel scan over a slice: `f(offset, chunk)` runs on
+/// worker threads; sequential below `min_chunk`.
+pub fn par_scan<T: Sync, F: Fn(usize, &[T]) + Sync>(items: &[T], min_chunk: usize, f: F) {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || items.len() <= min_chunk {
+        f(0, items);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads).max(min_chunk);
+    rayon::scope(|s| {
+        for (ci, part) in items.chunks(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(ci * chunk, part));
+        }
+    });
 }
 
 /// The space-filling curves shipped with this crate.
@@ -251,6 +360,42 @@ impl Curve for AnyCurve {
             AnyCurve::Peano(c) => c.index(p),
             AnyCurve::RowMajor(c) => c.index(p),
             AnyCurve::Serpentine(c) => c.index(p),
+        }
+    }
+
+    // Batch calls dispatch the enum once per batch instead of once per
+    // element, then run the concrete curve's (possibly parallel)
+    // override.
+    fn point_batch(&self, indices: &[u64], out: &mut [GridPoint]) {
+        match self {
+            AnyCurve::Hilbert(c) => c.point_batch(indices, out),
+            AnyCurve::Moore(c) => c.point_batch(indices, out),
+            AnyCurve::ZOrder(c) => c.point_batch(indices, out),
+            AnyCurve::Peano(c) => c.point_batch(indices, out),
+            AnyCurve::RowMajor(c) => c.point_batch(indices, out),
+            AnyCurve::Serpentine(c) => c.point_batch(indices, out),
+        }
+    }
+
+    fn index_batch(&self, points: &[GridPoint], out: &mut [u64]) {
+        match self {
+            AnyCurve::Hilbert(c) => c.index_batch(points, out),
+            AnyCurve::Moore(c) => c.index_batch(points, out),
+            AnyCurve::ZOrder(c) => c.index_batch(points, out),
+            AnyCurve::Peano(c) => c.index_batch(points, out),
+            AnyCurve::RowMajor(c) => c.index_batch(points, out),
+            AnyCurve::Serpentine(c) => c.index_batch(points, out),
+        }
+    }
+
+    fn point_range_batch(&self, start: u64, out: &mut [GridPoint]) {
+        match self {
+            AnyCurve::Hilbert(c) => c.point_range_batch(start, out),
+            AnyCurve::Moore(c) => c.point_range_batch(start, out),
+            AnyCurve::ZOrder(c) => c.point_range_batch(start, out),
+            AnyCurve::Peano(c) => c.point_range_batch(start, out),
+            AnyCurve::RowMajor(c) => c.point_range_batch(start, out),
+            AnyCurve::Serpentine(c) => c.point_range_batch(start, out),
         }
     }
 }

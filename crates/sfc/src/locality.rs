@@ -7,10 +7,23 @@
 //! harness can print measured α values next to the proven constants
 //! (Hilbert 3, Peano √(10⅔), H-index 2√2) and show that Z-order, row-major
 //! and serpentine orders are unbounded.
+//!
+//! All measurements run on the batch interface
+//! ([`Curve::point_range_batch`] / [`Curve::point_batch`]): each curve
+//! position is transformed exactly once — in parallel for large grids —
+//! and the scans then run over the materialized coordinate array. The
+//! materialization is capped at [`MATERIALIZE_MAX`] positions; beyond
+//! that the functions fall back to the on-the-fly strided scans, so
+//! the `stride` parameter keeps bounding memory on huge grids exactly
+//! as it did before the batch rewrite.
 
-use crate::geom::{manhattan, BoundingBox};
+use crate::geom::{manhattan, BoundingBox, GridPoint};
 use crate::Curve;
-use rayon::prelude::*;
+
+/// Largest curve (in positions) the measurement functions will
+/// materialize as one coordinate array (4M points ≈ 32 MiB); larger
+/// curves use the on-the-fly strided scans.
+pub const MATERIALIZE_MAX: u64 = 1 << 22;
 
 /// Measured locality of one index gap `j` on a curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,7 +37,7 @@ pub struct GapStretch {
 }
 
 /// Maximum `dist(i, i+j)` over all `i` in `0..len-j`, sampled with the
-/// given stride (stride 1 is exhaustive). Runs in parallel.
+/// given stride (stride 1 is exhaustive).
 pub fn max_dist_for_gap<C: Curve + Sync>(curve: &C, gap: u64, stride: u64) -> u64 {
     assert!(gap >= 1, "gap must be positive");
     assert!(stride >= 1, "stride must be positive");
@@ -33,18 +46,41 @@ pub fn max_dist_for_gap<C: Curve + Sync>(curve: &C, gap: u64, stride: u64) -> u6
         return 0;
     }
     let starts: Vec<u64> = (0..n - gap).step_by(stride as usize).collect();
-    starts
-        .par_iter()
-        .map(|&i| manhattan(curve.point(i), curve.point(i + gap)))
-        .max()
-        .unwrap_or(0)
+    let ends: Vec<u64> = starts.iter().map(|&i| i + gap).collect();
+    let mut from = vec![GridPoint::default(); starts.len()];
+    let mut to = vec![GridPoint::default(); ends.len()];
+    curve.point_batch(&starts, &mut from);
+    curve.point_batch(&ends, &mut to);
+    max_dist_of(&from, &to)
 }
 
-/// Measures [`GapStretch`] for each gap in `gaps`.
+/// Measures [`GapStretch`] for each gap in `gaps`. The curve is
+/// transformed once (batch), then every gap scans the shared
+/// coordinate array.
 pub fn stretch_profile<C: Curve + Sync>(curve: &C, gaps: &[u64], stride: u64) -> Vec<GapStretch> {
+    assert!(stride >= 1, "stride must be positive");
+    let n = curve.len();
+    let points = (n <= MATERIALIZE_MAX).then(|| curve.all_points());
     gaps.iter()
         .map(|&gap| {
-            let max_dist = max_dist_for_gap(curve, gap, stride);
+            assert!(gap >= 1, "gap must be positive");
+            let max_dist = if gap >= n {
+                0
+            } else if let Some(points) = &points {
+                let lim = points.len() - gap as usize;
+                (0..lim)
+                    .step_by(stride as usize)
+                    .map(|i| manhattan(points[i], points[i + gap as usize]))
+                    .max()
+                    .unwrap_or(0)
+            } else {
+                // Huge curve: on-the-fly strided scan, O(1) memory.
+                (0..n - gap)
+                    .step_by(stride as usize)
+                    .map(|i| manhattan(curve.point(i), curve.point(i + gap)))
+                    .max()
+                    .unwrap_or(0)
+            };
             GapStretch {
                 gap,
                 max_dist,
@@ -80,16 +116,30 @@ pub fn alignment_ratio<C: Curve + Sync>(curve: &C, k: u32, stride: u64) -> f64 {
     if window > n {
         return 0.0;
     }
-    let starts: Vec<u64> = (0..=n - window).step_by(stride as usize).collect();
-    let worst = starts
-        .par_iter()
-        .map(|&start| {
-            BoundingBox::of_points((start..start + window).map(|i| curve.point(i)))
-                .map(|bb| bb.max_side())
-                .unwrap_or(0)
-        })
-        .max()
-        .unwrap_or(0);
+    let worst = if n <= MATERIALIZE_MAX {
+        let points = curve.all_points();
+        let window = window as usize;
+        (0..=points.len() - window)
+            .step_by(stride as usize)
+            .map(|start| {
+                BoundingBox::of_points(points[start..start + window].iter().copied())
+                    .map(|bb| bb.max_side())
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    } else {
+        // Huge curve: transform each sampled window on the fly.
+        (0..=n - window)
+            .step_by(stride as usize)
+            .map(|start| {
+                BoundingBox::of_points((start..start + window).map(|i| curve.point(i)))
+                    .map(|bb| bb.max_side())
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    };
     worst as f64 / (1u64 << k) as f64
 }
 
@@ -101,11 +151,40 @@ pub fn mean_step_distance<C: Curve + Sync>(curve: &C) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let total: u64 = (0..n - 1)
-        .into_par_iter()
-        .map(|i| manhattan(curve.point(i), curve.point(i + 1)))
-        .sum();
+    // Blocked batch transform with one position of overlap: batch
+    // speed, O(block) memory on any curve size.
+    const BLOCK: u64 = 1 << 16;
+    let mut buf = vec![GridPoint::default(); BLOCK.min(n) as usize];
+    let mut total = 0u64;
+    let mut start = 0u64;
+    while start + 1 < n {
+        let len = (n - start).min(BLOCK);
+        let chunk = &mut buf[..len as usize];
+        curve.point_range_batch(start, chunk);
+        total += chunk.windows(2).map(|w| manhattan(w[0], w[1])).sum::<u64>();
+        // Overlap by one so the seam step is counted exactly once
+        // (the loop guard keeps len ≥ 2, so this always progresses).
+        start += len - 1;
+    }
     total as f64 / (n - 1) as f64
+}
+
+/// Maximum pairwise Manhattan distance between aligned coordinate
+/// slices, reduced across worker threads.
+fn max_dist_of(from: &[GridPoint], to: &[GridPoint]) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    assert_eq!(from.len(), to.len());
+    let global = AtomicU64::new(0);
+    crate::par_scan(from, crate::PAR_BATCH_MIN, |offset, part| {
+        let local = part
+            .iter()
+            .zip(&to[offset..offset + part.len()])
+            .map(|(&a, &b)| manhattan(a, b))
+            .max()
+            .unwrap_or(0);
+        global.fetch_max(local, Ordering::Relaxed);
+    });
+    global.into_inner()
 }
 
 #[cfg(test)]
@@ -192,5 +271,19 @@ mod tests {
     fn gap_larger_than_curve() {
         let c = CurveKind::Hilbert.with_side(4);
         assert_eq!(max_dist_for_gap(&c, 100, 1), 0);
+        assert_eq!(stretch_profile(&c, &[100], 1)[0].max_dist, 0);
+    }
+
+    #[test]
+    fn strided_and_exhaustive_agree_on_structured_curves() {
+        // Batch max_dist_for_gap must agree with a direct scalar scan.
+        let c = CurveKind::Hilbert.with_side(32);
+        for gap in [1u64, 3, 17, 64] {
+            let direct = (0..c.len() - gap)
+                .map(|i| manhattan(c.point(i), c.point(i + gap)))
+                .max()
+                .unwrap();
+            assert_eq!(max_dist_for_gap(&c, gap, 1), direct, "gap {gap}");
+        }
     }
 }

@@ -41,15 +41,92 @@ impl Curve for ZOrderCurve {
         self.side
     }
 
+    /// Magic-mask Morton decode (branchless).
+    ///
+    /// # Panics
+    /// Panics when `index ≥ len()` (a real bounds check in release
+    /// builds, matching [`crate::HilbertCurve`]).
     fn point(&self, index: u64) -> GridPoint {
-        debug_assert!(index < self.len(), "index {index} out of curve range");
+        assert!(
+            index < self.len(),
+            "curve position {index} out of range (len {})",
+            self.len()
+        );
         GridPoint::new(deinterleave(index), deinterleave(index >> 1))
     }
 
+    /// Magic-mask Morton encode.
+    ///
+    /// # Panics
+    /// Panics when `p` lies outside the grid.
     fn index(&self, p: GridPoint) -> u64 {
-        debug_assert!(p.x < self.side && p.y < self.side, "{p} outside grid");
+        assert!(
+            p.x < self.side && p.y < self.side,
+            "{p} outside the {0}×{0} grid",
+            self.side
+        );
         interleave(p.x) | (interleave(p.y) << 1)
     }
+
+    fn point_batch(&self, indices: &[u64], out: &mut [GridPoint]) {
+        assert_eq!(indices.len(), out.len(), "batch size mismatch");
+        let len = self.len();
+        crate::par_map_fill(indices, out, crate::PAR_BATCH_MIN, |idx, dst| {
+            for (o, &i) in dst.iter_mut().zip(idx) {
+                assert!(i < len, "curve position {i} out of range (len {len})");
+                *o = GridPoint::new(deinterleave(i), deinterleave(i >> 1));
+            }
+        });
+    }
+
+    fn index_batch(&self, points: &[GridPoint], out: &mut [u64]) {
+        assert_eq!(points.len(), out.len(), "batch size mismatch");
+        let side = self.side;
+        // The fused two-coordinate pipeline packs both coordinates into
+        // one u64 and needs 16-bit lanes; larger grids (> 2^32 cells)
+        // take the two-call path.
+        let fused = side as u64 <= 1 << 16;
+        crate::par_map_fill(points, out, crate::PAR_BATCH_MIN, |pts, dst| {
+            for (o, &p) in dst.iter_mut().zip(pts) {
+                assert!(
+                    p.x < side && p.y < side,
+                    "{p} outside the {side}×{side} grid"
+                );
+                *o = if fused {
+                    interleave_xy(p.x, p.y)
+                } else {
+                    interleave(p.x) | (interleave(p.y) << 1)
+                };
+            }
+        });
+    }
+
+    fn point_range_batch(&self, start: u64, out: &mut [GridPoint]) {
+        let end = start
+            .checked_add(out.len() as u64)
+            .expect("curve position range overflows u64");
+        assert!(end <= self.len(), "range end {end} out of curve range");
+        crate::par_fill(out, crate::PAR_BATCH_MIN, |offset, dst| {
+            let base = start + offset as u64;
+            for (k, o) in dst.iter_mut().enumerate() {
+                let at = base + k as u64;
+                *o = GridPoint::new(deinterleave(at), deinterleave(at >> 1));
+            }
+        });
+    }
+}
+
+/// Fused encode of both coordinates: one magic-mask pipeline over a
+/// single `u64` holding `y` in the high half and `x` in the low half,
+/// halving the bit-twiddling work of two separate [`interleave`] calls.
+#[inline]
+fn interleave_xy(x: u32, y: u32) -> u64 {
+    let mut z = ((y as u64) << 32) | x as u64;
+    z = (z | (z << 8)) & 0x00FF_00FF_00FF_00FF;
+    z = (z | (z << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    z = (z | (z << 2)) & 0x3333_3333_3333_3333;
+    z = (z | (z << 1)) & 0x5555_5555_5555_5555;
+    (z & 0xFFFF_FFFF) | ((z >> 32) << 1)
 }
 
 /// Spreads the 32 bits of `v` into the even bit positions of a `u64`.
@@ -161,6 +238,36 @@ mod tests {
     use super::*;
     use crate::geom::BoundingBox;
     use proptest::prelude::*;
+
+    #[test]
+    fn fused_interleave_matches_pairwise() {
+        for x in [0u32, 1, 2, 255, 256, 65_534, 65_535] {
+            for y in [0u32, 1, 3, 129, 4096, 65_535] {
+                assert_eq!(
+                    interleave_xy(x, y),
+                    interleave(x) | (interleave(y) << 1),
+                    "({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bitloop_reference() {
+        let c = ZOrderCurve::new(64);
+        for i in 0..c.len() {
+            let p = crate::reference::zorder_point_scalar(64, i);
+            assert_eq!(c.point(i), p);
+            assert_eq!(crate::reference::zorder_index_scalar(64, p), i);
+            assert_eq!(c.index(p), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_bounds_checked_in_release() {
+        let _ = ZOrderCurve::new(4).point(16);
+    }
 
     #[test]
     fn figure2_grid_layout() {

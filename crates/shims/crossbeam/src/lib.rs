@@ -1,0 +1,61 @@
+//! Offline stand-in for the `crossbeam` crate: only
+//! [`utils::CachePadded`], which is all this workspace uses.
+
+/// Utility types (`crossbeam::utils`).
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes so adjacent atomics don't
+    /// share a cache line (false sharing) on the energy meter's hot
+    /// counters.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in padding.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn aligned_and_transparent() {
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        let counter = CachePadded::new(AtomicU64::new(3));
+        counter.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+        assert_eq!(counter.into_inner().into_inner(), 7);
+    }
+}

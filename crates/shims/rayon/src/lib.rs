@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crate registry, so the workspace ships
+//! this minimal substitute:
+//!
+//! - [`join`] and [`scope`] run on **real OS threads** (via
+//!   [`std::thread::scope`]), so fork-join code — the light-first layout
+//!   constructor, the batched curve transforms — gets genuine
+//!   multi-core speedups;
+//! - the parallel *iterator* adapters (`par_iter`, `into_par_iter`)
+//!   degrade to the equivalent sequential [`Iterator`] chains. Every
+//!   hot path in this workspace that needs real parallelism uses the
+//!   fork-join API (see `spatial_sfc::par_fill` and friends), so the
+//!   iterator fallback only affects diagnostics and test helpers.
+
+use std::marker::PhantomData;
+
+/// Number of worker threads a fork-join computation may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both
+/// results. `oper_a` runs on a spawned scoped thread, `oper_b` inline.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let ha = s.spawn(oper_a);
+        let rb = oper_b();
+        (ha.join().expect("joined task panicked"), rb)
+    })
+}
+
+/// A fork-join scope handle (see [`scope`]).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    _marker: PhantomData<&'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task on a scoped OS thread. The task receives a scope
+    /// reference so it can spawn further siblings.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            f(&Scope {
+                inner,
+                _marker: PhantomData,
+            })
+        });
+    }
+}
+
+/// Creates a fork-join scope: tasks spawned inside are joined before
+/// `scope` returns. Backed by [`std::thread::scope`].
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| {
+        op(&Scope {
+            inner: s,
+            _marker: PhantomData,
+        })
+    })
+}
+
+/// Sequential stand-ins for rayon's parallel iterator traits.
+pub mod iter {
+    /// `into_par_iter()` for owned collections and ranges: yields the
+    /// ordinary sequential iterator, so every adapter (`map`, `filter`,
+    /// `step_by`, `sum`, `collect`, …) is the std one.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The "parallel" (here: sequential) iterator type.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` for slices (and everything that derefs to one).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` for slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+/// The commonly-imported names, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_joins_nested_spawns() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s2| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    s2.spawn(|_| {
+                        counter.fetch_add(10, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 44);
+    }
+
+    #[test]
+    fn scope_borrows_mutable_chunks() {
+        let mut out = vec![0u32; 64];
+        let (a, b) = out.split_at_mut(32);
+        super::scope(|s| {
+            s.spawn(move |_| a.iter_mut().for_each(|v| *v = 1));
+            s.spawn(move |_| b.iter_mut().for_each(|v| *v = 2));
+        });
+        assert_eq!(out[..32], [1; 32]);
+        assert_eq!(out[32..], [2; 32]);
+    }
+
+    #[test]
+    fn iterator_adapters_compose() {
+        let total: u64 = (0..100u64).into_par_iter().step_by(2).map(|v| v + 1).sum();
+        assert_eq!(total, 2500);
+        let v = [3u32, 1, 2];
+        assert_eq!(v.par_iter().max(), Some(&3));
+        let doubled: Vec<u32> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+    }
+}

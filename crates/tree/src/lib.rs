@@ -23,4 +23,5 @@ pub mod tree;
 
 pub use decomposition::HeavyPathDecomposition;
 pub use stats::TreeStats;
+pub use traversal::ChildrenCsr;
 pub use tree::{NodeId, Tree, NIL};

@@ -57,6 +57,79 @@ pub fn children_by_size(tree: &Tree, sizes: &[u32]) -> Vec<Vec<NodeId>> {
         .collect()
 }
 
+/// Flat (CSR) per-vertex child lists: two arrays instead of `n`
+/// separately heap-allocated `Vec`s. Vertex `v`'s children occupy
+/// `children[offsets[v] .. offsets[v + 1]]`. This is the arena
+/// representation the contraction engine and the Euler tours consume —
+/// one allocation, cache-contiguous, cheap to iterate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildrenCsr {
+    offsets: Vec<u32>,
+    children: Vec<NodeId>,
+}
+
+impl ChildrenCsr {
+    /// Builds the CSR lists with each vertex's children in the given
+    /// order-defining key order: increasing `(sizes[c], c)` —
+    /// light-first child order.
+    pub fn by_size(tree: &Tree, sizes: &[u32]) -> Self {
+        let n = tree.n() as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut children = Vec::with_capacity(n.saturating_sub(1));
+        let mut buf: Vec<NodeId> = Vec::new();
+        for v in tree.vertices() {
+            offsets.push(children.len() as u32);
+            buf.clear();
+            buf.extend_from_slice(tree.children(v));
+            buf.sort_by_key(|&c| (sizes[c as usize], c));
+            children.extend_from_slice(&buf);
+        }
+        offsets.push(children.len() as u32);
+        ChildrenCsr { offsets, children }
+    }
+
+    /// Builds the CSR lists in tree construction (natural) order.
+    pub fn natural(tree: &Tree) -> Self {
+        let n = tree.n() as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut children = Vec::with_capacity(n.saturating_sub(1));
+        for v in tree.vertices() {
+            offsets.push(children.len() as u32);
+            children.extend_from_slice(tree.children(v));
+        }
+        offsets.push(children.len() as u32);
+        ChildrenCsr { offsets, children }
+    }
+
+    /// The children of `v`, in the order the structure was built with.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Number of children of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Number of vertices covered.
+    pub fn n(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// The flat child array (all vertices' lists back to back).
+    pub fn flat_children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// The per-vertex offsets into [`ChildrenCsr::flat_children`]
+    /// (`n + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+}
+
 /// Light-first order (§III-A): DFS preorder visiting children in
 /// increasing subtree size. Sequential, iterative.
 pub fn light_first_order(tree: &Tree) -> Vec<NodeId> {
@@ -346,5 +419,25 @@ mod tests {
         let sorted = children_by_size(&t, &sizes);
         assert_eq!(sorted[0], vec![2, 1, 3]);
         assert_eq!(sorted[1], vec![4, 5]);
+    }
+
+    #[test]
+    fn csr_matches_nested_lists() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1u32, 2, 8, 100, 1000] {
+            let t = generators::uniform_random(n, &mut rng);
+            let sizes = t.subtree_sizes();
+            let nested = children_by_size(&t, &sizes);
+            let csr = ChildrenCsr::by_size(&t, &sizes);
+            assert_eq!(csr.n(), n);
+            for v in t.vertices() {
+                assert_eq!(csr.children(v), &nested[v as usize][..], "n={n} v={v}");
+                assert_eq!(csr.degree(v) as usize, nested[v as usize].len());
+            }
+            let natural = ChildrenCsr::natural(&t);
+            for v in t.vertices() {
+                assert_eq!(natural.children(v), t.children(v));
+            }
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! The rake/compress contraction engine (§V-A, §V-B).
+//! The rake/compress contraction engine (§V-A, §V-B) — allocation-free
+//! after setup.
 //!
 //! Supervertices are identified with their representative `R(u)` — the
 //! vertex closest to the root, which is also the first vertex of the
@@ -9,13 +10,38 @@
 //! the merge kind, and the parent's pre-merge partial sum. The engine
 //! charges every message on the machine; unbounded fan-in/out goes
 //! through balanced relays (`spatial-messaging`).
+//!
+//! # Memory discipline
+//!
+//! This is the hottest loop in the workspace, so all storage is laid
+//! out flat and allocated once in [`ContractionEngine::new`]:
+//!
+//! - initial child lists come from a [`spatial_tree::ChildrenCsr`]
+//!   arena (one allocation instead of `n` nested `Vec`s);
+//! - the distributed contraction log is three flat arrays
+//!   (compressed-vertex log, raked-vertex log, rake-group spans) with
+//!   per-round end offsets — replacing the seed's per-round
+//!   `Vec<StepLog>` of `Vec`s;
+//! - message batches and relay groups reuse persistent scratch buffers
+//!   ([`spatial_messaging::relay::RelayScratch`] plus the engine's own
+//!   CSR group buffers), and the [`Machine`] round staging is
+//!   pre-reserved.
+//!
+//! After `new` returns, `contract`, `uncontract_bottom_up` and
+//! `uncontract_top_down` perform **zero heap allocation** (asserted by
+//! the counting-allocator test `tests/alloc_free.rs`). The seed
+//! implementation is retained as [`crate::reference::ReferenceEngine`];
+//! the `csr_vs_reference` suite asserts both engines produce identical
+//! results, statistics, and machine charges.
 
 use crate::monoid::CommutativeMonoid;
 use rand::Rng;
 use spatial_layout::Layout;
-use spatial_messaging::relay::{charge_broadcast_relays, charge_reduce_relays};
+use spatial_messaging::relay::{
+    charge_broadcast_relays_csr, charge_reduce_relays_csr, RelayScratch,
+};
 use spatial_model::{Machine, Slot};
-use spatial_tree::{NodeId, Tree, NIL};
+use spatial_tree::{ChildrenCsr, NodeId, Tree, NIL};
 
 /// Cost-relevant counters of one contraction run (Las Vegas evidence:
 /// these vary with the seed, the output never does).
@@ -27,15 +53,6 @@ pub struct ContractionStats {
     pub compresses: u64,
     /// Total vertices removed by RAKE merges.
     pub rakes: u64,
-}
-
-/// One step's undo records (host-side grouping of the distributed log).
-struct StepLog {
-    /// Vertices compressed into their parents this step.
-    compresses: Vec<NodeId>,
-    /// Rake groups: (parent, raked leaf representatives in sibling
-    /// order).
-    rakes: Vec<(NodeId, Vec<NodeId>)>,
 }
 
 /// The contraction engine. Create with [`ContractionEngine::new`], run
@@ -62,7 +79,37 @@ pub struct ContractionEngine<'a, M: CommutativeMonoid> {
     /// Parent's partial sum before the merge that deactivated this
     /// vertex (the no-inverse replacement for the paper's subtraction).
     saved_p: Vec<M>,
-    steps: Vec<StepLog>,
+
+    // ---- Flat contraction log (replaces the seed's Vec<StepLog>). ----
+    /// Compressed vertices, all rounds back to back.
+    compress_log: Vec<NodeId>,
+    /// End offset into `compress_log` after each round.
+    compress_ends: Vec<u32>,
+    /// Raked vertices, all rounds back to back, in rake order.
+    rake_log: Vec<NodeId>,
+    /// Rake groups `(parent, start, end)` spanning `rake_log`.
+    rake_groups: Vec<(NodeId, u32, u32)>,
+    /// End offset into `rake_groups` after each round.
+    rake_ends: Vec<u32>,
+
+    // ---- Reusable scratch (allocated once, cleared per use). ----
+    /// Selected / viable vertex list.
+    nodes_scratch: Vec<NodeId>,
+    /// Message batch buffer.
+    msgs_scratch: Vec<(Slot, Slot)>,
+    /// Relay group endpoint slots (sources or targets).
+    group_slots: Vec<Slot>,
+    /// Relay group participants, flat.
+    group_parts: Vec<Slot>,
+    /// Relay group offsets into `group_parts`.
+    group_offsets: Vec<u32>,
+    /// Relay level-walk scratch.
+    relay: RelayScratch,
+    /// Uncontraction accumulator (`A_v` / `B_v`), preallocated.
+    acc: Vec<M>,
+    /// Output buffer, preallocated and moved out by uncontraction.
+    out: Vec<M>,
+
     stats: ContractionStats,
     coin: Vec<bool>,
 }
@@ -78,11 +125,27 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         values: &[M],
         rake_adds_to_p: bool,
     ) -> Self {
+        let sizes = tree.subtree_sizes();
+        let sorted = ChildrenCsr::by_size(tree, &sizes);
+        Self::with_children_csr(tree, layout, machine, values, rake_adds_to_p, &sorted)
+    }
+
+    /// As [`ContractionEngine::new`], but consuming a prebuilt
+    /// light-first [`ChildrenCsr`] — callers that already hold one
+    /// (e.g. after threading an Euler tour over the same child order)
+    /// skip the re-sort.
+    pub fn with_children_csr(
+        tree: &'a Tree,
+        layout: &'a Layout,
+        machine: &'a Machine,
+        values: &[M],
+        rake_adds_to_p: bool,
+        sorted: &ChildrenCsr,
+    ) -> Self {
         let n = tree.n() as usize;
         assert_eq!(values.len(), n, "one value per vertex");
         assert_eq!(layout.n() as usize, n, "layout size mismatch");
-        let sizes = tree.subtree_sizes();
-        let sorted = spatial_tree::traversal::children_by_size(tree, &sizes);
+        assert_eq!(sorted.n() as usize, n, "children CSR size mismatch");
 
         let mut eng = ContractionEngine {
             tree,
@@ -98,7 +161,19 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             active: vec![true; n],
             alive: (0..n as NodeId).collect(),
             saved_p: vec![M::identity(); n],
-            steps: Vec::new(),
+            compress_log: Vec::with_capacity(n),
+            compress_ends: Vec::with_capacity(n + 1),
+            rake_log: Vec::with_capacity(n),
+            rake_groups: Vec::with_capacity(n),
+            rake_ends: Vec::with_capacity(n + 1),
+            nodes_scratch: Vec::with_capacity(n),
+            msgs_scratch: Vec::with_capacity(2 * n + 2),
+            group_slots: Vec::with_capacity(n),
+            group_parts: Vec::with_capacity(n),
+            group_offsets: Vec::with_capacity(n + 1),
+            relay: RelayScratch::with_capacity(n, n),
+            acc: vec![M::identity(); n],
+            out: vec![M::identity(); n],
             stats: ContractionStats {
                 compact_rounds: 0,
                 compresses: 0,
@@ -107,7 +182,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             coin: vec![false; n],
         };
         for v in tree.vertices() {
-            let cs = &sorted[v as usize];
+            let cs = sorted.children(v);
             eng.child_count[v as usize] = cs.len() as u32;
             if let Some(&first) = cs.first() {
                 eng.first_child[v as usize] = first;
@@ -117,21 +192,10 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
                 eng.prev_sib[w[1] as usize] = w[0];
             }
         }
+        // Warm the machine's round staging so even the first COMPACT
+        // round stays allocation-free.
+        machine.reserve_round_capacity(2 * n + 2);
         eng
-    }
-
-    fn slot(&self, v: NodeId) -> Slot {
-        self.layout.slot(v)
-    }
-
-    fn children_list(&self, u: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(self.child_count[u as usize] as usize);
-        let mut at = self.first_child[u as usize];
-        while at != NIL {
-            out.push(at);
-            at = self.next_sib[at as usize];
-        }
-        out
     }
 
     fn unlink_child(&mut self, u: NodeId, v: NodeId) {
@@ -153,21 +217,31 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// is branching. All parents broadcast *simultaneously* (batched
     /// relays, one machine round per relay level): `O(n)` energy and
     /// `O(log Δ)` depth per COMPACT round.
-    fn charge_children_broadcast(&self) {
-        let groups: Vec<(Slot, Vec<Slot>)> = self
-            .alive
-            .iter()
-            .filter(|&&u| self.child_count[u as usize] > 0)
-            .map(|&u| {
-                let slots: Vec<Slot> = self
-                    .children_list(u)
-                    .into_iter()
-                    .map(|c| self.slot(c))
-                    .collect();
-                (self.slot(u), slots)
-            })
-            .collect();
-        charge_broadcast_relays(self.machine, &groups);
+    fn charge_children_broadcast(&mut self) {
+        let layout = self.layout;
+        self.group_slots.clear();
+        self.group_parts.clear();
+        self.group_offsets.clear();
+        self.group_offsets.push(0);
+        for &u in &self.alive {
+            if self.child_count[u as usize] == 0 {
+                continue;
+            }
+            self.group_slots.push(layout.slot(u));
+            let mut c = self.first_child[u as usize];
+            while c != NIL {
+                self.group_parts.push(layout.slot(c));
+                c = self.next_sib[c as usize];
+            }
+            self.group_offsets.push(self.group_parts.len() as u32);
+        }
+        charge_broadcast_relays_csr(
+            self.machine,
+            &self.group_slots,
+            &self.group_parts,
+            &self.group_offsets,
+            &mut self.relay,
+        );
     }
 
     fn viable(&self, v: NodeId) -> bool {
@@ -178,10 +252,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// One COMPACT round: compress an independent random-mate set of
     /// viable supervertices, then rake leaf supervertices.
     fn compact_round<R: Rng>(&mut self, rng: &mut R) {
-        let mut log = StepLog {
-            compresses: Vec::new(),
-            rakes: Vec::new(),
-        };
+        let layout = self.layout;
 
         // Step 1: branching info.
         self.charge_children_broadcast();
@@ -190,26 +261,26 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         for &v in &self.alive {
             self.coin[v as usize] = rng.gen();
         }
-        let viable: Vec<NodeId> = self
-            .alive
-            .iter()
-            .copied()
-            .filter(|&v| self.viable(v))
-            .collect();
-        let coin_msgs: Vec<(Slot, Slot)> = viable
-            .iter()
-            .map(|&v| (self.slot(self.parent[v as usize]), self.slot(v)))
-            .collect();
-        self.machine.round(&coin_msgs);
-        let selected: Vec<NodeId> = viable
-            .into_iter()
-            .filter(|&v| self.coin[v as usize] && !self.coin[self.parent[v as usize] as usize])
-            .collect();
+        let mut selected = std::mem::take(&mut self.nodes_scratch);
+        selected.clear();
+        for i in 0..self.alive.len() {
+            let v = self.alive[i];
+            if self.viable(v) {
+                selected.push(v);
+            }
+        }
+        self.msgs_scratch.clear();
+        for &v in &selected {
+            self.msgs_scratch
+                .push((layout.slot(self.parent[v as usize]), layout.slot(v)));
+        }
+        self.machine.round(&self.msgs_scratch);
+        selected.retain(|&v| self.coin[v as usize] && !self.coin[self.parent[v as usize] as usize]);
 
         // Step 3: COMPRESS every selected v with its parent u. The
         // selected set is independent (heads with tails predecessor), so
         // no parent is itself compressed this round.
-        let mut compress_msgs = Vec::with_capacity(2 * selected.len());
+        self.msgs_scratch.clear();
         for &v in &selected {
             let u = self.parent[v as usize];
             let c = self.first_child[v as usize];
@@ -223,61 +294,92 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             self.prev_sib[c as usize] = NIL;
             self.next_sib[c as usize] = NIL;
             self.active[v as usize] = false;
-            compress_msgs.push((self.slot(v), self.slot(u)));
-            compress_msgs.push((self.slot(v), self.slot(c)));
-            log.compresses.push(v);
+            self.msgs_scratch.push((layout.slot(v), layout.slot(u)));
+            self.msgs_scratch.push((layout.slot(v), layout.slot(c)));
+            self.compress_log.push(v);
         }
-        self.machine.round(&compress_msgs);
+        self.machine.round(&self.msgs_scratch);
         self.stats.compresses += selected.len() as u64;
+        self.nodes_scratch = selected;
 
         // Step 4: refresh branching info after the compresses.
-        self.alive.retain(|&v| self.active[v as usize]);
+        let mut alive = std::mem::take(&mut self.alive);
+        alive.retain(|&v| self.active[v as usize]);
+        self.alive = alive;
         self.charge_children_broadcast();
 
         // Step 5: RAKE leaf supervertices wherever all-but-at-most-one
         // children are leaves. All rakes of the round run concurrently:
         // the reduce relays are charged as one batch.
-        let parents: Vec<NodeId> = self.alive.clone();
-        let mut relay_groups: Vec<(Vec<Slot>, Slot)> = Vec::new();
-        for u in parents {
+        self.group_slots.clear();
+        self.group_parts.clear();
+        self.group_offsets.clear();
+        self.group_offsets.push(0);
+        for i in 0..self.alive.len() {
+            let u = self.alive[i];
             if self.child_count[u as usize] == 0 {
                 continue;
             }
-            let children = self.children_list(u);
-            let leaves: Vec<NodeId> = children
-                .iter()
-                .copied()
-                .filter(|&c| self.child_count[c as usize] == 0)
-                .collect();
-            let others = children.len() - leaves.len();
-            if leaves.is_empty() || others > 1 {
+            // First sibling walk: is this a raking parent?
+            let mut leaves = 0u64;
+            let mut others = 0u64;
+            let mut c = self.first_child[u as usize];
+            while c != NIL {
+                if self.child_count[c as usize] == 0 {
+                    leaves += 1;
+                } else {
+                    others += 1;
+                }
+                c = self.next_sib[c as usize];
+            }
+            if leaves == 0 || others > 1 {
                 continue;
             }
             // The reduce relay spans all children (the non-raked child w
             // contributes the identity, as in the paper).
-            relay_groups.push((
-                children.iter().map(|&c| self.slot(c)).collect(),
-                self.slot(u),
-            ));
+            self.group_slots.push(layout.slot(u));
+            let mut c = self.first_child[u as usize];
+            while c != NIL {
+                self.group_parts.push(layout.slot(c));
+                c = self.next_sib[c as usize];
+            }
+            self.group_offsets.push(self.group_parts.len() as u32);
 
             let saved = self.p[u as usize];
             let mut acc = M::identity();
-            for &v in &leaves {
-                acc = acc.combine(self.p[v as usize]);
-                self.saved_p[v as usize] = saved;
-                self.active[v as usize] = false;
-                self.unlink_child(u, v);
+            let group_start = self.rake_log.len() as u32;
+            let mut c = self.first_child[u as usize];
+            while c != NIL {
+                let next = self.next_sib[c as usize];
+                if self.child_count[c as usize] == 0 {
+                    acc = acc.combine(self.p[c as usize]);
+                    self.saved_p[c as usize] = saved;
+                    self.active[c as usize] = false;
+                    self.unlink_child(u, c);
+                    self.rake_log.push(c);
+                }
+                c = next;
             }
             if self.rake_adds_to_p {
                 self.p[u as usize] = saved.combine(acc);
             }
-            self.stats.rakes += leaves.len() as u64;
-            log.rakes.push((u, leaves));
+            self.stats.rakes += leaves;
+            self.rake_groups
+                .push((u, group_start, self.rake_log.len() as u32));
         }
-        charge_reduce_relays(self.machine, &mut relay_groups);
-        self.alive.retain(|&v| self.active[v as usize]);
+        charge_reduce_relays_csr(
+            self.machine,
+            &self.group_parts,
+            &self.group_offsets,
+            &self.group_slots,
+            &mut self.relay,
+        );
+        let mut alive = std::mem::take(&mut self.alive);
+        alive.retain(|&v| self.active[v as usize]);
+        self.alive = alive;
 
-        self.steps.push(log);
+        self.compress_ends.push(self.compress_log.len() as u32);
+        self.rake_ends.push(self.rake_groups.len() as u32);
         self.stats.compact_rounds += 1;
     }
 
@@ -301,49 +403,81 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         self.stats
     }
 
+    /// Replays one logged round's rake undo broadcasts (group `u` →
+    /// its raked leaves) from the flat log.
+    fn charge_rake_undo_broadcast(&mut self, group_range: std::ops::Range<usize>) {
+        let layout = self.layout;
+        self.group_slots.clear();
+        self.group_parts.clear();
+        self.group_offsets.clear();
+        self.group_offsets.push(0);
+        for &(u, start, end) in &self.rake_groups[group_range.clone()] {
+            self.group_slots.push(layout.slot(u));
+            for &v in &self.rake_log[start as usize..end as usize] {
+                self.group_parts.push(layout.slot(v));
+            }
+            self.group_offsets.push(self.group_parts.len() as u32);
+        }
+        charge_broadcast_relays_csr(
+            self.machine,
+            &self.group_slots,
+            &self.group_parts,
+            &self.group_offsets,
+            &mut self.relay,
+        );
+    }
+
+    /// Charges the compress-undo messages (`u → v`) of one logged
+    /// round.
+    fn charge_compress_undo(&mut self, log_range: std::ops::Range<usize>) {
+        let layout = self.layout;
+        self.msgs_scratch.clear();
+        for &v in &self.compress_log[log_range] {
+            let u = self.parent_at_merge(v);
+            self.msgs_scratch.push((layout.slot(u), layout.slot(v)));
+        }
+        self.machine.round(&self.msgs_scratch);
+    }
+
     /// §V-B uncontraction for the bottom-up treefix: returns
     /// `sum(v) = ⊕ values over v's subtree` for every vertex.
     pub fn uncontract_bottom_up(mut self) -> Vec<M> {
         assert!(self.alive.len() <= 1, "contract() must run first");
         let n = self.tree.n() as usize;
-        let mut a = vec![M::identity(); n];
-        for step in std::mem::take(&mut self.steps).into_iter().rev() {
+        // a[v]: combination of v's *outside descendants* — subtree
+        // values below v that merged past it (preallocated identity).
+        for round in (0..self.stats.compact_rounds as usize).rev() {
+            let (gs, ge) = round_span(&self.rake_ends, round);
+            let (cs, ce) = round_span(&self.compress_ends, round);
             // Rakes were executed after compresses within the step; undo
             // them first — all rake groups of the step concurrently.
-            let groups: Vec<(Slot, Vec<Slot>)> = step
-                .rakes
-                .iter()
-                .map(|(u, raked)| (self.slot(*u), raked.iter().map(|&v| self.slot(v)).collect()))
-                .collect();
-            charge_broadcast_relays(self.machine, &groups);
-            for (u, raked) in step.rakes.iter().rev() {
+            self.charge_rake_undo_broadcast(gs..ge);
+            for gi in (gs..ge).rev() {
+                let (u, start, end) = self.rake_groups[gi];
                 let mut acc = M::identity();
-                for &v in raked {
+                for &v in &self.rake_log[start as usize..end as usize] {
                     acc = acc.combine(self.p[v as usize]);
                     // Leaf supervertices have no outside descendants:
                     // a[v] stays the identity.
                 }
-                a[*u as usize] = a[*u as usize].combine(acc);
-                self.p[*u as usize] = self.saved_p[raked[0] as usize];
+                self.acc[u as usize] = self.acc[u as usize].combine(acc);
+                self.p[u as usize] = self.saved_p[self.rake_log[start as usize] as usize];
             }
-            let msgs: Vec<(Slot, Slot)> = step
-                .compresses
-                .iter()
-                .map(|&v| {
-                    let u = self.parent_at_merge(v);
-                    (self.slot(u), self.slot(v))
-                })
-                .collect();
-            self.machine.round(&msgs);
-            for &v in step.compresses.iter().rev() {
+            self.charge_compress_undo(cs..ce);
+            for li in (cs..ce).rev() {
+                let v = self.compress_log[li];
                 let u = self.parent_at_merge(v);
                 // v's outside descendants were u's outside descendants.
-                a[v as usize] = a[u as usize];
-                a[u as usize] = a[u as usize].combine(self.p[v as usize]);
+                self.acc[v as usize] = self.acc[u as usize];
+                self.acc[u as usize] = self.acc[u as usize].combine(self.p[v as usize]);
                 self.p[u as usize] = self.saved_p[v as usize];
             }
         }
-        (0..n).map(|v| self.p[v].combine(a[v])).collect()
+        let mut out = std::mem::take(&mut self.out);
+        for (v, slot) in out.iter_mut().enumerate().take(n) {
+            *slot = self.p[v].combine(self.acc[v]);
+        }
+        out
     }
 
     /// §V-D uncontraction for the top-down treefix: returns
@@ -356,38 +490,34 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             "top-down uncontraction needs a path-segment P (rake_adds_to_p = false)"
         );
         let n = self.tree.n() as usize;
-        // b[v]: combination of values strictly above supervertex v.
-        let mut b = vec![M::identity(); n];
-        for step in std::mem::take(&mut self.steps).into_iter().rev() {
-            let groups: Vec<(Slot, Vec<Slot>)> = step
-                .rakes
-                .iter()
-                .map(|(u, raked)| (self.slot(*u), raked.iter().map(|&v| self.slot(v)).collect()))
-                .collect();
-            charge_broadcast_relays(self.machine, &groups);
-            for (u, raked) in step.rakes.iter().rev() {
-                for &v in raked {
+        // acc[v] plays b[v]: combination of values strictly above
+        // supervertex v.
+        for round in (0..self.stats.compact_rounds as usize).rev() {
+            let (gs, ge) = round_span(&self.rake_ends, round);
+            let (cs, ce) = round_span(&self.compress_ends, round);
+            self.charge_rake_undo_broadcast(gs..ge);
+            for gi in (gs..ge).rev() {
+                let (u, start, end) = self.rake_groups[gi];
+                for li in start as usize..end as usize {
+                    let v = self.rake_log[li];
                     // The raked leaves hang below u's whole path segment.
-                    b[v as usize] = b[*u as usize].combine(self.p[*u as usize]);
+                    self.acc[v as usize] = self.acc[u as usize].combine(self.p[u as usize]);
                 }
             }
-            let msgs: Vec<(Slot, Slot)> = step
-                .compresses
-                .iter()
-                .map(|&v| {
-                    let u = self.parent_at_merge(v);
-                    (self.slot(u), self.slot(v))
-                })
-                .collect();
-            self.machine.round(&msgs);
-            for &v in step.compresses.iter().rev() {
+            self.charge_compress_undo(cs..ce);
+            for li in (cs..ce).rev() {
+                let v = self.compress_log[li];
                 let u = self.parent_at_merge(v);
                 // The segment above v is u's pre-merge segment.
-                b[v as usize] = b[u as usize].combine(self.saved_p[v as usize]);
+                self.acc[v as usize] = self.acc[u as usize].combine(self.saved_p[v as usize]);
                 self.p[u as usize] = self.saved_p[v as usize];
             }
         }
-        (0..n).map(|v| b[v].combine(values[v])).collect()
+        let mut out = std::mem::take(&mut self.out);
+        for (v, slot) in out.iter_mut().enumerate().take(n) {
+            *slot = self.acc[v].combine(values[v]);
+        }
+        out
     }
 
     /// The representative a compressed vertex merged into. The parent
@@ -401,6 +531,17 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     pub fn alive_count(&self) -> usize {
         self.alive.len()
     }
+}
+
+/// `[start, end)` span of round `r` in a per-round end-offset array.
+#[inline]
+fn round_span(ends: &[u32], round: usize) -> (usize, usize) {
+    let start = if round == 0 {
+        0
+    } else {
+        ends[round - 1] as usize
+    };
+    (start, ends[round] as usize)
 }
 
 #[cfg(test)]
@@ -542,5 +683,23 @@ mod tests {
         let (got, stats) = run_bottom_up(&t, &[Add(42)], 17);
         assert_eq!(got, vec![Add(42)]);
         assert_eq!(stats.compact_rounds, 0);
+    }
+
+    #[test]
+    fn prebuilt_csr_constructor_agrees() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let t = generators::uniform_random(300, &mut rng);
+        let sizes = t.subtree_sizes();
+        let csr = ChildrenCsr::by_size(&t, &sizes);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let values: Vec<Add> = (0..300u64).map(Add).collect();
+        let mut eng =
+            ContractionEngine::with_children_csr(&t, &layout, &machine, &values, true, &csr);
+        eng.contract(&mut StdRng::seed_from_u64(19));
+        assert_eq!(
+            eng.uncontract_bottom_up(),
+            treefix_bottom_up_host(&t, &values)
+        );
     }
 }

@@ -38,6 +38,8 @@ pub mod contraction;
 pub mod expression;
 pub mod host;
 pub mod monoid;
+#[doc(hidden)]
+pub mod reference;
 pub mod spatial;
 
 pub use contraction::ContractionStats;

@@ -1,0 +1,392 @@
+//! Reference (seed) contraction engine, retained for differential
+//! testing and benchmarking of the allocation-free CSR engine in
+//! [`crate::contraction`].
+//!
+//! This is the pre-optimization implementation: per-call `Vec`
+//! children-list materialization, per-round `Vec` allocations for logs,
+//! message batches and relay groups, and `Vec`-of-`Vec`s relay
+//! charging. It produces bit-identical results, statistics and machine
+//! charges to the optimized engine (asserted by the
+//! `csr_vs_reference` property suite), just slower and allocation-heavy.
+#![allow(missing_docs)]
+
+use crate::contraction::ContractionStats;
+use crate::monoid::CommutativeMonoid;
+use rand::Rng;
+use spatial_layout::Layout;
+use spatial_messaging::relay::{charge_broadcast_relays, charge_reduce_relays};
+use spatial_model::{Machine, Slot};
+use spatial_tree::{NodeId, Tree, NIL};
+
+/// One step's undo records (host-side grouping of the distributed log).
+struct StepLog {
+    /// Vertices compressed into their parents this step.
+    compresses: Vec<NodeId>,
+    /// Rake groups: (parent, raked leaf representatives in sibling
+    /// order).
+    rakes: Vec<(NodeId, Vec<NodeId>)>,
+}
+
+/// The seed contraction engine. Same protocol as the optimized
+/// [`crate::contraction::ContractionEngine`].
+pub struct ReferenceEngine<'a, M: CommutativeMonoid> {
+    tree: &'a Tree,
+    layout: &'a Layout,
+    machine: &'a Machine,
+    /// Whether RAKE folds leaf sums into the parent's partial sum
+    /// (bottom-up) or leaves it untouched (top-down, where `P` tracks
+    /// the supervertex's path-segment values only).
+    rake_adds_to_p: bool,
+
+    parent: Vec<NodeId>,
+    first_child: Vec<NodeId>,
+    next_sib: Vec<NodeId>,
+    prev_sib: Vec<NodeId>,
+    child_count: Vec<u32>,
+    p: Vec<M>,
+    active: Vec<bool>,
+    alive: Vec<NodeId>,
+
+    /// Parent's partial sum before the merge that deactivated this
+    /// vertex (the no-inverse replacement for the paper's subtraction).
+    saved_p: Vec<M>,
+    steps: Vec<StepLog>,
+    stats: ContractionStats,
+    coin: Vec<bool>,
+}
+
+impl<'a, M: CommutativeMonoid> ReferenceEngine<'a, M> {
+    /// Initializes supervertices (one per vertex) with the given values.
+    /// Children lists are in light-first sibling order, matching the
+    /// layout's placement.
+    pub fn new(
+        tree: &'a Tree,
+        layout: &'a Layout,
+        machine: &'a Machine,
+        values: &[M],
+        rake_adds_to_p: bool,
+    ) -> Self {
+        let n = tree.n() as usize;
+        assert_eq!(values.len(), n, "one value per vertex");
+        assert_eq!(layout.n() as usize, n, "layout size mismatch");
+        let sizes = tree.subtree_sizes();
+        let sorted = spatial_tree::traversal::children_by_size(tree, &sizes);
+
+        let mut eng = ReferenceEngine {
+            tree,
+            layout,
+            machine,
+            rake_adds_to_p,
+            parent: tree.parents().to_vec(),
+            first_child: vec![NIL; n],
+            next_sib: vec![NIL; n],
+            prev_sib: vec![NIL; n],
+            child_count: vec![0; n],
+            p: values.to_vec(),
+            active: vec![true; n],
+            alive: (0..n as NodeId).collect(),
+            saved_p: vec![M::identity(); n],
+            steps: Vec::new(),
+            stats: ContractionStats {
+                compact_rounds: 0,
+                compresses: 0,
+                rakes: 0,
+            },
+            coin: vec![false; n],
+        };
+        for v in tree.vertices() {
+            let cs = &sorted[v as usize];
+            eng.child_count[v as usize] = cs.len() as u32;
+            if let Some(&first) = cs.first() {
+                eng.first_child[v as usize] = first;
+            }
+            for w in cs.windows(2) {
+                eng.next_sib[w[0] as usize] = w[1];
+                eng.prev_sib[w[1] as usize] = w[0];
+            }
+        }
+        eng
+    }
+
+    fn slot(&self, v: NodeId) -> Slot {
+        self.layout.slot(v)
+    }
+
+    fn children_list(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.child_count[u as usize] as usize);
+        let mut at = self.first_child[u as usize];
+        while at != NIL {
+            out.push(at);
+            at = self.next_sib[at as usize];
+        }
+        out
+    }
+
+    fn unlink_child(&mut self, u: NodeId, v: NodeId) {
+        let (prev, next) = (self.prev_sib[v as usize], self.next_sib[v as usize]);
+        if prev != NIL {
+            self.next_sib[prev as usize] = next;
+        } else {
+            self.first_child[u as usize] = next;
+        }
+        if next != NIL {
+            self.prev_sib[next as usize] = prev;
+        }
+        self.prev_sib[v as usize] = NIL;
+        self.next_sib[v as usize] = NIL;
+        self.child_count[u as usize] -= 1;
+    }
+
+    /// §V-A3 step 1/4: every supervertex tells its children whether it
+    /// is branching. All parents broadcast *simultaneously* (batched
+    /// relays, one machine round per relay level): `O(n)` energy and
+    /// `O(log Δ)` depth per COMPACT round.
+    fn charge_children_broadcast(&self) {
+        let groups: Vec<(Slot, Vec<Slot>)> = self
+            .alive
+            .iter()
+            .filter(|&&u| self.child_count[u as usize] > 0)
+            .map(|&u| {
+                let slots: Vec<Slot> = self
+                    .children_list(u)
+                    .into_iter()
+                    .map(|c| self.slot(c))
+                    .collect();
+                (self.slot(u), slots)
+            })
+            .collect();
+        charge_broadcast_relays(self.machine, &groups);
+    }
+
+    fn viable(&self, v: NodeId) -> bool {
+        let p = self.parent[v as usize];
+        p != NIL && self.child_count[p as usize] == 1 && self.child_count[v as usize] == 1
+    }
+
+    /// One COMPACT round: compress an independent random-mate set of
+    /// viable supervertices, then rake leaf supervertices.
+    fn compact_round<R: Rng>(&mut self, rng: &mut R) {
+        let mut log = StepLog {
+            compresses: Vec::new(),
+            rakes: Vec::new(),
+        };
+
+        // Step 1: branching info.
+        self.charge_children_broadcast();
+
+        // Step 2: random-mate selection among viable supervertices.
+        for &v in &self.alive {
+            self.coin[v as usize] = rng.gen();
+        }
+        let viable: Vec<NodeId> = self
+            .alive
+            .iter()
+            .copied()
+            .filter(|&v| self.viable(v))
+            .collect();
+        let coin_msgs: Vec<(Slot, Slot)> = viable
+            .iter()
+            .map(|&v| (self.slot(self.parent[v as usize]), self.slot(v)))
+            .collect();
+        self.machine.round(&coin_msgs);
+        let selected: Vec<NodeId> = viable
+            .into_iter()
+            .filter(|&v| self.coin[v as usize] && !self.coin[self.parent[v as usize] as usize])
+            .collect();
+
+        // Step 3: COMPRESS every selected v with its parent u. The
+        // selected set is independent (heads with tails predecessor), so
+        // no parent is itself compressed this round.
+        let mut compress_msgs = Vec::with_capacity(2 * selected.len());
+        for &v in &selected {
+            let u = self.parent[v as usize];
+            let c = self.first_child[v as usize];
+            debug_assert!(c != NIL && self.child_count[v as usize] == 1);
+            self.saved_p[v as usize] = self.p[u as usize];
+            self.p[u as usize] = self.p[u as usize].combine(self.p[v as usize]);
+            // u's only child was v; u inherits v's only child c.
+            self.first_child[u as usize] = c;
+            self.child_count[u as usize] = 1;
+            self.parent[c as usize] = u;
+            self.prev_sib[c as usize] = NIL;
+            self.next_sib[c as usize] = NIL;
+            self.active[v as usize] = false;
+            compress_msgs.push((self.slot(v), self.slot(u)));
+            compress_msgs.push((self.slot(v), self.slot(c)));
+            log.compresses.push(v);
+        }
+        self.machine.round(&compress_msgs);
+        self.stats.compresses += selected.len() as u64;
+
+        // Step 4: refresh branching info after the compresses.
+        self.alive.retain(|&v| self.active[v as usize]);
+        self.charge_children_broadcast();
+
+        // Step 5: RAKE leaf supervertices wherever all-but-at-most-one
+        // children are leaves. All rakes of the round run concurrently:
+        // the reduce relays are charged as one batch.
+        let parents: Vec<NodeId> = self.alive.clone();
+        let mut relay_groups: Vec<(Vec<Slot>, Slot)> = Vec::new();
+        for u in parents {
+            if self.child_count[u as usize] == 0 {
+                continue;
+            }
+            let children = self.children_list(u);
+            let leaves: Vec<NodeId> = children
+                .iter()
+                .copied()
+                .filter(|&c| self.child_count[c as usize] == 0)
+                .collect();
+            let others = children.len() - leaves.len();
+            if leaves.is_empty() || others > 1 {
+                continue;
+            }
+            // The reduce relay spans all children (the non-raked child w
+            // contributes the identity, as in the paper).
+            relay_groups.push((
+                children.iter().map(|&c| self.slot(c)).collect(),
+                self.slot(u),
+            ));
+
+            let saved = self.p[u as usize];
+            let mut acc = M::identity();
+            for &v in &leaves {
+                acc = acc.combine(self.p[v as usize]);
+                self.saved_p[v as usize] = saved;
+                self.active[v as usize] = false;
+                self.unlink_child(u, v);
+            }
+            if self.rake_adds_to_p {
+                self.p[u as usize] = saved.combine(acc);
+            }
+            self.stats.rakes += leaves.len() as u64;
+            log.rakes.push((u, leaves));
+        }
+        charge_reduce_relays(self.machine, &mut relay_groups);
+        self.alive.retain(|&v| self.active[v as usize]);
+
+        self.steps.push(log);
+        self.stats.compact_rounds += 1;
+    }
+
+    /// Contracts the whole tree to a single supervertex. Returns the
+    /// stats; the random seed affects only costs, never results.
+    pub fn contract<R: Rng>(&mut self, rng: &mut R) -> ContractionStats {
+        let n = self.tree.n();
+        // Rake always removes the deepest leaves, so every round makes
+        // progress; the bound below is a defensive cap, not a tuning
+        // parameter.
+        let cap = 4 * n as u64 + 64;
+        while self.alive.len() > 1 {
+            let before = self.alive.len();
+            self.compact_round(rng);
+            debug_assert!(self.alive.len() < before, "COMPACT made no progress");
+            assert!(
+                (self.stats.compact_rounds as u64) <= cap,
+                "contraction failed to converge"
+            );
+        }
+        self.stats
+    }
+
+    /// §V-B uncontraction for the bottom-up treefix: returns
+    /// `sum(v) = ⊕ values over v's subtree` for every vertex.
+    pub fn uncontract_bottom_up(mut self) -> Vec<M> {
+        assert!(self.alive.len() <= 1, "contract() must run first");
+        let n = self.tree.n() as usize;
+        let mut a = vec![M::identity(); n];
+        for step in std::mem::take(&mut self.steps).into_iter().rev() {
+            // Rakes were executed after compresses within the step; undo
+            // them first — all rake groups of the step concurrently.
+            let groups: Vec<(Slot, Vec<Slot>)> = step
+                .rakes
+                .iter()
+                .map(|(u, raked)| (self.slot(*u), raked.iter().map(|&v| self.slot(v)).collect()))
+                .collect();
+            charge_broadcast_relays(self.machine, &groups);
+            for (u, raked) in step.rakes.iter().rev() {
+                let mut acc = M::identity();
+                for &v in raked {
+                    acc = acc.combine(self.p[v as usize]);
+                    // Leaf supervertices have no outside descendants:
+                    // a[v] stays the identity.
+                }
+                a[*u as usize] = a[*u as usize].combine(acc);
+                self.p[*u as usize] = self.saved_p[raked[0] as usize];
+            }
+            let msgs: Vec<(Slot, Slot)> = step
+                .compresses
+                .iter()
+                .map(|&v| {
+                    let u = self.parent_at_merge(v);
+                    (self.slot(u), self.slot(v))
+                })
+                .collect();
+            self.machine.round(&msgs);
+            for &v in step.compresses.iter().rev() {
+                let u = self.parent_at_merge(v);
+                // v's outside descendants were u's outside descendants.
+                a[v as usize] = a[u as usize];
+                a[u as usize] = a[u as usize].combine(self.p[v as usize]);
+                self.p[u as usize] = self.saved_p[v as usize];
+            }
+        }
+        (0..n).map(|v| self.p[v].combine(a[v])).collect()
+    }
+
+    /// §V-D uncontraction for the top-down treefix: returns
+    /// `sum'(v) = ⊕ values along the root → v path` for every vertex.
+    /// The engine must have been built with `rake_adds_to_p = false`.
+    pub fn uncontract_top_down(mut self, values: &[M]) -> Vec<M> {
+        assert!(self.alive.len() <= 1, "contract() must run first");
+        assert!(
+            !self.rake_adds_to_p,
+            "top-down uncontraction needs a path-segment P (rake_adds_to_p = false)"
+        );
+        let n = self.tree.n() as usize;
+        // b[v]: combination of values strictly above supervertex v.
+        let mut b = vec![M::identity(); n];
+        for step in std::mem::take(&mut self.steps).into_iter().rev() {
+            let groups: Vec<(Slot, Vec<Slot>)> = step
+                .rakes
+                .iter()
+                .map(|(u, raked)| (self.slot(*u), raked.iter().map(|&v| self.slot(v)).collect()))
+                .collect();
+            charge_broadcast_relays(self.machine, &groups);
+            for (u, raked) in step.rakes.iter().rev() {
+                for &v in raked {
+                    // The raked leaves hang below u's whole path segment.
+                    b[v as usize] = b[*u as usize].combine(self.p[*u as usize]);
+                }
+            }
+            let msgs: Vec<(Slot, Slot)> = step
+                .compresses
+                .iter()
+                .map(|&v| {
+                    let u = self.parent_at_merge(v);
+                    (self.slot(u), self.slot(v))
+                })
+                .collect();
+            self.machine.round(&msgs);
+            for &v in step.compresses.iter().rev() {
+                let u = self.parent_at_merge(v);
+                // The segment above v is u's pre-merge segment.
+                b[v as usize] = b[u as usize].combine(self.saved_p[v as usize]);
+                self.p[u as usize] = self.saved_p[v as usize];
+            }
+        }
+        (0..n).map(|v| b[v].combine(values[v])).collect()
+    }
+
+    /// The representative a compressed vertex merged into. The parent
+    /// pointer of `v` is frozen at merge time (deactivated vertices are
+    /// never re-parented).
+    fn parent_at_merge(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// Number of still-active supervertices.
+    pub fn alive_count(&self) -> usize {
+        self.alive.len()
+    }
+}

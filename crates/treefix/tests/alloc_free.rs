@@ -1,0 +1,112 @@
+//! Counting-allocator proof that `contract` and both `uncontract`
+//! passes perform **zero heap allocation** after engine setup.
+//!
+//! A global counting allocator tallies every `alloc`/`realloc` while
+//! the gate is open; the gate opens after `ContractionEngine::new`
+//! (which is allowed — and expected — to allocate its arenas) and
+//! closes before the results are inspected. This binary holds exactly
+//! one `#[test]` so no concurrent test can pollute the count.
+
+use rand::prelude::*;
+use spatial_layout::Layout;
+use spatial_model::CurveKind;
+use spatial_tree::generators::TreeFamily;
+use spatial_treefix::contraction::ContractionEngine;
+use spatial_treefix::{treefix_bottom_up_host, treefix_top_down_host, Add};
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static GATE_OPEN: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        if GATE_OPEN.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        if GATE_OPEN.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with the allocation gate open, returning its result and
+/// the number of heap allocations performed inside.
+fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    GATE_OPEN.store(true, Ordering::SeqCst);
+    let result = f();
+    GATE_OPEN.store(false, Ordering::SeqCst);
+    (result, ALLOCATIONS.load(Ordering::SeqCst))
+}
+
+#[test]
+fn contract_and_uncontract_do_not_allocate() {
+    let mut tree_rng = StdRng::seed_from_u64(42);
+    for (fam, n) in [
+        (TreeFamily::UniformRandom, 2000u32),
+        (TreeFamily::RandomBinary, 4096),
+        (TreeFamily::PreferentialAttachment, 1500),
+        (TreeFamily::Comb, 1024),
+        (TreeFamily::Star, 512),
+    ] {
+        let t = fam.generate(n, &mut tree_rng);
+        let values: Vec<Add> = (0..n as u64).map(|v| Add(v % 101 + 1)).collect();
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let expect_bu = treefix_bottom_up_host(&t, &values);
+        let expect_td = treefix_top_down_host(&t, &values);
+
+        // Bottom-up: setup allocates, the hot phases must not.
+        let machine = layout.machine();
+        let mut engine = ContractionEngine::new(&t, &layout, &machine, &values, true);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ((stats, got), allocs) =
+            count_allocations(|| (engine.contract(&mut rng), engine.uncontract_bottom_up()));
+        assert_eq!(got, expect_bu, "{fam}: wrong bottom-up result");
+        assert!(stats.compact_rounds > 0);
+        assert_eq!(
+            allocs, 0,
+            "{fam} (n = {n}): bottom-up contract/uncontract allocated {allocs} times"
+        );
+
+        // Top-down over the same tree.
+        let machine = layout.machine();
+        let mut engine = ContractionEngine::new(&t, &layout, &machine, &values, false);
+        let mut rng = StdRng::seed_from_u64(8);
+        let ((_, got), allocs) = count_allocations(|| {
+            (
+                engine.contract(&mut rng),
+                engine.uncontract_top_down(&values),
+            )
+        });
+        assert_eq!(got, expect_td, "{fam}: wrong top-down result");
+        assert_eq!(
+            allocs, 0,
+            "{fam} (n = {n}): top-down contract/uncontract allocated {allocs} times"
+        );
+    }
+}
+
+#[test]
+#[ignore = "sanity check for the harness itself: proves the gate counts"]
+fn counting_harness_detects_allocations() {
+    let ((), allocs) = count_allocations(|| {
+        let v: Vec<u64> = (0..100).collect();
+        std::hint::black_box(&v);
+    });
+    assert!(allocs > 0, "gate failed to observe an allocation");
+}

@@ -1,0 +1,102 @@
+//! Differential property suite: the allocation-free CSR contraction
+//! engine must behave *identically* to the retained seed engine — same
+//! treefix sums, same `ContractionStats`, and the same machine charges
+//! (energy, messages, depth) — on random trees, seeds, and both
+//! directions.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use spatial_layout::Layout;
+use spatial_model::CurveKind;
+use spatial_tree::generators::{self, TreeFamily};
+use spatial_treefix::contraction::ContractionEngine;
+use spatial_treefix::reference::ReferenceEngine;
+use spatial_treefix::{Add, Max};
+
+fn compare_bottom_up(t: &spatial_tree::Tree, algo_seed: u64) {
+    let n = t.n() as u64;
+    let values: Vec<(Add, Max)> = (0..n).map(|v| (Add(v * 7 + 1), Max(v % 97))).collect();
+    let layout = Layout::light_first(t, CurveKind::Hilbert);
+
+    let machine_new = layout.machine();
+    let mut eng = ContractionEngine::new(t, &layout, &machine_new, &values, true);
+    let stats_new = eng.contract(&mut StdRng::seed_from_u64(algo_seed));
+    let result_new = eng.uncontract_bottom_up();
+
+    let machine_ref = layout.machine();
+    let mut reference = ReferenceEngine::new(t, &layout, &machine_ref, &values, true);
+    let stats_ref = reference.contract(&mut StdRng::seed_from_u64(algo_seed));
+    let result_ref = reference.uncontract_bottom_up();
+
+    assert_eq!(result_new, result_ref, "values diverged");
+    assert_eq!(stats_new, stats_ref, "stats diverged");
+    assert_eq!(
+        machine_new.report(),
+        machine_ref.report(),
+        "machine charges diverged"
+    );
+}
+
+fn compare_top_down(t: &spatial_tree::Tree, algo_seed: u64) {
+    let n = t.n() as u64;
+    let values: Vec<Add> = (0..n).map(|v| Add(v % 31 + 1)).collect();
+    let layout = Layout::light_first(t, CurveKind::ZOrder);
+
+    let machine_new = layout.machine();
+    let mut eng = ContractionEngine::new(t, &layout, &machine_new, &values, false);
+    let stats_new = eng.contract(&mut StdRng::seed_from_u64(algo_seed));
+    let result_new = eng.uncontract_top_down(&values);
+
+    let machine_ref = layout.machine();
+    let mut reference = ReferenceEngine::new(t, &layout, &machine_ref, &values, false);
+    let stats_ref = reference.contract(&mut StdRng::seed_from_u64(algo_seed));
+    let result_ref = reference.uncontract_top_down(&values);
+
+    assert_eq!(result_new, result_ref, "values diverged");
+    assert_eq!(stats_new, stats_ref, "stats diverged");
+    assert_eq!(
+        machine_new.report(),
+        machine_ref.report(),
+        "machine charges diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bottom_up_identical_on_random_trees(
+        n in 2u32..400,
+        tree_seed in 0u64..10_000,
+        algo_seed in 0u64..10_000,
+    ) {
+        let t = generators::uniform_random(n, &mut StdRng::seed_from_u64(tree_seed));
+        compare_bottom_up(&t, algo_seed);
+    }
+
+    #[test]
+    fn top_down_identical_on_random_trees(
+        n in 2u32..400,
+        tree_seed in 0u64..10_000,
+        algo_seed in 0u64..10_000,
+    ) {
+        let t = generators::random_binary(n, &mut StdRng::seed_from_u64(tree_seed));
+        compare_top_down(&t, algo_seed);
+    }
+}
+
+#[test]
+fn identical_across_all_families() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for fam in TreeFamily::ALL {
+        let t = fam.generate(500, &mut rng);
+        compare_bottom_up(&t, 7);
+        compare_top_down(&t, 8);
+    }
+}
+
+#[test]
+fn identical_on_a_larger_instance() {
+    let t = generators::preferential_attachment(1 << 13, &mut StdRng::seed_from_u64(3));
+    compare_bottom_up(&t, 11);
+}
