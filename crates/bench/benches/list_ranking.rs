@@ -3,23 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use spatial_bench::random_list;
 use spatial_trees::euler::{rank_parallel, rank_sequential, rank_spatial};
 use spatial_trees::model::{CurveKind, Machine};
 use std::hint::black_box;
-
-fn random_list(n: usize, seed: u64) -> (Vec<u32>, u32) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    for i in (1..n).rev() {
-        order.swap(i, rng.gen_range(0..=i));
-    }
-    let mut next = vec![u32::MAX; n];
-    for w in order.windows(2) {
-        next[w[0] as usize] = w[1];
-    }
-    (next, order[0])
-}
 
 fn bench_ranking(c: &mut Criterion) {
     let n = 1usize << 16;

@@ -17,12 +17,21 @@
 //!   - a host-parallel Wyllie pointer-jumping ranking
 //!     ([`ranking::rank_parallel`]) for wall-clock benchmarks, and
 //!   - the spatial random-mate contraction
-//!     ([`ranking::rank_spatial`]) with full energy/depth accounting.
+//!     ([`ranking::RankingEngine`], one-shot wrapper
+//!     [`ranking::rank_spatial`]) with full energy/depth accounting —
+//!     a flat splice log with per-round offsets, zero heap allocation
+//!     after setup (the §IV cost bounds: `O(n^{3/2})` energy and
+//!     `O(log n)` depth w.h.p., Theorem 5).
 //! - [`tour`] helpers deriving subtree sizes and first-occurrence
 //!   (DFS) orders from tour ranks — steps 1–3 of the §IV pipeline.
+//!
+//! The seed contraction (nested per-round splice `Vec`s) is retained in
+//! [`reference`] and pinned by the `ranking_props` differential suite.
 
 pub mod ranking;
+#[doc(hidden)]
+pub mod reference;
 pub mod tour;
 
-pub use ranking::{rank_parallel, rank_sequential, rank_spatial, SpatialRanking};
+pub use ranking::{rank_parallel, rank_sequential, rank_spatial, RankingEngine, SpatialRanking};
 pub use tour::{ChildOrder, EulerTour};

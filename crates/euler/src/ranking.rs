@@ -10,6 +10,30 @@
 //! `O(n′·√n)` energy (pointers reach across the grid) and `O(1)` depth;
 //! with high probability a constant fraction of elements is removed per
 //! round, giving `O(n^{3/2})` energy and `O(log n)` depth overall.
+//!
+//! # Memory discipline
+//!
+//! The contraction is the inner loop of on-machine layout creation
+//! (§IV runs it twice per layout), so [`RankingEngine`] lays every
+//! piece of state out flat and allocates once in
+//! [`RankingEngine::new`]:
+//!
+//! - the splice log is three flat arrays (`mid`, `left`, carried
+//!   weight) with per-round end offsets — replacing the seed's
+//!   per-round `Vec<Splice>` history of nested `Vec`s;
+//! - per-round removals mark a flag array swept by `retain`, replacing
+//!   the seed's per-round `HashSet`;
+//! - pointer-distance charging goes through the machine's batched
+//!   hooks ([`Machine::dist_sum`] over the live successor pairs,
+//!   [`Machine::charge_pointer_round`] per synchronous round).
+//!
+//! After `new` returns, [`RankingEngine::rank`] performs **zero heap
+//! allocation** (asserted by the counting-allocator test
+//! `tests/alloc_free.rs`, the same harness as the treefix engine's).
+//! The seed implementation is retained as
+//! [`crate::reference::rank_spatial_reference`]; the `ranking_props`
+//! suite asserts both produce identical ranks, round counts, and
+//! machine charges.
 
 use rand::Rng;
 use rayon::prelude::*;
@@ -92,7 +116,7 @@ pub fn rank_parallel(next: &[u32], start: u32) -> Vec<u64> {
 }
 
 /// Marks which elements lie on the list starting at `start`.
-fn list_membership(next: &[u32], start: u32) -> Vec<bool> {
+pub(crate) fn list_membership(next: &[u32], start: u32) -> Vec<bool> {
     let mut on = vec![false; next.len()];
     let mut at = start;
     while at != END {
@@ -113,13 +137,231 @@ pub struct SpatialRanking {
     pub rounds: u32,
 }
 
-/// A spliced-out element: `mid` was removed from between `left` and its
-/// successor; `weight_mid` is the rank weight `mid` carried.
-#[derive(Debug, Clone, Copy)]
-struct Splice {
-    mid: u32,
-    left: u32,
-    weight_mid: u64,
+/// The reusable spatial list-ranking engine (§IV, Theorem 5): flat
+/// splice log, per-round end offsets, zero heap allocation after
+/// setup. Create with [`RankingEngine::new`], then call
+/// [`RankingEngine::rank`] any number of times (each run re-ranks the
+/// same list with fresh randomness, charging the machine it is given).
+pub struct RankingEngine {
+    /// Original successor array (the list never changes across runs).
+    next0: Vec<u32>,
+    start: u32,
+    /// Elements on the list, in id order (the initial alive set).
+    alive0: Vec<u32>,
+    /// Contract until at most this many elements remain.
+    threshold: usize,
+
+    // ---- Per-run mutable state (reset at the top of `rank`). ----
+    nxt: Vec<u32>,
+    prev: Vec<u32>,
+    weight: Vec<u64>,
+    coin: Vec<bool>,
+    dead: Vec<bool>,
+    alive: Vec<u32>,
+    ranks: Vec<u64>,
+
+    // ---- Flat splice log (replaces the seed's Vec<Vec<Splice>>). ----
+    /// Spliced-out elements, all rounds back to back.
+    splice_mid: Vec<u32>,
+    /// Left neighbour each splice merged into.
+    splice_left: Vec<u32>,
+    /// Rank weight the spliced element carried.
+    splice_weight: Vec<u64>,
+    /// End offset into the splice arrays after each round.
+    round_ends: Vec<u32>,
+    /// Random-mate selection scratch.
+    selected: Vec<u32>,
+    rounds: u32,
+}
+
+impl RankingEngine {
+    /// Prepares the engine for the list `next` starting at `start`.
+    /// All arrays are allocated here; [`RankingEngine::rank`] never
+    /// allocates.
+    pub fn new(next: &[u32], start: u32) -> Self {
+        let n = next.len();
+        let membership = if start == END {
+            vec![false; n]
+        } else {
+            list_membership(next, start)
+        };
+        let alive0: Vec<u32> = (0..n as u32).filter(|&v| membership[v as usize]).collect();
+        let list_len = alive0.len();
+        let threshold = (2 * (usize::BITS - list_len.leading_zeros()) as usize).max(4);
+        RankingEngine {
+            next0: next.to_vec(),
+            start,
+            alive0,
+            threshold,
+            nxt: vec![END; n],
+            prev: vec![END; n],
+            weight: vec![1u64; n],
+            coin: vec![false; n],
+            dead: vec![false; n],
+            alive: Vec::with_capacity(list_len),
+            ranks: vec![UNRANKED; n],
+            splice_mid: Vec::with_capacity(list_len),
+            splice_left: Vec::with_capacity(list_len),
+            splice_weight: Vec::with_capacity(list_len),
+            // Every round appends one end offset, including rounds that
+            // splice nothing; the capacity is a generous bound on the
+            // O(log n) w.h.p. round count.
+            round_ends: Vec::with_capacity(list_len + 64),
+            selected: Vec::with_capacity(list_len),
+            rounds: 0,
+        }
+    }
+
+    /// Number of elements on the list.
+    pub fn list_len(&self) -> usize {
+        self.alive0.len()
+    }
+
+    /// The ranks of the most recent [`RankingEngine::rank`] run
+    /// ([`UNRANKED`] off-list, or everywhere before the first run).
+    pub fn ranks(&self) -> &[u64] {
+        &self.ranks
+    }
+
+    /// Resets the per-run state to the pristine list.
+    fn reset(&mut self) {
+        self.nxt.copy_from_slice(&self.next0);
+        self.prev.fill(END);
+        for &v in &self.alive0 {
+            let w = self.nxt[v as usize];
+            if w != END {
+                self.prev[w as usize] = v;
+            }
+        }
+        self.weight.fill(1);
+        self.dead.fill(false);
+        self.alive.clear();
+        self.alive.extend_from_slice(&self.alive0);
+        self.ranks.fill(UNRANKED);
+        self.splice_mid.clear();
+        self.splice_left.clear();
+        self.splice_weight.clear();
+        self.round_ends.clear();
+        self.rounds = 0;
+    }
+
+    /// Ranks the list by random-mate contraction, charging every
+    /// pointer round on `m`. Returns the number of contraction rounds;
+    /// read the ranks via [`RankingEngine::ranks`]. The seed affects
+    /// only costs, never ranks. Performs no heap allocation.
+    pub fn rank<R: Rng>(&mut self, m: &Machine, rng: &mut R) -> u32 {
+        let n = self.next0.len();
+        assert!(n as u32 <= m.n_slots(), "need one slot per list element");
+        self.reset();
+        if self.start == END {
+            return 0;
+        }
+        let start = self.start;
+
+        // ---- Contract until O(log n) elements remain. ----
+        while self.alive.len() > self.threshold {
+            // Every alive element flips a coin and tells its successor —
+            // one synchronous communication round over the current list,
+            // charged through the batched pointer-distance hooks.
+            for &v in &self.alive {
+                self.coin[v as usize] = rng.gen();
+            }
+            fn live_pairs<'a>(
+                alive: &'a [u32],
+                nxt: &'a [u32],
+            ) -> impl Iterator<Item = (Slot, Slot)> + 'a {
+                alive
+                    .iter()
+                    .filter(move |&&v| nxt[v as usize] != END)
+                    .map(move |&v| (v as Slot, nxt[v as usize] as Slot))
+            }
+            let coin_energy = m.dist_sum(live_pairs(&self.alive, &self.nxt));
+            let coin_msgs = live_pairs(&self.alive, &self.nxt).count() as u64;
+            m.charge_pointer_round(coin_energy, coin_msgs);
+
+            // Select: heads whose predecessor flipped tails (never the
+            // start element — it anchors the ranking). Selection is
+            // evaluated against the pre-splice pointers.
+            self.selected.clear();
+            for &v in &self.alive {
+                if v != start
+                    && self.coin[v as usize]
+                    && self.prev[v as usize] != END
+                    && !self.coin[self.prev[v as usize] as usize]
+                {
+                    self.selected.push(v);
+                }
+            }
+
+            // Splice each selected element out: its left neighbour
+            // inherits its weight and pointer (message mid → left), and
+            // its right neighbour learns its new predecessor (message
+            // mid → right). The splice is logged flat.
+            let mut splice_energy = 0u64;
+            let mut splice_msgs = 0u64;
+            for &mid in &self.selected {
+                let left = self.prev[mid as usize];
+                let right = self.nxt[mid as usize];
+                debug_assert_ne!(left, END);
+                splice_energy += m.dist(mid as Slot, left as Slot);
+                splice_msgs += 1;
+                if right != END {
+                    splice_energy += m.dist(mid as Slot, right as Slot);
+                    splice_msgs += 1;
+                    self.prev[right as usize] = left;
+                }
+                self.nxt[left as usize] = right;
+                self.weight[left as usize] += self.weight[mid as usize];
+                self.splice_mid.push(mid);
+                self.splice_left.push(left);
+                self.splice_weight.push(self.weight[mid as usize]);
+                self.dead[mid as usize] = true;
+            }
+            m.charge_pointer_round(splice_energy, splice_msgs);
+            self.round_ends.push(self.splice_mid.len() as u32);
+            self.rounds += 1;
+
+            let Self { alive, dead, .. } = &mut *self;
+            alive.retain(|&v| !dead[v as usize]);
+        }
+
+        // ---- Base case: walk the remaining list sequentially, ----
+        // ---- charging each hop.                                ----
+        let mut at = start;
+        let mut acc = 0u64;
+        while at != END {
+            self.ranks[at as usize] = acc;
+            acc += self.weight[at as usize];
+            let nx = self.nxt[at as usize];
+            if nx != END {
+                m.send(at as Slot, nx as Slot);
+            }
+            at = nx;
+        }
+
+        // ---- Uncontraction: undo rounds in reverse; all splices of ----
+        // ---- one round resolve in parallel (independent set).      ----
+        for round in (0..self.rounds as usize).rev() {
+            let lo = if round == 0 {
+                0
+            } else {
+                self.round_ends[round - 1] as usize
+            };
+            let hi = self.round_ends[round] as usize;
+            let mut energy = 0u64;
+            let msgs = (hi - lo) as u64;
+            for i in lo..hi {
+                let mid = self.splice_mid[i];
+                let left = self.splice_left[i];
+                energy += m.dist(left as Slot, mid as Slot);
+                self.weight[left as usize] -= self.splice_weight[i];
+                self.ranks[mid as usize] = self.ranks[left as usize] + self.weight[left as usize];
+            }
+            m.charge_pointer_round(energy, msgs);
+        }
+
+        self.rounds
+    }
 }
 
 /// Spatial list ranking by random-mate contraction (§IV, Theorem 5).
@@ -128,122 +370,17 @@ struct Splice {
 /// have at least `next.len()` slots. Every pointer access is charged as
 /// a message between the slots involved — initially `Θ(√n)` on average,
 /// which is where the `O(n^{3/2})` energy comes from.
+///
+/// One-shot wrapper over [`RankingEngine`]; callers that rank the same
+/// list repeatedly (Las Vegas retries, cost experiments) should hold an
+/// engine and call [`RankingEngine::rank`] directly.
 pub fn rank_spatial<R: Rng>(m: &Machine, next: &[u32], start: u32, rng: &mut R) -> SpatialRanking {
-    let n = next.len();
-    assert!(n as u32 <= m.n_slots(), "need one slot per list element");
-    let mut ranks = vec![UNRANKED; n];
-    if start == END {
-        return SpatialRanking { ranks, rounds: 0 };
+    let mut engine = RankingEngine::new(next, start);
+    let rounds = engine.rank(m, rng);
+    SpatialRanking {
+        ranks: engine.ranks().to_vec(),
+        rounds,
     }
-
-    let membership = list_membership(next, start);
-    let mut alive: Vec<u32> = (0..n as u32).filter(|&v| membership[v as usize]).collect();
-    let list_len = alive.len();
-
-    let mut nxt = next.to_vec();
-    let mut prev = vec![END; n];
-    for &v in &alive {
-        let w = nxt[v as usize];
-        if w != END {
-            prev[w as usize] = v;
-        }
-    }
-    let mut weight = vec![1u64; n];
-    let mut coin = vec![false; n];
-
-    // Contract until O(log n) elements remain.
-    let threshold = (2 * (usize::BITS - list_len.leading_zeros()) as usize).max(4);
-    let mut history: Vec<Vec<Splice>> = Vec::new();
-    while alive.len() > threshold {
-        // Every alive element flips a coin and tells its successor —
-        // one synchronous communication round over the current list.
-        for &v in &alive {
-            coin[v as usize] = rng.gen();
-        }
-        let coin_energy: u64 = alive
-            .par_iter()
-            .filter(|&&v| nxt[v as usize] != END)
-            .map(|&v| m.dist(v as Slot, nxt[v as usize] as Slot))
-            .sum();
-        let coin_msgs = alive.iter().filter(|&&v| nxt[v as usize] != END).count() as u64;
-        m.charge_bulk(coin_energy, coin_msgs, coin_msgs);
-        m.advance_all(1);
-
-        // Select: heads whose predecessor flipped tails (never the
-        // start element — it anchors the ranking).
-        let selected: Vec<u32> = alive
-            .iter()
-            .copied()
-            .filter(|&v| {
-                v != start
-                    && coin[v as usize]
-                    && prev[v as usize] != END
-                    && !coin[prev[v as usize] as usize]
-            })
-            .collect();
-
-        // Splice each selected element out: its left neighbour inherits
-        // its weight and pointer (message mid → left), and its right
-        // neighbour learns its new predecessor (message mid → right).
-        let mut splices = Vec::with_capacity(selected.len());
-        let mut splice_energy = 0u64;
-        let mut splice_msgs = 0u64;
-        for &mid in &selected {
-            let left = prev[mid as usize];
-            let right = nxt[mid as usize];
-            debug_assert_ne!(left, END);
-            splice_energy += m.dist(mid as Slot, left as Slot);
-            splice_msgs += 1;
-            if right != END {
-                splice_energy += m.dist(mid as Slot, right as Slot);
-                splice_msgs += 1;
-                prev[right as usize] = left;
-            }
-            nxt[left as usize] = right;
-            weight[left as usize] += weight[mid as usize];
-            splices.push(Splice {
-                mid,
-                left,
-                weight_mid: weight[mid as usize],
-            });
-        }
-        m.charge_bulk(splice_energy, splice_msgs, splice_msgs);
-        m.advance_all(1);
-        history.push(splices);
-
-        let removed: std::collections::HashSet<u32> = selected.into_iter().collect();
-        alive.retain(|v| !removed.contains(v));
-    }
-
-    // Base case: walk the remaining list sequentially, charging each hop.
-    let mut at = start;
-    let mut acc = 0u64;
-    while at != END {
-        ranks[at as usize] = acc;
-        acc += weight[at as usize];
-        let nx = nxt[at as usize];
-        if nx != END {
-            m.send(at as Slot, nx as Slot);
-        }
-        at = nx;
-    }
-
-    // Uncontraction: undo iterations in reverse; all splices of one
-    // iteration resolve in parallel (they were an independent set).
-    let rounds = history.len() as u32;
-    for splices in history.into_iter().rev() {
-        let mut energy = 0u64;
-        let msgs = splices.len() as u64;
-        for s in &splices {
-            energy += m.dist(s.left as Slot, s.mid as Slot);
-            weight[s.left as usize] -= s.weight_mid;
-            ranks[s.mid as usize] = ranks[s.left as usize] + weight[s.left as usize];
-        }
-        m.charge_bulk(energy, msgs, msgs);
-        m.advance_all(1);
-    }
-
-    SpatialRanking { ranks, rounds }
 }
 
 #[cfg(test)]
@@ -324,6 +461,31 @@ mod tests {
             let m = Machine::on_curve(CurveKind::Hilbert, 500);
             let got = rank_spatial(&m, &next, start, &mut StdRng::seed_from_u64(seed));
             assert_eq!(got.ranks, expect, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_runs() {
+        // One engine, many runs with different seeds: always correct,
+        // and a repeated seed reproduces ranks, rounds, and charges.
+        let (next, start) = random_list(700, &mut StdRng::seed_from_u64(2));
+        let expect = rank_sequential(&next, start);
+        let mut engine = RankingEngine::new(&next, start);
+        let mut first: Option<(Vec<u64>, u32, spatial_model::CostReport)> = None;
+        for run in 0..6u64 {
+            let m = Machine::on_curve(CurveKind::Hilbert, 700);
+            let rounds = engine.rank(&m, &mut StdRng::seed_from_u64(run % 3));
+            assert_eq!(engine.ranks(), &expect[..], "run {run}");
+            if run % 3 == 0 {
+                match &first {
+                    None => first = Some((engine.ranks().to_vec(), rounds, m.report())),
+                    Some((r, c, rep)) => {
+                        assert_eq!(engine.ranks(), &r[..], "repeat run ranks");
+                        assert_eq!(rounds, *c, "repeat run rounds");
+                        assert_eq!(m.report(), *rep, "repeat run charges");
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,161 @@
+//! The seed spatial list ranking, retained verbatim as the
+//! differential baseline for the flat splice-log engine in
+//! [`crate::ranking`].
+//!
+//! This implementation allocates per round: a `Vec<Splice>` per
+//! contraction round collected into a `history` of nested `Vec`s, plus
+//! a `HashSet` for the per-round removals. The `ranking_props` suite
+//! pins the optimized engine to it — identical ranks, round counts,
+//! and machine charges on arbitrary lists and seeds.
+
+use crate::ranking::{SpatialRanking, END, UNRANKED};
+use rand::Rng;
+use rayon::prelude::*;
+use spatial_model::{Machine, Slot};
+
+/// Marks which elements lie on the list starting at `start`.
+fn list_membership(next: &[u32], start: u32) -> Vec<bool> {
+    let mut on = vec![false; next.len()];
+    let mut at = start;
+    while at != END {
+        debug_assert!(!on[at as usize], "cycle in list");
+        on[at as usize] = true;
+        at = next[at as usize];
+    }
+    on
+}
+
+/// A spliced-out element: `mid` was removed from between `left` and its
+/// successor; `weight_mid` is the rank weight `mid` carried.
+#[derive(Debug, Clone, Copy)]
+struct Splice {
+    mid: u32,
+    left: u32,
+    weight_mid: u64,
+}
+
+/// The seed random-mate contraction (§IV, Theorem 5), kept as the
+/// differential baseline. Same contract as
+/// [`crate::ranking::rank_spatial`].
+pub fn rank_spatial_reference<R: Rng>(
+    m: &Machine,
+    next: &[u32],
+    start: u32,
+    rng: &mut R,
+) -> SpatialRanking {
+    let n = next.len();
+    assert!(n as u32 <= m.n_slots(), "need one slot per list element");
+    let mut ranks = vec![UNRANKED; n];
+    if start == END {
+        return SpatialRanking { ranks, rounds: 0 };
+    }
+
+    let membership = list_membership(next, start);
+    let mut alive: Vec<u32> = (0..n as u32).filter(|&v| membership[v as usize]).collect();
+    let list_len = alive.len();
+
+    let mut nxt = next.to_vec();
+    let mut prev = vec![END; n];
+    for &v in &alive {
+        let w = nxt[v as usize];
+        if w != END {
+            prev[w as usize] = v;
+        }
+    }
+    let mut weight = vec![1u64; n];
+    let mut coin = vec![false; n];
+
+    // Contract until O(log n) elements remain.
+    let threshold = (2 * (usize::BITS - list_len.leading_zeros()) as usize).max(4);
+    let mut history: Vec<Vec<Splice>> = Vec::new();
+    while alive.len() > threshold {
+        // Every alive element flips a coin and tells its successor —
+        // one synchronous communication round over the current list.
+        for &v in &alive {
+            coin[v as usize] = rng.gen();
+        }
+        let coin_energy: u64 = alive
+            .par_iter()
+            .filter(|&&v| nxt[v as usize] != END)
+            .map(|&v| m.dist(v as Slot, nxt[v as usize] as Slot))
+            .sum();
+        let coin_msgs = alive.iter().filter(|&&v| nxt[v as usize] != END).count() as u64;
+        m.charge_bulk(coin_energy, coin_msgs, coin_msgs);
+        m.advance_all(1);
+
+        // Select: heads whose predecessor flipped tails (never the
+        // start element — it anchors the ranking).
+        let selected: Vec<u32> = alive
+            .iter()
+            .copied()
+            .filter(|&v| {
+                v != start
+                    && coin[v as usize]
+                    && prev[v as usize] != END
+                    && !coin[prev[v as usize] as usize]
+            })
+            .collect();
+
+        // Splice each selected element out: its left neighbour inherits
+        // its weight and pointer (message mid → left), and its right
+        // neighbour learns its new predecessor (message mid → right).
+        let mut splices = Vec::with_capacity(selected.len());
+        let mut splice_energy = 0u64;
+        let mut splice_msgs = 0u64;
+        for &mid in &selected {
+            let left = prev[mid as usize];
+            let right = nxt[mid as usize];
+            debug_assert_ne!(left, END);
+            splice_energy += m.dist(mid as Slot, left as Slot);
+            splice_msgs += 1;
+            if right != END {
+                splice_energy += m.dist(mid as Slot, right as Slot);
+                splice_msgs += 1;
+                prev[right as usize] = left;
+            }
+            nxt[left as usize] = right;
+            weight[left as usize] += weight[mid as usize];
+            splices.push(Splice {
+                mid,
+                left,
+                weight_mid: weight[mid as usize],
+            });
+        }
+        m.charge_bulk(splice_energy, splice_msgs, splice_msgs);
+        m.advance_all(1);
+        history.push(splices);
+
+        let removed: std::collections::HashSet<u32> = selected.into_iter().collect();
+        alive.retain(|v| !removed.contains(v));
+    }
+
+    // Base case: walk the remaining list sequentially, charging each hop.
+    let mut at = start;
+    let mut acc = 0u64;
+    while at != END {
+        ranks[at as usize] = acc;
+        acc += weight[at as usize];
+        let nx = nxt[at as usize];
+        if nx != END {
+            m.send(at as Slot, nx as Slot);
+        }
+        at = nx;
+    }
+
+    // Uncontraction: undo iterations in reverse; all splices of one
+    // iteration resolve in parallel (they were an independent set).
+    let rounds = history.len() as u32;
+    for splices in history.into_iter().rev() {
+        let mut energy = 0u64;
+        let msgs = splices.len() as u64;
+        for s in &splices {
+            energy += m.dist(s.left as Slot, s.mid as Slot);
+            weight[s.left as usize] -= s.weight_mid;
+            ranks[s.mid as usize] = ranks[s.left as usize] + weight[s.left as usize];
+        }
+        m.charge_bulk(energy, msgs, msgs);
+        m.advance_all(1);
+    }
+
+    SpatialRanking { ranks, rounds }
+}

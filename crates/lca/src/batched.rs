@@ -1,12 +1,38 @@
-//! The four-step batched LCA algorithm (§VI-C, Theorem 6).
+//! The four-step batched LCA algorithm (§VI-C, Theorem 6) as a
+//! reusable flat-array engine.
+//!
+//! [`LcaEngine`] separates the rng-independent structure of the
+//! algorithm — subtree sizes, light-first child CSR, the TRANSFORM
+//! relay schedule, the heavy-path decomposition, and the layer-indexed
+//! CSR [`SubtreeCover`] — from the per-run work. [`LcaEngine::new`]
+//! computes the structure once; [`LcaEngine::run`] then answers any
+//! number of query batches, charging exactly the costs of §VI-C:
+//!
+//! 1. one bottom-up treefix (subtree sizes → ranges; Theorem 6 step 1),
+//! 2. the virtual-tree construction + two range/heavy-child broadcasts
+//!    replayed from the precomputed CSR schedule (step 2),
+//! 3. one top-down treefix over the light-edge indicator (step 3),
+//! 4. per layer, the Lemma 13 range broadcast inside every cover
+//!    subtree plus a synchronization barrier — charged through a
+//!    [`spatial_model::LocalCharge`] session (identical accounting,
+//!    no per-message atomics).
+//!
+//! Queries are resolved by walking each endpoint's head chain (the at
+//! most `O(log n)` cover subtrees containing it) instead of rescanning
+//! the whole batch once per layer. Costs: `O(n log n)` energy and
+//! `O(log² n)` depth w.h.p. for `O(1)` queries per vertex (Theorem 6).
+//! The seed implementation is retained as
+//! [`crate::reference::batched_lca_reference`]; the differential suite
+//! pins this engine to it bit for bit (answers, stats, charges).
 
-use crate::cover::{CoverSubtree, SubtreeCover};
+use crate::cover::SubtreeCover;
 use rand::Rng;
 use spatial_layout::Layout;
-use spatial_messaging::{local_broadcast, VirtualTree};
-use spatial_model::{collectives, Machine};
-use spatial_tree::{HeavyPathDecomposition, NodeId, Tree, NIL};
-use spatial_treefix::{treefix_bottom_up, treefix_top_down, Add};
+use spatial_messaging::{BroadcastSchedule, VirtualTree};
+use spatial_model::{collectives, LocalChargeScratch, Machine};
+use spatial_tree::{ChildrenCsr, HeavyPathDecomposition, NodeId, Tree, NIL};
+use spatial_treefix::contraction::ContractionEngine;
+use spatial_treefix::Add;
 
 /// Cost-relevant statistics of a batched LCA run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,12 +54,270 @@ pub struct LcaResult {
     pub stats: LcaStats,
 }
 
+/// The reusable batched-LCA engine: structure once, any number of
+/// query batches.
+pub struct LcaEngine<'a> {
+    tree: &'a Tree,
+    layout: &'a Layout,
+
+    // ---- Rng-independent structure, computed once. ----
+    /// Host-side subtree sizes (step 1 recomputes and charges them on
+    /// the machine; the values are identical by exactness).
+    sizes: Vec<u32>,
+    /// Light-first child lists, shared by both treefix runs.
+    csr: ChildrenCsr,
+    /// CSR relay rounds of the TRANSFORM virtual tree (step 2).
+    schedule: BroadcastSchedule,
+    /// Heavy-path head of every vertex.
+    head: Vec<NodeId>,
+    /// Path-decomposition layer of every vertex.
+    layer: Vec<u32>,
+    /// The layer-indexed CSR subtree cover (§VI-B).
+    cover: SubtreeCover,
+    /// Step-1 treefix input (`Add(1)` per vertex).
+    ones: Vec<Add>,
+    /// Step-3 treefix input (light-edge indicator).
+    indicator: Vec<Add>,
+
+    // ---- Reusable scratch (allocated once, cleared per use). ----
+    /// Clock snapshot + round staging for the local charging sessions
+    /// (steps 2 and 4).
+    clock_scratch: LocalChargeScratch,
+    /// Head chains of the two query endpoints, indexed by layer.
+    chain_a: Vec<NodeId>,
+    chain_b: Vec<NodeId>,
+}
+
+impl<'a> LcaEngine<'a> {
+    /// Precomputes the engine's structure for one tree + layout pair.
+    /// The tree must be stored in an energy-bound light-first layout
+    /// (cover subtrees must be contiguous slot ranges).
+    pub fn new(layout: &'a Layout, tree: &'a Tree) -> Self {
+        let n = tree.n();
+        assert_eq!(layout.n(), n, "layout size mismatch");
+        let sizes = tree.subtree_sizes();
+        let csr = ChildrenCsr::by_size(tree, &sizes);
+        let vt = VirtualTree::with_sizes(tree, &sizes);
+        let schedule = BroadcastSchedule::new(&vt, layout, tree);
+        let decomposition = HeavyPathDecomposition::with_sizes(tree, &sizes);
+        let indicator: Vec<Add> = (0..n)
+            .map(|v| match tree.parent(v) {
+                // Heavy child: continues the parent's path.
+                Some(p) if decomposition.heavy_child[p as usize] == v => Add(0),
+                None => Add(0), // root
+                _ => Add(1),    // light edge: starts a new path
+            })
+            .collect();
+        let cover = SubtreeCover::new(tree, layout, &decomposition, &sizes);
+        let num_layers = cover.num_layers() as usize;
+        LcaEngine {
+            tree,
+            layout,
+            sizes,
+            csr,
+            schedule,
+            head: decomposition.head,
+            layer: decomposition.layer,
+            cover,
+            ones: vec![Add(1); n as usize],
+            indicator,
+            clock_scratch: LocalChargeScratch::with_capacity(n as usize, n as usize),
+            chain_a: Vec::with_capacity(num_layers),
+            chain_b: Vec::with_capacity(num_layers),
+        }
+    }
+
+    /// The subtree cover the engine routes queries through.
+    pub fn cover(&self) -> &SubtreeCover {
+        &self.cover
+    }
+
+    /// The light-first child CSR (shared with callers that run further
+    /// treefix passes over the same tree, e.g. the min-cut pipeline).
+    pub fn children_csr(&self) -> &ChildrenCsr {
+        &self.csr
+    }
+
+    /// Whether `partner`'s slot lies in `r(parent(root)) \ r(root)` —
+    /// the Corollary 3 resolution test; returns the answer `w`.
+    #[inline]
+    fn resolve(&self, root: NodeId, partner: NodeId) -> Option<NodeId> {
+        let w = self.tree.parent(root)?;
+        let wlo = self.layout.slot(w);
+        let whi = wlo + self.sizes[w as usize];
+        let lo = self.layout.slot(root);
+        let hi = lo + self.sizes[root as usize];
+        let ps = self.layout.slot(partner);
+        (wlo <= ps && ps < whi && !(lo <= ps && ps < hi)).then_some(w)
+    }
+
+    /// Fills `chain` so `chain[li]` is the head of the layer-`li` cover
+    /// subtree containing `v`, for `li = 0 ..= layer[v]` (every vertex
+    /// lies in exactly one subtree per layer up to its own).
+    fn fill_chain(head: &[NodeId], layer: &[u32], tree: &Tree, chain: &mut Vec<NodeId>, v: NodeId) {
+        chain.clear();
+        chain.resize(layer[v as usize] as usize + 1, NIL);
+        let mut x = v;
+        loop {
+            let h = head[x as usize];
+            chain[layer[h as usize] as usize] = h;
+            match tree.parent(h) {
+                None => break,
+                Some(p) => x = p,
+            }
+        }
+    }
+
+    /// Answers one batch of LCA queries, charging the full §VI-C cost
+    /// on `machine`. The random seed affects only costs (the Las Vegas
+    /// treefix rounds), never answers.
+    pub fn run<R: Rng>(
+        &mut self,
+        machine: &Machine,
+        queries: &[(NodeId, NodeId)],
+        rng: &mut R,
+    ) -> LcaResult {
+        let n = self.tree.n();
+        debug_assert_eq!(
+            spatial_tree::traversal::verify_light_first(self.tree, self.layout.order()),
+            Ok(()),
+            "batched LCA requires a light-first layout"
+        );
+
+        // ---- Step 1: subtree sizes (bottom-up treefix), ranges, and ----
+        // ---- ancestor/descendant answers.                           ----
+        let mut tf1 = ContractionEngine::with_children_csr(
+            self.tree,
+            self.layout,
+            machine,
+            &self.ones,
+            true,
+            &self.csr,
+        );
+        let stats1 = tf1.contract(rng);
+        let tf1_values = tf1.uncontract_bottom_up();
+        debug_assert!(
+            tf1_values
+                .iter()
+                .map(|a| a.0 as u32)
+                .eq(self.sizes.iter().copied()),
+            "treefix sizes must match the host sizes"
+        );
+
+        let in_range = |v: NodeId, w: NodeId| -> bool {
+            let s = self.layout.slot(v);
+            let lo = self.layout.slot(w);
+            lo <= s && s < lo + self.sizes[w as usize]
+        };
+        let mut answers = vec![NIL; queries.len()];
+        let mut answered_step1 = 0u32;
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            assert!(a < n && b < n, "query ({a}, {b}) out of range");
+            if a == b || in_range(b, a) {
+                // Equal vertices or b a descendant of a: the answer is a.
+                answers[qi] = a;
+                answered_step1 += 1;
+            } else if in_range(a, b) {
+                answers[qi] = b;
+                answered_step1 += 1;
+            }
+        }
+
+        // ---- Step 2: every vertex broadcasts its range to its      ----
+        // ---- children (and its heavy child id, for the step-3      ----
+        // ---- indicator) — the precomputed CSR relay schedule,      ----
+        // ---- replayed through a local charging session.            ----
+        let mut lc = machine.begin_local_charge(&mut self.clock_scratch);
+        self.schedule.charge_construction_into(&mut lc);
+        self.schedule.charge_broadcast_into(&mut lc); // subtree ranges
+        self.schedule.charge_broadcast_into(&mut lc); // heavy-child ids
+        lc.commit();
+
+        // ---- Step 3: layers via top-down treefix over the light-edge ----
+        // ---- indicator.                                              ----
+        let mut tf3 = ContractionEngine::with_children_csr(
+            self.tree,
+            self.layout,
+            machine,
+            &self.indicator,
+            false,
+            &self.csr,
+        );
+        let stats3 = tf3.contract(rng);
+        let tf3_values = tf3.uncontract_top_down(&self.indicator);
+        debug_assert!(
+            tf3_values
+                .iter()
+                .map(|a| a.0 as u32)
+                .eq(self.layer.iter().copied()),
+            "treefix layers must match the host decomposition"
+        );
+
+        // ---- Step 4 charging: per layer, broadcast inside every    ----
+        // ---- cover subtree (Lemma 13) and barrier — one local       ----
+        // ---- charging session for the whole phase.                  ----
+        let mut lc = machine.begin_local_charge(&mut self.clock_scratch);
+        for li in 0..self.cover.num_layers() {
+            let (los, his) = self.cover.layer_ranges(li);
+            for (&lo, &hi) in los.iter().zip(his.iter()) {
+                if hi - lo >= 2 {
+                    collectives::range_broadcast_local(&mut lc, lo, hi);
+                }
+            }
+            // Synchronization barrier before the next layer (§VI-C).
+            collectives::barrier_local(&mut lc);
+        }
+        lc.commit();
+
+        // ---- Step 4 resolution: walk each query's head chains from ----
+        // ---- layer 0 upward; the first layer whose subtree isolates ----
+        // ---- one endpoint answers the query (Corollary 3).          ----
+        for (qi, &(a, b)) in queries.iter().enumerate() {
+            if answers[qi] != NIL {
+                continue;
+            }
+            Self::fill_chain(&self.head, &self.layer, self.tree, &mut self.chain_a, a);
+            Self::fill_chain(&self.head, &self.layer, self.tree, &mut self.chain_b, b);
+            let (la, lb) = (self.layer[a as usize], self.layer[b as usize]);
+            for li in 0..=la.max(lb) as usize {
+                if li <= la as usize {
+                    if let Some(w) = self.resolve(self.chain_a[li], b) {
+                        answers[qi] = w;
+                        break;
+                    }
+                }
+                if li <= lb as usize {
+                    if let Some(w) = self.resolve(self.chain_b[li], a) {
+                        answers[qi] = w;
+                        break;
+                    }
+                }
+            }
+        }
+
+        debug_assert!(
+            answers.iter().all(|&a| a != NIL),
+            "Corollary 3 guarantees every query resolves"
+        );
+
+        LcaResult {
+            answers,
+            stats: LcaStats {
+                layers: self.cover.num_layers(),
+                answered_step1,
+                treefix_rounds: (stats1.compact_rounds, stats3.compact_rounds),
+            },
+        }
+    }
+}
+
 /// Answers a batch of LCA queries on the spatial machine.
 ///
 /// The tree must be stored in an energy-bound light-first layout (cover
 /// subtrees must be contiguous slot ranges). Costs: `O(n log n)` energy
 /// and `O(log² n)` depth w.h.p. when every vertex appears in `O(1)`
-/// queries (Theorem 6).
+/// queries (Theorem 6). One-shot wrapper over [`LcaEngine`]; callers
+/// that answer several batches on the same tree should hold an engine.
 pub fn batched_lca<R: Rng>(
     machine: &Machine,
     layout: &Layout,
@@ -41,150 +325,7 @@ pub fn batched_lca<R: Rng>(
     queries: &[(NodeId, NodeId)],
     rng: &mut R,
 ) -> LcaResult {
-    let n = tree.n();
-    debug_assert_eq!(
-        spatial_tree::traversal::verify_light_first(tree, layout.order()),
-        Ok(()),
-        "batched LCA requires a light-first layout"
-    );
-
-    // ---- Step 1: subtree sizes (bottom-up treefix), ranges, and ----
-    // ---- ancestor/descendant answers.                           ----
-    let ones = vec![Add(1); n as usize];
-    let tf1 = treefix_bottom_up(machine, layout, tree, &ones, rng);
-    let sizes: Vec<u32> = tf1.values.iter().map(|a| a.0 as u32).collect();
-    let range = |v: NodeId| -> (u32, u32) {
-        let lo = layout.slot(v);
-        (lo, lo + sizes[v as usize])
-    };
-    let in_range = |v: NodeId, r: (u32, u32)| -> bool {
-        let s = layout.slot(v);
-        r.0 <= s && s < r.1
-    };
-
-    let mut answers = vec![NIL; queries.len()];
-    let mut answered_step1 = 0u32;
-    for (qi, &(a, b)) in queries.iter().enumerate() {
-        assert!(a < n && b < n, "query ({a}, {b}) out of range");
-        if a == b || in_range(b, range(a)) {
-            // Equal vertices or b a descendant of a: the answer is a.
-            answers[qi] = a;
-            answered_step1 += 1;
-        } else if in_range(a, range(b)) {
-            answers[qi] = b;
-            answered_step1 += 1;
-        }
-    }
-
-    // ---- Step 2: every vertex broadcasts its range to its children ----
-    // ---- (and its heavy child id, which step 3's indicator needs). ----
-    let vt = VirtualTree::with_sizes(tree, &sizes);
-    vt.charge_construction(machine, layout);
-    let ranges: Vec<(u32, u32)> = (0..n).map(range).collect();
-    local_broadcast(machine, layout, &vt, tree, &ranges);
-    let heavy: Vec<NodeId> = (0..n)
-        .map(|v| {
-            tree.children(v)
-                .iter()
-                .copied()
-                .max_by_key(|&c| (sizes[c as usize], c))
-                .unwrap_or(NIL)
-        })
-        .collect();
-    let heavy_msg = local_broadcast(machine, layout, &vt, tree, &heavy);
-
-    // ---- Step 3: layers via top-down treefix over the light-edge ----
-    // ---- indicator.                                              ----
-    let indicator: Vec<Add> = (0..n)
-        .map(|v| match heavy_msg[v as usize] {
-            Some(h) if h == v => Add(0), // heavy child: continues the path
-            None => Add(0),              // root
-            _ => Add(1),                 // light edge: starts a new path
-        })
-        .collect();
-    let tf3 = treefix_top_down(machine, layout, tree, &indicator, rng);
-    let layer: Vec<u32> = tf3.values.iter().map(|a| a.0 as u32).collect();
-
-    // Host-side view of the decomposition for query routing (the
-    // machine costs were charged above; this mirrors the distributed
-    // state for the answer bookkeeping).
-    let decomposition = HeavyPathDecomposition {
-        head: (0..n)
-            .map(|v| {
-                if indicator[v as usize] == Add(1) || tree.parent(v).is_none() {
-                    v
-                } else {
-                    NIL // filled below: non-heads inherit along heavy edges
-                }
-            })
-            .collect(),
-        layer: layer.clone(),
-        heavy_child: heavy.clone(),
-    };
-    let mut head = decomposition.head;
-    for &v in spatial_tree::traversal::bfs_order(tree).iter() {
-        if head[v as usize] == NIL {
-            head[v as usize] = head[tree.parent(v).expect("non-root") as usize];
-        }
-    }
-    let decomposition = HeavyPathDecomposition {
-        head,
-        layer: layer.clone(),
-        heavy_child: heavy,
-    };
-    let cover = SubtreeCover::new(tree, layout, &decomposition, &sizes);
-
-    // ---- Step 4: per layer, broadcast (r(w), r(x)) inside each ----
-    // ---- cover subtree, resolve queries, and barrier.          ----
-    let resolve = |s: &CoverSubtree, partner: NodeId| -> Option<NodeId> {
-        let w = s.parent?;
-        let (wlo, whi) = (layout.slot(w), layout.slot(w) + sizes[w as usize]);
-        let ps = layout.slot(partner);
-        // partner ∈ r(w) \ r(x) ⇒ the answer is w.
-        (wlo <= ps && ps < whi && !s.contains_slot(ps)).then_some(w)
-    };
-
-    for li in 0..cover.num_layers() {
-        // Broadcast within every layer subtree (Lemma 13); ranges of one
-        // layer are disjoint, so the broadcasts run in parallel.
-        for s in cover.layer(li) {
-            if s.hi - s.lo >= 2 {
-                collectives::range_broadcast(machine, s.lo, s.hi);
-            }
-        }
-        for (qi, &(a, b)) in queries.iter().enumerate() {
-            if answers[qi] != NIL {
-                continue;
-            }
-            if let Some(s) = cover.find_in_layer(li, layout.slot(a)) {
-                if let Some(w) = resolve(s, b) {
-                    answers[qi] = w;
-                    continue;
-                }
-            }
-            if let Some(s) = cover.find_in_layer(li, layout.slot(b)) {
-                if let Some(w) = resolve(s, a) {
-                    answers[qi] = w;
-                }
-            }
-        }
-        // Synchronization barrier before the next layer (§VI-C).
-        collectives::barrier(machine);
-    }
-
-    debug_assert!(
-        answers.iter().all(|&a| a != NIL),
-        "Corollary 3 guarantees every query resolves"
-    );
-
-    LcaResult {
-        answers,
-        stats: LcaStats {
-            layers: cover.num_layers(),
-            answered_step1,
-            treefix_rounds: (tf1.stats.compact_rounds, tf3.stats.compact_rounds),
-        },
-    }
+    LcaEngine::new(layout, tree).run(machine, queries, rng)
 }
 
 #[cfg(test)]
@@ -271,6 +412,31 @@ mod tests {
             match &baseline {
                 None => baseline = Some(res.answers),
                 Some(b) => assert_eq!(&res.answers, b, "seed {seed}"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_batches() {
+        // One engine, many batches: every batch answers correctly and
+        // a repeated batch answers identically.
+        let mut rng = StdRng::seed_from_u64(40);
+        let t = generators::preferential_attachment(400, &mut rng);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let host = HostLca::new(&t);
+        let mut engine = LcaEngine::new(&layout, &t);
+        let mut first = None;
+        for batch in 0..4 {
+            let queries = random_queries(t.n(), 120, &mut StdRng::seed_from_u64(batch % 2));
+            let machine = layout.machine();
+            let res = engine.run(&machine, &queries, &mut StdRng::seed_from_u64(41 + batch));
+            for (qi, &(a, b)) in queries.iter().enumerate() {
+                assert_eq!(res.answers[qi], host.query(a, b), "batch {batch}");
+            }
+            match (batch % 2, &first) {
+                (0, None) => first = Some(res.answers),
+                (0, Some(f)) => assert_eq!(&res.answers, f, "repeat batch diverged"),
+                _ => {}
             }
         }
     }

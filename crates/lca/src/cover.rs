@@ -1,16 +1,30 @@
-//! Subtree covers from path decompositions (§VI-B, Fig. 8).
+//! Subtree covers from path decompositions (§VI-B, Fig. 8), stored as
+//! a layer-indexed CSR.
 //!
 //! Given a heavy-path decomposition, the cover contains the subtree
 //! rooted at each path's head. Subtrees of the same layer are pairwise
 //! disjoint; subtrees across layers nest. In light-first order each
 //! cover subtree is a contiguous slot range, which is what lets the LCA
 //! algorithm broadcast within subtrees at linear energy (Lemma 13).
+//!
+//! # Storage
+//!
+//! The seed implementation kept one heap-allocated `Vec<CoverSubtree>`
+//! per layer. The cover is rebuilt for every tree the LCA engine is
+//! pointed at and walked once per layer per run, so it is now four flat
+//! arrays (`roots`, `parents`, `los`, `his`) plus a `layer_offsets`
+//! prefix array: layer `i`'s subtrees occupy the index range
+//! `layer_offsets[i] .. layer_offsets[i + 1]`, sorted by range start.
+//! One allocation per array, cache-contiguous layer walks, and the
+//! `(lo, hi)` pairs the step-4 broadcast loop needs are directly
+//! addressable as slices. The seed layout survives as
+//! [`crate::reference::ReferenceCover`].
 
 use spatial_layout::Layout;
-use spatial_tree::{HeavyPathDecomposition, NodeId, Tree};
+use spatial_tree::{HeavyPathDecomposition, NodeId, Tree, NIL};
 
 /// One cover subtree: rooted at a path head, spanning a contiguous
-/// light-first range.
+/// light-first range. A by-value view into the CSR arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoverSubtree {
     /// The path head this subtree is rooted at.
@@ -31,10 +45,20 @@ impl CoverSubtree {
     }
 }
 
-/// The subtree cover, grouped by layer.
+/// The subtree cover as a layer-indexed CSR over flat slot ranges.
 #[derive(Debug, Clone)]
 pub struct SubtreeCover {
-    layers: Vec<Vec<CoverSubtree>>,
+    /// Path head of each cover subtree.
+    roots: Vec<NodeId>,
+    /// Parent of each head (`NIL` for the tree root's path).
+    parents: Vec<NodeId>,
+    /// First slot of each subtree's range.
+    los: Vec<u32>,
+    /// One past the last slot of each subtree's range.
+    his: Vec<u32>,
+    /// Layer `i` occupies indices `layer_offsets[i] ..
+    /// layer_offsets[i + 1]`, sorted by `lo`.
+    layer_offsets: Vec<u32>,
 }
 
 impl SubtreeCover {
@@ -46,51 +70,118 @@ impl SubtreeCover {
         decomposition: &HeavyPathDecomposition,
         sizes: &[u32],
     ) -> Self {
-        let mut layers = vec![Vec::new(); decomposition.num_layers() as usize];
+        let num_layers = decomposition.num_layers() as usize;
+        // Count heads per layer, then place each head at its layer's
+        // cursor — a counting sort by layer. Within a layer, heads are
+        // then ordered by range start (their head's slot).
+        let mut layer_offsets = vec![0u32; num_layers + 1];
         for v in tree.vertices() {
             if decomposition.head[v as usize] == v {
-                let lo = layout.slot(v);
-                let subtree = CoverSubtree {
-                    root: v,
-                    parent: tree.parent(v),
-                    lo,
-                    hi: lo + sizes[v as usize],
-                };
-                layers[decomposition.layer[v as usize] as usize].push(subtree);
+                layer_offsets[decomposition.layer[v as usize] as usize + 1] += 1;
+            }
+        }
+        for i in 0..num_layers {
+            layer_offsets[i + 1] += layer_offsets[i];
+        }
+        let total = layer_offsets[num_layers] as usize;
+
+        let mut roots = vec![NIL; total];
+        let mut los = vec![0u32; total];
+        let mut cursor: Vec<u32> = layer_offsets[..num_layers].to_vec();
+        for v in tree.vertices() {
+            if decomposition.head[v as usize] == v {
+                let li = decomposition.layer[v as usize] as usize;
+                let at = cursor[li] as usize;
+                cursor[li] += 1;
+                roots[at] = v;
+                los[at] = layout.slot(v);
             }
         }
         // Sort each layer by range start so queries can binary-search.
-        for layer in &mut layers {
-            layer.sort_by_key(|s| s.lo);
+        for i in 0..num_layers {
+            let (s, e) = (layer_offsets[i] as usize, layer_offsets[i + 1] as usize);
+            let mut keyed: Vec<(u32, NodeId)> = los[s..e]
+                .iter()
+                .copied()
+                .zip(roots[s..e].iter().copied())
+                .collect();
+            keyed.sort_unstable();
+            for (k, &(lo, root)) in keyed.iter().enumerate() {
+                los[s + k] = lo;
+                roots[s + k] = root;
+            }
         }
-        SubtreeCover { layers }
+        let parents: Vec<NodeId> = roots
+            .iter()
+            .map(|&r| tree.parent(r).unwrap_or(NIL))
+            .collect();
+        let his: Vec<u32> = roots
+            .iter()
+            .zip(los.iter())
+            .map(|(&r, &lo)| lo + sizes[r as usize])
+            .collect();
+
+        SubtreeCover {
+            roots,
+            parents,
+            los,
+            his,
+            layer_offsets,
+        }
     }
 
     /// Number of layers.
     pub fn num_layers(&self) -> u32 {
-        self.layers.len() as u32
+        (self.layer_offsets.len() - 1) as u32
     }
 
-    /// The subtrees of one layer, sorted by range start.
-    pub fn layer(&self, i: u32) -> &[CoverSubtree] {
-        &self.layers[i as usize]
+    /// The index range of layer `i` in the flat arrays.
+    #[inline]
+    pub fn layer_span(&self, i: u32) -> std::ops::Range<usize> {
+        self.layer_offsets[i as usize] as usize..self.layer_offsets[i as usize + 1] as usize
+    }
+
+    /// The `(lo, hi)` slot-range arrays of layer `i`, sorted by `lo` —
+    /// exactly what the step-4 broadcast loop walks.
+    #[inline]
+    pub fn layer_ranges(&self, i: u32) -> (&[u32], &[u32]) {
+        let span = self.layer_span(i);
+        (&self.los[span.clone()], &self.his[span])
+    }
+
+    /// The subtree at flat index `idx`.
+    #[inline]
+    pub fn subtree(&self, idx: usize) -> CoverSubtree {
+        let parent = self.parents[idx];
+        CoverSubtree {
+            root: self.roots[idx],
+            parent: (parent != NIL).then_some(parent),
+            lo: self.los[idx],
+            hi: self.his[idx],
+        }
+    }
+
+    /// The subtrees of layer `i`, sorted by range start.
+    pub fn layer(&self, i: u32) -> impl Iterator<Item = CoverSubtree> + '_ {
+        self.layer_span(i).map(|idx| self.subtree(idx))
     }
 
     /// Finds the layer-`i` subtree containing a slot, if any (binary
     /// search; same-layer subtrees are disjoint).
-    pub fn find_in_layer(&self, i: u32, slot: u32) -> Option<&CoverSubtree> {
-        let layer = &self.layers[i as usize];
-        let idx = layer.partition_point(|s| s.lo <= slot);
+    pub fn find_in_layer(&self, i: u32, slot: u32) -> Option<CoverSubtree> {
+        let span = self.layer_span(i);
+        let layer_los = &self.los[span.clone()];
+        let idx = layer_los.partition_point(|&lo| lo <= slot);
         if idx == 0 {
             return None;
         }
-        let cand = &layer[idx - 1];
+        let cand = self.subtree(span.start + idx - 1);
         cand.contains_slot(slot).then_some(cand)
     }
 
     /// Total number of cover subtrees.
     pub fn len(&self) -> usize {
-        self.layers.iter().map(Vec::len).sum()
+        self.roots.len()
     }
 
     /// Whether the cover is empty (never, for a non-empty tree).
@@ -102,11 +193,9 @@ impl SubtreeCover {
     /// one and at most O(log n)).
     pub fn membership_counts(&self, layout: &Layout) -> Vec<u32> {
         let mut counts = vec![0u32; layout.n() as usize];
-        for layer in &self.layers {
-            for s in layer {
-                for slot in s.lo..s.hi {
-                    counts[layout.vertex_at(slot) as usize] += 1;
-                }
+        for (&lo, &hi) in self.los.iter().zip(self.his.iter()) {
+            for slot in lo..hi {
+                counts[layout.vertex_at(slot) as usize] += 1;
             }
         }
         counts
@@ -148,9 +237,9 @@ mod tests {
         let t = generators::preferential_attachment(500, &mut rng);
         let (_, cover) = build(&t);
         for i in 0..cover.num_layers() {
-            let layer = cover.layer(i);
-            for w in layer.windows(2) {
-                assert!(w[0].hi <= w[1].lo, "layer {i} overlap");
+            let (los, his) = cover.layer_ranges(i);
+            for k in 1..los.len() {
+                assert!(his[k - 1] <= los[k], "layer {i} overlap");
             }
         }
     }
@@ -178,7 +267,7 @@ mod tests {
     fn layer_zero_is_whole_tree() {
         let t = generators::comb(40);
         let (_, cover) = build(&t);
-        let layer0 = cover.layer(0);
+        let layer0: Vec<CoverSubtree> = cover.layer(0).collect();
         assert_eq!(layer0.len(), 1);
         assert_eq!(layer0[0].root, t.root());
         assert_eq!(layer0[0].parent, None);
@@ -190,12 +279,32 @@ mod tests {
         let t = generators::star(10);
         let (layout, cover) = build(&t);
         // Layer 1: nine singleton subtrees minus the heavy child.
-        assert_eq!(cover.layer(1).len(), 8);
+        assert_eq!(cover.layer_span(1).len(), 8);
         for s in cover.layer(1) {
             let found = cover.find_in_layer(1, layout.slot(s.root)).unwrap();
             assert_eq!(found.root, s.root);
         }
         // The root's slot is not in any layer-1 subtree.
         assert!(cover.find_in_layer(1, layout.slot(0)).is_none());
+    }
+
+    #[test]
+    fn csr_matches_reference_cover() {
+        // The CSR cover and the seed nested cover describe the same
+        // subtrees, layer by layer, in the same order.
+        let mut rng = StdRng::seed_from_u64(5);
+        for fam in generators::TreeFamily::ALL {
+            let t = fam.generate(257, &mut rng);
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let sizes = t.subtree_sizes();
+            let d = HeavyPathDecomposition::with_sizes(&t, &sizes);
+            let csr = SubtreeCover::new(&t, &layout, &d, &sizes);
+            let reference = crate::reference::ReferenceCover::new(&t, &layout, &d, &sizes);
+            assert_eq!(csr.num_layers(), reference.num_layers(), "{fam}");
+            for i in 0..csr.num_layers() {
+                let got: Vec<CoverSubtree> = csr.layer(i).collect();
+                assert_eq!(got, reference.layer(i), "{fam} layer {i}");
+            }
+        }
     }
 }

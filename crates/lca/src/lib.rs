@@ -20,11 +20,26 @@
 //!
 //! Total: `O(n log n)` energy and `O(log² n)` depth w.h.p. (Theorem 6),
 //! assuming every vertex appears in `O(1)` queries.
+//!
+//! # Engine layout
+//!
+//! The implementation is a reusable flat-array engine
+//! ([`batched::LcaEngine`]): the rng-independent structure — the
+//! layer-indexed CSR [`SubtreeCover`], the light-first child CSR shared
+//! by both treefix runs, and the precomputed virtual-tree relay
+//! schedule — is built once per tree; each [`batched::LcaEngine::run`]
+//! then charges the four §VI-C steps and resolves queries by walking
+//! their `O(log n)`-long head chains. The seed implementation is
+//! retained in [`reference`] and pinned by the differential suite
+//! (`tests/engine_vs_reference.rs`): identical answers, statistics, and
+//! machine charges.
 
 pub mod batched;
 pub mod cover;
 pub mod host;
+#[doc(hidden)]
+pub mod reference;
 
-pub use batched::{batched_lca, LcaResult, LcaStats};
-pub use cover::SubtreeCover;
+pub use batched::{batched_lca, LcaEngine, LcaResult, LcaStats};
+pub use cover::{CoverSubtree, SubtreeCover};
 pub use host::HostLca;

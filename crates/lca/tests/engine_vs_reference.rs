@@ -1,0 +1,184 @@
+//! Differential property suite: the flat-array [`LcaEngine`] must
+//! behave *identically* to the retained seed implementation — same
+//! answers, same [`LcaStats`], and the same machine charges (energy,
+//! messages, work, depth) — and both must agree with the binary-lifting
+//! [`HostLca`] oracle, on random trees (skewed, caterpillar, star,
+//! balanced), random query batches, and arbitrary Las Vegas seeds.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use spatial_layout::Layout;
+use spatial_lca::reference::batched_lca_reference;
+use spatial_lca::{batched_lca, HostLca, LcaEngine};
+use spatial_model::CurveKind;
+use spatial_tree::generators::{self, TreeFamily};
+use spatial_tree::{NodeId, Tree};
+
+fn random_queries(n: u32, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+/// Runs both engines on the same inputs and asserts bit-identical
+/// results, stats, and machine charges, plus oracle agreement.
+fn compare(t: &Tree, queries: &[(NodeId, NodeId)], algo_seed: u64, curve: CurveKind) {
+    let layout = Layout::light_first(t, curve);
+
+    let machine_new = layout.machine();
+    let res_new = batched_lca(
+        &machine_new,
+        &layout,
+        t,
+        queries,
+        &mut StdRng::seed_from_u64(algo_seed),
+    );
+
+    let machine_ref = layout.machine();
+    let res_ref = batched_lca_reference(
+        &machine_ref,
+        &layout,
+        t,
+        queries,
+        &mut StdRng::seed_from_u64(algo_seed),
+    );
+
+    assert_eq!(res_new.answers, res_ref.answers, "answers diverged");
+    assert_eq!(res_new.stats, res_ref.stats, "stats diverged");
+    assert_eq!(
+        machine_new.report(),
+        machine_ref.report(),
+        "machine charges diverged"
+    );
+
+    let host = HostLca::new(t);
+    for (qi, &(a, b)) in queries.iter().enumerate() {
+        assert_eq!(res_new.answers[qi], host.query(a, b), "query ({a}, {b})");
+    }
+}
+
+#[test]
+fn identical_on_skewed_caterpillar_star_balanced() {
+    // The named adversary families: skewed (broom/yule), caterpillar
+    // (comb), star, balanced (perfect binary / random binary).
+    let mut rng = StdRng::seed_from_u64(1);
+    for fam in [
+        TreeFamily::Broom,
+        TreeFamily::Yule,
+        TreeFamily::Comb,
+        TreeFamily::Path,
+        TreeFamily::Star,
+        TreeFamily::PerfectBinary,
+        TreeFamily::RandomBinary,
+    ] {
+        let t = fam.generate(321, &mut rng);
+        let queries = random_queries(t.n(), 200, 2);
+        compare(&t, &queries, 3, CurveKind::Hilbert);
+    }
+}
+
+#[test]
+fn identical_across_all_families_and_seeds() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for fam in TreeFamily::ALL {
+        let t = fam.generate(200, &mut rng);
+        for algo_seed in [0u64, 7, 99] {
+            let queries = random_queries(t.n(), 90, 5 + algo_seed);
+            compare(&t, &queries, algo_seed, CurveKind::Hilbert);
+        }
+    }
+}
+
+#[test]
+fn identical_on_zorder_layouts() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let t = generators::preferential_attachment(300, &mut rng);
+    let queries = random_queries(t.n(), 150, 7);
+    compare(&t, &queries, 8, CurveKind::ZOrder);
+}
+
+#[test]
+fn identical_with_empty_and_degenerate_batches() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let t = generators::uniform_random(128, &mut rng);
+    // Empty batch: the structural phases still charge identically.
+    compare(&t, &[], 10, CurveKind::Hilbert);
+    // Self queries and repeated pairs.
+    compare(
+        &t,
+        &[(5, 5), (0, 0), (3, 99), (3, 99), (99, 3)],
+        11,
+        CurveKind::Hilbert,
+    );
+    // Single vertex.
+    let single = Tree::from_parents(0, vec![spatial_tree::NIL]);
+    compare(&single, &[(0, 0)], 12, CurveKind::Hilbert);
+}
+
+#[test]
+fn engine_reuse_charges_like_fresh_runs() {
+    // A reused engine must charge each batch exactly like a fresh
+    // reference run on a fresh machine.
+    let mut rng = StdRng::seed_from_u64(13);
+    let t = generators::uniform_random(257, &mut rng);
+    let layout = Layout::light_first(&t, CurveKind::Hilbert);
+    let mut engine = LcaEngine::new(&layout, &t);
+    for batch in 0..3u64 {
+        let queries = random_queries(t.n(), 100, 14 + batch);
+        let machine_new = layout.machine();
+        let res_new = engine.run(
+            &machine_new,
+            &queries,
+            &mut StdRng::seed_from_u64(20 + batch),
+        );
+        let machine_ref = layout.machine();
+        let res_ref = batched_lca_reference(
+            &machine_ref,
+            &layout,
+            &t,
+            &queries,
+            &mut StdRng::seed_from_u64(20 + batch),
+        );
+        assert_eq!(res_new.answers, res_ref.answers, "batch {batch}");
+        assert_eq!(res_new.stats, res_ref.stats, "batch {batch}");
+        assert_eq!(
+            machine_new.report(),
+            machine_ref.report(),
+            "batch {batch} charges"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary random trees, batch sizes, and seeds: answers, stats,
+    /// and charges all identical; answers match the oracle.
+    #[test]
+    fn prop_engine_identical_to_reference(
+        n in 2u32..300,
+        tree_seed in 0u64..10_000,
+        query_seed in 0u64..10_000,
+        algo_seed in 0u64..10_000,
+        q in 0usize..120,
+    ) {
+        let t = generators::uniform_random(n, &mut StdRng::seed_from_u64(tree_seed));
+        let queries = random_queries(n, q, query_seed);
+        compare(&t, &queries, algo_seed, CurveKind::Hilbert);
+    }
+
+    /// Unbounded-degree trees exercise the relay schedule paths.
+    #[test]
+    fn prop_identical_on_preferential_attachment(
+        n in 2u32..250,
+        tree_seed in 0u64..10_000,
+        algo_seed in 0u64..10_000,
+    ) {
+        let t = generators::preferential_attachment(
+            n, &mut StdRng::seed_from_u64(tree_seed),
+        );
+        let queries = random_queries(n, (n as usize).min(60), tree_seed ^ 0xabc);
+        compare(&t, &queries, algo_seed, CurveKind::Hilbert);
+    }
+}

@@ -19,9 +19,16 @@
 //! light-first layout. [`relay`] exposes the balanced relay charging for
 //! arbitrary participant subsets (used by the treefix RAKE operation).
 
+//! [`schedule::BroadcastSchedule`] precomputes the relay rounds as a
+//! round-indexed CSR of slot pairs, so repeat broadcasters (the
+//! batched-LCA engine) replay identical charges without rebuilding the
+//! per-round message batches.
+
 pub mod local;
 pub mod relay;
+pub mod schedule;
 pub mod virtual_tree;
 
 pub use local::{local_broadcast, local_reduce};
+pub use schedule::BroadcastSchedule;
 pub use virtual_tree::VirtualTree;

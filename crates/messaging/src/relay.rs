@@ -8,7 +8,7 @@
 //! charges such relays without materializing a full [`crate::VirtualTree`]
 //! for the shrinking contracted tree.
 
-use spatial_model::{Machine, Slot};
+use spatial_model::{Machine, RoundCharger, Slot};
 
 /// Charges a balanced binary *reduce* relay: `participants` combine
 /// pairwise (in slice order) and the result arrives at `target`.
@@ -193,6 +193,20 @@ pub fn charge_broadcast_relays_csr(
     offsets: &[u32],
     scratch: &mut RelayScratch,
 ) {
+    let mut m = m;
+    charge_broadcast_relays_csr_into(&mut m, sources, parts, offsets, scratch);
+}
+
+/// [`charge_broadcast_relays_csr`] over any [`RoundCharger`] — the
+/// machine itself or a `LocalCharge` session (identical charges, no
+/// per-message atomics).
+pub fn charge_broadcast_relays_csr_into<C: RoundCharger>(
+    charger: &mut C,
+    sources: &[Slot],
+    parts: &[Slot],
+    offsets: &[u32],
+    scratch: &mut RelayScratch,
+) {
     debug_assert_eq!(offsets.len(), sources.len() + 1);
     // Round 0: every source reaches its first participant.
     scratch.msgs.clear();
@@ -204,7 +218,7 @@ pub fn charge_broadcast_relays_csr(
     if scratch.msgs.is_empty() {
         return;
     }
-    m.round(&scratch.msgs);
+    charger.charge_round(&scratch.msgs);
 
     // Segment doubling, one machine round per level across all groups.
     // Segments are absolute [lo, hi) index ranges into `parts`.
@@ -229,7 +243,7 @@ pub fn charge_broadcast_relays_csr(
         if scratch.msgs.is_empty() {
             break;
         }
-        m.round(&scratch.msgs);
+        charger.charge_round(&scratch.msgs);
         std::mem::swap(&mut scratch.seg, &mut scratch.seg_next);
     }
 }
@@ -240,6 +254,18 @@ pub fn charge_broadcast_relays_csr(
 /// (given a warm `scratch`).
 pub fn charge_reduce_relays_csr(
     m: &Machine,
+    parts: &[Slot],
+    offsets: &[u32],
+    targets: &[Slot],
+    scratch: &mut RelayScratch,
+) {
+    let mut m = m;
+    charge_reduce_relays_csr_into(&mut m, parts, offsets, targets, scratch);
+}
+
+/// [`charge_reduce_relays_csr`] over any [`RoundCharger`].
+pub fn charge_reduce_relays_csr_into<C: RoundCharger>(
+    charger: &mut C,
     parts: &[Slot],
     offsets: &[u32],
     targets: &[Slot],
@@ -286,7 +312,7 @@ pub fn charge_reduce_relays_csr(
         if scratch.msgs.is_empty() {
             break;
         }
-        m.round(&scratch.msgs);
+        charger.charge_round(&scratch.msgs);
     }
 }
 

@@ -26,9 +26,20 @@
 //!
 //! for `O((n + q) log n)` energy and `O(log² n)` depth w.h.p., where
 //! `q` is the number of non-tree edges.
+//!
+//! The pipeline runs on the flat-array engines:
+//! [`respect::MinCutPipeline`] holds a reusable
+//! [`spatial_lca::LcaEngine`] (layer-indexed CSR subtree cover,
+//! precomputed relay schedule) and shares its light-first child CSR
+//! with the fused treefix, so repeated Las Vegas passes over the same
+//! graph pay the structural setup once. The seed pipeline is retained
+//! in [`reference`] and pinned by differential tests (identical cuts,
+//! minima, and machine charges).
 
 pub mod graph;
+#[doc(hidden)]
+pub mod reference;
 pub mod respect;
 
 pub use graph::{SpannedGraph, WeightedEdge};
-pub use respect::{min_cut_host, one_respecting_cuts, MinCutResult};
+pub use respect::{min_cut_host, one_respecting_cuts, MinCutPipeline, MinCutResult};

@@ -1,0 +1,90 @@
+//! The seed 1-respecting min-cut pipeline, retained as the
+//! differential baseline: it drives the retained seed LCA
+//! implementation ([`spatial_lca::reference`]) and rebuilds all state
+//! per call. The `pipeline_vs_reference` suite pins the optimized
+//! [`crate::respect::MinCutPipeline`] to it — identical cuts, minima,
+//! and machine charges.
+
+use crate::graph::SpannedGraph;
+use crate::respect::MinCutResult;
+use rand::Rng;
+use spatial_layout::Layout;
+use spatial_lca::reference::batched_lca_reference;
+use spatial_model::{collectives, Machine};
+use spatial_tree::NodeId;
+use spatial_treefix::{treefix_bottom_up, Add};
+
+/// The seed pipeline (batched LCA → weight scatter → fused treefix →
+/// all-reduce), kept as the differential baseline. Same contract as
+/// [`crate::respect::one_respecting_cuts`].
+pub fn one_respecting_cuts_reference<R: Rng>(
+    machine: &Machine,
+    layout: &Layout,
+    graph: &SpannedGraph,
+    rng: &mut R,
+) -> MinCutResult {
+    let tree = graph.tree();
+    let n = tree.n();
+
+    // Step 1: batched LCA of the non-tree edges.
+    let queries: Vec<(NodeId, NodeId)> = graph.extra_edges().iter().map(|e| (e.a, e.b)).collect();
+    let lca = if queries.is_empty() {
+        None
+    } else {
+        Some(batched_lca_reference(machine, layout, tree, &queries, rng))
+    };
+
+    // Step 2: scatter each edge's weight onto its LCA's processor (one
+    // message per edge, charged at the true grid distance from the
+    // endpoint that answered the query).
+    let mut lca_weight = vec![0u64; n as usize];
+    if let Some(lca) = &lca {
+        for (e, &w) in graph.extra_edges().iter().zip(lca.answers.iter()) {
+            machine.send(layout.slot(e.a), layout.slot(w));
+            lca_weight[w as usize] += e.weight;
+        }
+    }
+
+    // Step 3: one fused treefix over (wdeg, tree-edge weight, LCA
+    // weight).
+    let wdeg = graph.weighted_degrees();
+    let values: Vec<(Add, Add, Add)> = (0..n)
+        .map(|v| {
+            (
+                Add(wdeg[v as usize]),
+                Add(graph.tree_weight(v)),
+                Add(lca_weight[v as usize]),
+            )
+        })
+        .collect();
+    let sums = treefix_bottom_up(machine, layout, tree, &values, rng);
+
+    // Step 4: each non-root vertex computes its cut locally.
+    let cuts: Vec<u64> = (0..n)
+        .map(|v| {
+            if tree.parent(v).is_none() {
+                return u64::MAX;
+            }
+            let (Add(deg_sum), Add(tree_in), Add(extra_in)) = sums.values[v as usize];
+            let internal = (tree_in - graph.tree_weight(v)) + extra_in;
+            deg_sum - 2 * internal
+        })
+        .collect();
+
+    // Step 5: all-reduce the minimum over the grid.
+    let slot_keyed: Vec<(u64, NodeId)> = (0..n)
+        .map(|s| {
+            let v = layout.vertex_at(s);
+            (cuts[v as usize], v)
+        })
+        .collect();
+    let (best_weight, best_vertex) =
+        collectives::all_reduce(machine, &slot_keyed, &|a, b| a.min(b));
+
+    MinCutResult {
+        cuts,
+        best_vertex,
+        best_weight,
+        lca_layers: lca.map(|l| l.stats.layers).unwrap_or(0),
+    }
+}

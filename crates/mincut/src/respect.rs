@@ -13,14 +13,24 @@
 //! `S`, so: batched LCA, scatter weights onto LCAs, subtree sum). The
 //! three subtree sums fuse into one treefix over the product monoid
 //! `(Add, Add, Add)`, and the final minimum is an all-reduce.
+//!
+//! [`MinCutPipeline`] runs the whole sequence on the flat-array
+//! engines: a reusable [`LcaEngine`] (CSR subtree cover, precomputed
+//! relay schedule) answers the non-tree-edge batch, and the fused
+//! treefix shares the engine's light-first child CSR. Costs:
+//! `O((n + q) log n)` energy and `O(log² n)` depth w.h.p. for `q`
+//! non-tree edges with `O(1)` edges per vertex (§VI-C applied to
+//! Karger's 1-respecting reduction). The seed pipeline is retained in
+//! [`crate::reference`] and pinned by the differential tests below.
 
 use crate::graph::SpannedGraph;
 use rand::Rng;
 use spatial_layout::Layout;
-use spatial_lca::batched_lca;
+use spatial_lca::LcaEngine;
 use spatial_model::{collectives, Machine};
-use spatial_tree::NodeId;
-use spatial_treefix::{treefix_bottom_up, Add};
+use spatial_tree::{ChildrenCsr, NodeId};
+use spatial_treefix::contraction::ContractionEngine;
+use spatial_treefix::Add;
 
 /// Result of the 1-respecting cut computation.
 #[derive(Debug, Clone)]
@@ -36,80 +46,132 @@ pub struct MinCutResult {
     pub lca_layers: u32,
 }
 
+/// The reusable 1-respecting min-cut pipeline: structure once per
+/// graph + layout, any number of (Las Vegas) runs.
+pub struct MinCutPipeline<'a> {
+    graph: &'a SpannedGraph,
+    layout: &'a Layout,
+    /// The batched-LCA engine over the spanning tree (absent when the
+    /// graph has no non-tree edges — the LCA phase is skipped then).
+    lca: Option<LcaEngine<'a>>,
+    /// Light-first child CSR for the fused treefix when no LCA engine
+    /// exists to share one.
+    csr: Option<ChildrenCsr>,
+    /// One LCA query per non-tree edge.
+    queries: Vec<(NodeId, NodeId)>,
+}
+
+impl<'a> MinCutPipeline<'a> {
+    /// Precomputes the pipeline structure for one graph + layout pair.
+    pub fn new(graph: &'a SpannedGraph, layout: &'a Layout) -> Self {
+        let queries: Vec<(NodeId, NodeId)> =
+            graph.extra_edges().iter().map(|e| (e.a, e.b)).collect();
+        let (lca, csr) = if queries.is_empty() {
+            let tree = graph.tree();
+            let sizes = tree.subtree_sizes();
+            (None, Some(ChildrenCsr::by_size(tree, &sizes)))
+        } else {
+            (Some(LcaEngine::new(layout, graph.tree())), None)
+        };
+        MinCutPipeline {
+            graph,
+            layout,
+            lca,
+            csr,
+            queries,
+        }
+    }
+
+    /// Computes every 1-respecting cut and the minimum, charging the
+    /// machine. The random seed affects only costs, never cuts.
+    pub fn run<R: Rng>(&mut self, machine: &Machine, rng: &mut R) -> MinCutResult {
+        let graph = self.graph;
+        let layout = self.layout;
+        let tree = graph.tree();
+        let n = tree.n();
+
+        // Step 1: batched LCA of the non-tree edges.
+        let lca = self
+            .lca
+            .as_mut()
+            .map(|engine| engine.run(machine, &self.queries, rng));
+
+        // Step 2: scatter each edge's weight onto its LCA's processor
+        // (one message per edge, charged at the true grid distance from
+        // the endpoint that answered the query).
+        let mut lca_weight = vec![0u64; n as usize];
+        if let Some(lca) = &lca {
+            for (e, &w) in graph.extra_edges().iter().zip(lca.answers.iter()) {
+                machine.send(layout.slot(e.a), layout.slot(w));
+                lca_weight[w as usize] += e.weight;
+            }
+        }
+
+        // Step 3: one fused treefix over (wdeg, tree-edge weight, LCA
+        // weight), sharing the LCA engine's light-first child CSR.
+        let wdeg = graph.weighted_degrees();
+        let values: Vec<(Add, Add, Add)> = (0..n)
+            .map(|v| {
+                (
+                    Add(wdeg[v as usize]),
+                    Add(graph.tree_weight(v)),
+                    Add(lca_weight[v as usize]),
+                )
+            })
+            .collect();
+        let csr = match &self.lca {
+            Some(engine) => engine.children_csr(),
+            None => self.csr.as_ref().expect("csr built when lca is absent"),
+        };
+        let mut treefix =
+            ContractionEngine::with_children_csr(tree, layout, machine, &values, true, csr);
+        treefix.contract(rng);
+        let sums = treefix.uncontract_bottom_up();
+
+        // Step 4: each non-root vertex computes its cut locally.
+        let cuts: Vec<u64> = (0..n)
+            .map(|v| {
+                if tree.parent(v).is_none() {
+                    return u64::MAX;
+                }
+                let (Add(deg_sum), Add(tree_in), Add(extra_in)) = sums[v as usize];
+                let internal = (tree_in - graph.tree_weight(v)) + extra_in;
+                deg_sum - 2 * internal
+            })
+            .collect();
+
+        // Step 5: all-reduce the minimum over the grid.
+        let slot_keyed: Vec<(u64, NodeId)> = (0..n)
+            .map(|s| {
+                let v = layout.vertex_at(s);
+                (cuts[v as usize], v)
+            })
+            .collect();
+        let (best_weight, best_vertex) =
+            collectives::all_reduce(machine, &slot_keyed, &|a, b| a.min(b));
+
+        MinCutResult {
+            cuts,
+            best_vertex,
+            best_weight,
+            lca_layers: lca.map(|l| l.stats.layers).unwrap_or(0),
+        }
+    }
+}
+
 /// Computes every 1-respecting cut and the minimum, on the machine.
 ///
 /// Costs `O((n + q) log n)` energy and `O(log² n)` depth w.h.p. for `q`
-/// non-tree edges with `O(1)` edges per vertex.
+/// non-tree edges with `O(1)` edges per vertex. One-shot wrapper over
+/// [`MinCutPipeline`]; callers running several Las Vegas passes over
+/// the same graph should hold a pipeline.
 pub fn one_respecting_cuts<R: Rng>(
     machine: &Machine,
     layout: &Layout,
     graph: &SpannedGraph,
     rng: &mut R,
 ) -> MinCutResult {
-    let tree = graph.tree();
-    let n = tree.n();
-
-    // Step 1: batched LCA of the non-tree edges.
-    let queries: Vec<(NodeId, NodeId)> = graph.extra_edges().iter().map(|e| (e.a, e.b)).collect();
-    let lca = if queries.is_empty() {
-        None
-    } else {
-        Some(batched_lca(machine, layout, tree, &queries, rng))
-    };
-
-    // Step 2: scatter each edge's weight onto its LCA's processor (one
-    // message per edge, charged at the true grid distance from the
-    // endpoint that answered the query).
-    let mut lca_weight = vec![0u64; n as usize];
-    if let Some(lca) = &lca {
-        for (e, &w) in graph.extra_edges().iter().zip(lca.answers.iter()) {
-            machine.send(layout.slot(e.a), layout.slot(w));
-            lca_weight[w as usize] += e.weight;
-        }
-    }
-
-    // Step 3: one fused treefix over (wdeg, tree-edge weight, LCA
-    // weight).
-    let wdeg = graph.weighted_degrees();
-    let values: Vec<(Add, Add, Add)> = (0..n)
-        .map(|v| {
-            (
-                Add(wdeg[v as usize]),
-                Add(graph.tree_weight(v)),
-                Add(lca_weight[v as usize]),
-            )
-        })
-        .collect();
-    let sums = treefix_bottom_up(machine, layout, tree, &values, rng);
-
-    // Step 4: each non-root vertex computes its cut locally.
-    let cuts: Vec<u64> = (0..n)
-        .map(|v| {
-            if tree.parent(v).is_none() {
-                return u64::MAX;
-            }
-            let (Add(deg_sum), Add(tree_in), Add(extra_in)) = sums.values[v as usize];
-            let internal = (tree_in - graph.tree_weight(v)) + extra_in;
-            deg_sum - 2 * internal
-        })
-        .collect();
-
-    // Step 5: all-reduce the minimum over the grid.
-    let slot_keyed: Vec<(u64, NodeId)> = (0..n)
-        .map(|s| {
-            let v = layout.vertex_at(s);
-            (cuts[v as usize], v)
-        })
-        .collect();
-    let (best_weight, best_vertex) =
-        collectives::all_reduce(machine, &slot_keyed, &|a, b| a.min(b));
-
-    MinCutResult {
-        cuts,
-        best_vertex,
-        best_weight,
-        lca_layers: lca.map(|l| l.stats.layers).unwrap_or(0),
-    }
+    MinCutPipeline::new(graph, layout).run(machine, rng)
 }
 
 /// Host reference: brute-force cut weights by subtree marking.
@@ -251,6 +313,81 @@ mod tests {
             e_norm[1] / e_norm[0] < 2.0,
             "mincut energy/(n log n) should stay flat: {e_norm:?}"
         );
+    }
+}
+
+#[cfg(test)]
+mod pipeline_vs_reference {
+    use super::*;
+    use crate::reference::one_respecting_cuts_reference;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+
+    fn compare(graph: &SpannedGraph, algo_seed: u64) {
+        let layout = Layout::light_first(graph.tree(), CurveKind::Hilbert);
+        let machine_new = layout.machine();
+        let res_new = one_respecting_cuts(
+            &machine_new,
+            &layout,
+            graph,
+            &mut StdRng::seed_from_u64(algo_seed),
+        );
+        let machine_ref = layout.machine();
+        let res_ref = one_respecting_cuts_reference(
+            &machine_ref,
+            &layout,
+            graph,
+            &mut StdRng::seed_from_u64(algo_seed),
+        );
+        assert_eq!(res_new.cuts, res_ref.cuts, "cuts diverged");
+        assert_eq!(res_new.best_vertex, res_ref.best_vertex);
+        assert_eq!(res_new.best_weight, res_ref.best_weight);
+        assert_eq!(res_new.lca_layers, res_ref.lca_layers);
+        assert_eq!(
+            machine_new.report(),
+            machine_ref.report(),
+            "machine charges diverged"
+        );
+    }
+
+    #[test]
+    fn identical_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(50);
+        for (n, extra) in [(2u32, 0usize), (50, 40), (200, 150), (333, 500)] {
+            let g = SpannedGraph::random(n, extra, 20, &mut rng);
+            for seed in [0u64, 9] {
+                compare(&g, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_without_extra_edges() {
+        // The no-LCA path (treefix-only) must also charge identically.
+        let mut rng = StdRng::seed_from_u64(51);
+        let g = SpannedGraph::random(120, 0, 9, &mut rng);
+        compare(&g, 3);
+    }
+
+    #[test]
+    fn pipeline_reuse_charges_like_fresh_runs() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = SpannedGraph::random(150, 120, 10, &mut rng);
+        let layout = Layout::light_first(g.tree(), CurveKind::Hilbert);
+        let mut pipeline = MinCutPipeline::new(&g, &layout);
+        for seed in 0..3u64 {
+            let machine_new = layout.machine();
+            let res_new = pipeline.run(&machine_new, &mut StdRng::seed_from_u64(seed));
+            let machine_ref = layout.machine();
+            let res_ref = one_respecting_cuts_reference(
+                &machine_ref,
+                &layout,
+                &g,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert_eq!(res_new.cuts, res_ref.cuts, "seed {seed}");
+            assert_eq!(machine_new.report(), machine_ref.report(), "seed {seed}");
+        }
     }
 }
 

@@ -19,7 +19,9 @@
 //! Senders are ticked between consecutive messages so that "one message
 //! per round" chains show up in the depth meter.
 
-use crate::machine::{Machine, Slot};
+#[cfg(test)]
+use crate::machine::LocalChargeScratch;
+use crate::machine::{LocalCharge, Machine, Slot};
 use rayon::prelude::*;
 
 /// Minimum range size before the tree recursions stop forking rayon
@@ -49,6 +51,61 @@ fn broadcast_rec(m: &Machine, lo: Slot, hi: Slot) {
         broadcast_rec(m, lo, mid);
         broadcast_rec(m, mid, hi);
     }
+}
+
+/// [`range_broadcast`] charged through a [`LocalCharge`] session:
+/// issues the identical message tree (same energy, messages, work, and
+/// clock evolution), with plain arithmetic instead of atomics. The hot
+/// path of the batched-LCA layer broadcasts (Lemma 13).
+pub fn range_broadcast_local(lc: &mut LocalCharge, lo: Slot, hi: Slot) {
+    assert!(lo < hi && hi <= lc.n_slots(), "invalid range [{lo}, {hi})");
+    broadcast_rec_local(lc, lo, hi);
+}
+
+fn broadcast_rec_local(lc: &mut LocalCharge, lo: Slot, hi: Slot) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    lc.send(lo, mid);
+    lc.tick(lo);
+    broadcast_rec_local(lc, lo, mid);
+    broadcast_rec_local(lc, mid, hi);
+}
+
+/// Charges the message tree of a [`range_reduce`] through a
+/// [`LocalCharge`] session (the values themselves are not carried —
+/// callers that only need the synchronization pattern, like
+/// [`barrier_local`], use this).
+pub fn range_reduce_charge_local(lc: &mut LocalCharge, lo: Slot, hi: Slot) {
+    assert!(lo < hi && hi <= lc.n_slots(), "invalid range [{lo}, {hi})");
+    reduce_rec_local(lc, lo, hi);
+}
+
+fn reduce_rec_local(lc: &mut LocalCharge, lo: Slot, hi: Slot) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    reduce_rec_local(lc, lo, mid);
+    reduce_rec_local(lc, mid, hi);
+    lc.send(mid, lo);
+    lc.tick(lo);
+}
+
+/// [`barrier`] charged through a [`LocalCharge`] session: the identical
+/// unit-token all-reduce (reduce tree + broadcast tree over the whole
+/// machine) followed by the floor lift.
+pub fn barrier_local(lc: &mut LocalCharge) {
+    let n = lc.n_slots();
+    if n == 0 {
+        return;
+    }
+    if n > 1 {
+        range_reduce_charge_local(lc, 0, n);
+        range_broadcast_local(lc, 0, n);
+    }
+    lc.advance_all(0);
 }
 
 /// Reduces the `values` of slots `[lo, hi)` into slot `lo` with the
@@ -468,6 +525,52 @@ mod tests {
         bitonic_sort_by_key(&m, &mut recs);
         let stages = (10 * 11) / 2; // log n (log n + 1) / 2
         assert_eq!(m.report().depth, stages as u64);
+    }
+
+    #[test]
+    fn local_collectives_match_atomic_charging() {
+        // A layer of disjoint range broadcasts followed by a barrier,
+        // charged atomically vs through a LocalCharge session, must
+        // yield identical reports and clocks — the batched-LCA step-4
+        // equivalence the differential suite relies on.
+        let ranges: &[(u32, u32)] = &[(0, 37), (37, 40), (64, 128), (200, 201)];
+        let atomic = hilbert_machine(256);
+        atomic.send(3, 190); // pre-session state
+        for &(lo, hi) in ranges {
+            if hi - lo >= 2 {
+                range_broadcast(&atomic, lo, hi);
+            }
+        }
+        barrier(&atomic);
+
+        let local = hilbert_machine(256);
+        local.send(3, 190);
+        let mut scratch = LocalChargeScratch::new();
+        let mut lc = local.begin_local_charge(&mut scratch);
+        for &(lo, hi) in ranges {
+            if hi - lo >= 2 {
+                range_broadcast_local(&mut lc, lo, hi);
+            }
+        }
+        barrier_local(&mut lc);
+        lc.commit();
+
+        assert_eq!(atomic.report(), local.report());
+        for s in 0..256 {
+            assert_eq!(atomic.clock(s), local.clock(s), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn barrier_local_single_slot() {
+        let atomic = hilbert_machine(1);
+        barrier(&atomic);
+        let local = hilbert_machine(1);
+        let mut scratch = LocalChargeScratch::new();
+        let mut lc = local.begin_local_charge(&mut scratch);
+        barrier_local(&mut lc);
+        lc.commit();
+        assert_eq!(atomic.report(), local.report());
     }
 
     #[test]

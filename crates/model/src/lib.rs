@@ -29,7 +29,9 @@ pub mod collectives;
 pub mod machine;
 pub mod report;
 
-pub use machine::{Machine, MachineBuilder, Slot, TraceEvent};
+pub use machine::{
+    LocalCharge, LocalChargeScratch, Machine, MachineBuilder, RoundCharger, Slot, TraceEvent,
+};
 pub use report::CostReport;
 
 // Re-export the geometry the machine is built on so downstream crates can

@@ -174,25 +174,14 @@ impl Machine {
         }
     }
 
-    /// Pre-grows the round staging buffer so subsequent
-    /// [`Machine::round`] calls with at most `capacity` messages never
-    /// allocate — lets allocation-free algorithms (the treefix
-    /// contraction engine) warm the meter at setup time.
-    pub fn reserve_round_capacity(&self, capacity: usize) {
-        let mut staging = self.staging.lock();
-        let missing = capacity.saturating_sub(staging.len());
-        if staging.capacity() < capacity {
-            staging.reserve(missing);
-        }
-    }
-
     /// Sends a batch of *simultaneous* messages (one communication round):
     /// all sender clocks are read before any receiver clock is advanced,
     /// so messages inside one batch never chain on each other.
     pub fn round(&self, msgs: &[(Slot, Slot)]) {
         // Phase 1: read sender clocks and distances, staged in a
         // reusable buffer (no allocation once its capacity has grown to
-        // the largest round; see `reserve_round_capacity`).
+        // the largest round seen; allocation-free algorithms charge
+        // through a LocalCharge session with pre-sized scratch instead).
         let mut staged = self.staging.lock();
         staged.clear();
         staged.extend(
@@ -285,6 +274,68 @@ impl Machine {
         }
     }
 
+    /// Sums the Manhattan distances of a batch of slot pairs — the
+    /// energy those messages would cost — without charging anything.
+    /// The batched charge hook used by the list-ranking engine: one
+    /// pass over the pairs, then a single [`Machine::charge_bulk`].
+    pub fn dist_sum<I: IntoIterator<Item = (Slot, Slot)>>(&self, pairs: I) -> u64 {
+        pairs.into_iter().map(|(a, b)| self.dist(a, b)).sum()
+    }
+
+    /// Charges one synchronous pointer round (the §IV list-ranking
+    /// pattern): bulk energy + message count, one unit of work per
+    /// message, and a single global clock step.
+    pub fn charge_pointer_round(&self, energy: u64, messages: u64) {
+        self.charge_bulk(energy, messages, messages);
+        self.advance_all(1);
+    }
+
+    /// Begins a **local charging session**: a single-threaded,
+    /// non-atomic view of the per-slot dependency clocks that charges
+    /// messages with plain arithmetic and commits the identical totals
+    /// (energy, messages, work, clocks, depth) back to the machine in
+    /// one batch via [`LocalCharge::commit`].
+    ///
+    /// This is the hot-path charge hook for phases that issue millions
+    /// of fine-grained messages (the treefix COMPACT rounds, the
+    /// batched-LCA layer broadcasts and barriers): the accounting math
+    /// is exactly [`Machine::send`] / [`Machine::tick`] /
+    /// [`Machine::round`] / [`Machine::advance_all`], minus the
+    /// atomics. The caller must not charge the machine through other
+    /// paths while a session is open — the session owns the clock
+    /// state.
+    ///
+    /// On traced machines ([`MachineBuilder::trace`]) the session
+    /// records the same per-message [`TraceEvent`]s as the atomic path
+    /// (at the atomic path's cost — tracing is for small instances).
+    ///
+    /// `scratch` is a reusable buffer; after it has grown to `n_slots`
+    /// clocks (and the largest round batch) once, opening and running
+    /// an untraced session performs no heap allocation.
+    pub fn begin_local_charge<'s>(
+        &self,
+        scratch: &'s mut LocalChargeScratch,
+    ) -> LocalCharge<'_, 's> {
+        scratch.clocks.clear();
+        let floor = self.floor.load(Ordering::Relaxed);
+        scratch.clocks.extend(
+            self.clocks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed).max(floor)),
+        );
+        let max = self.depth();
+        LocalCharge {
+            machine: self,
+            clocks: &mut scratch.clocks,
+            staging: &mut scratch.staging,
+            floor,
+            max,
+            energy: 0,
+            messages: 0,
+            work: 0,
+        }
+    }
+
     /// Drains and returns the recorded trace (empty when tracing is off).
     pub fn take_trace(&self) -> Vec<TraceEvent> {
         match &self.trace {
@@ -306,6 +357,205 @@ impl Machine {
         if let Some(tr) = &self.trace {
             tr.lock().clear();
         }
+    }
+}
+
+/// Reusable buffers for a [`LocalCharge`] session. One instance serves
+/// any number of sessions; once grown (or pre-sized with
+/// [`LocalChargeScratch::with_capacity`]), sessions never allocate.
+#[derive(Debug, Default)]
+pub struct LocalChargeScratch {
+    /// Per-slot clock snapshot.
+    clocks: Vec<u32>,
+    /// Two-phase staging for [`LocalCharge::round`].
+    staging: Vec<(Slot, u32, u64)>,
+}
+
+impl LocalChargeScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for machines of up to `slots` slots and round
+    /// batches of up to `round` messages, so no session ever allocates.
+    pub fn with_capacity(slots: usize, round: usize) -> Self {
+        LocalChargeScratch {
+            clocks: Vec::with_capacity(slots),
+            staging: Vec::with_capacity(round),
+        }
+    }
+}
+
+/// A sink for communication-round charges: either the [`Machine`]
+/// itself (atomic, thread-safe) or a [`LocalCharge`] session
+/// (single-threaded, batch-committed). Lets charging helpers — the CSR
+/// relay walkers, the broadcast schedules — serve both paths with the
+/// identical message pattern.
+pub trait RoundCharger {
+    /// Charges one batch of simultaneous messages ([`Machine::round`]
+    /// semantics: no intra-batch chaining).
+    fn charge_round(&mut self, msgs: &[(Slot, Slot)]);
+
+    /// Advances every slot's clock ([`Machine::advance_all`]
+    /// semantics).
+    fn charge_advance_all(&mut self, delta: u32);
+}
+
+impl RoundCharger for &Machine {
+    fn charge_round(&mut self, msgs: &[(Slot, Slot)]) {
+        Machine::round(self, msgs);
+    }
+
+    fn charge_advance_all(&mut self, delta: u32) {
+        Machine::advance_all(self, delta);
+    }
+}
+
+impl RoundCharger for LocalCharge<'_, '_> {
+    fn charge_round(&mut self, msgs: &[(Slot, Slot)]) {
+        LocalCharge::round(self, msgs);
+    }
+
+    fn charge_advance_all(&mut self, delta: u32) {
+        LocalCharge::advance_all(self, delta);
+    }
+}
+
+/// A local (non-atomic) charging session over a [`Machine`], created by
+/// [`Machine::begin_local_charge`]. Mirrors the machine's accounting
+/// semantics exactly; totals apply on [`LocalCharge::commit`].
+pub struct LocalCharge<'m, 's> {
+    machine: &'m Machine,
+    /// Effective per-slot clocks (already clamped by the floor at
+    /// snapshot time).
+    clocks: &'s mut Vec<u32>,
+    /// Staging for the two-phase round application.
+    staging: &'s mut Vec<(Slot, u32, u64)>,
+    floor: u32,
+    max: u32,
+    energy: u64,
+    messages: u64,
+    work: u64,
+}
+
+impl LocalCharge<'_, '_> {
+    /// Number of slots of the underlying machine.
+    #[inline]
+    pub fn n_slots(&self) -> u32 {
+        self.machine.n_slots()
+    }
+
+    /// Effective dependency clock of a slot inside the session.
+    #[inline]
+    pub fn clock(&self, s: Slot) -> u32 {
+        self.clocks[s as usize].max(self.floor)
+    }
+
+    /// Local mirror of [`Machine::send`].
+    #[inline]
+    pub fn send(&mut self, from: Slot, to: Slot) {
+        let e = self.machine.dist(from, to);
+        self.energy += e;
+        self.messages += 1;
+        let after = self.clock(from) + 1;
+        let c = &mut self.clocks[to as usize];
+        if after > *c {
+            *c = after;
+        }
+        let eff = (*c).max(self.floor);
+        if eff > self.max {
+            self.max = eff;
+        }
+        if let Some(trace) = &self.machine.trace {
+            trace.lock().push(TraceEvent {
+                from,
+                to,
+                energy: e,
+                depth_after: eff,
+            });
+        }
+    }
+
+    /// Local mirror of [`Machine::tick`].
+    #[inline]
+    pub fn tick(&mut self, s: Slot) {
+        self.work += 1;
+        let c = self.clock(s) + 1;
+        self.clocks[s as usize] = c;
+        if c > self.max {
+            self.max = c;
+        }
+    }
+
+    /// Local mirror of [`Machine::round`]: all sender clocks are read
+    /// before any receiver clock is advanced, so messages inside one
+    /// batch never chain on each other.
+    pub fn round(&mut self, msgs: &[(Slot, Slot)]) {
+        self.staging.clear();
+        let floor = self.floor;
+        self.staging.extend(msgs.iter().map(|&(f, t)| {
+            (
+                t,
+                self.clocks[f as usize].max(floor) + 1,
+                self.machine.dist(f, t),
+            )
+        }));
+        let mut e_sum = 0u64;
+        for &(t, after, e) in self.staging.iter() {
+            e_sum += e;
+            let c = &mut self.clocks[t as usize];
+            if after > *c {
+                *c = after;
+            }
+            let eff = (*c).max(floor);
+            if eff > self.max {
+                self.max = eff;
+            }
+        }
+        self.energy += e_sum;
+        self.messages += msgs.len() as u64;
+        if let Some(trace) = &self.machine.trace {
+            let mut tr = trace.lock();
+            for (i, &(t, after, e)) in self.staging.iter().enumerate() {
+                tr.push(TraceEvent {
+                    from: msgs[i].0,
+                    to: t,
+                    energy: e,
+                    depth_after: after,
+                });
+            }
+        }
+    }
+
+    /// Local mirror of [`Machine::advance_all`].
+    pub fn advance_all(&mut self, delta: u32) {
+        let target = self.depth() + delta;
+        if target > self.floor {
+            self.floor = target;
+        }
+        if target > self.max {
+            self.max = target;
+        }
+    }
+
+    /// Current depth as seen by the session.
+    pub fn depth(&self) -> u32 {
+        self.max.max(self.floor)
+    }
+
+    /// Applies the session's totals to the machine: counter sums, the
+    /// per-slot clocks (monotone merge), the floor, and the depth.
+    pub fn commit(self) {
+        let m = self.machine;
+        m.energy.fetch_add(self.energy, Ordering::Relaxed);
+        m.messages.fetch_add(self.messages, Ordering::Relaxed);
+        m.work.fetch_add(self.work, Ordering::Relaxed);
+        for (shared, &local) in m.clocks.iter().zip(self.clocks.iter()) {
+            shared.fetch_max(local, Ordering::Relaxed);
+        }
+        m.floor.fetch_max(self.floor, Ordering::Relaxed);
+        m.max_clock.fetch_max(self.max, Ordering::Relaxed);
     }
 }
 
@@ -463,6 +713,120 @@ mod tests {
         let delta = m.report() - before;
         assert_eq!(delta.energy, 7);
         assert_eq!(delta.messages, 1);
+    }
+
+    #[test]
+    fn local_charge_matches_atomic_sends() {
+        // The same send/tick/advance sequence through a LocalCharge
+        // session must produce the identical report and clock state.
+        let ops: &[(u32, u32)] = &[(0, 5), (5, 2), (2, 7), (1, 2), (7, 0)];
+        let atomic = line_machine(10);
+        for &(a, b) in ops {
+            atomic.send(a, b);
+            atomic.tick(a);
+        }
+        atomic.advance_all(2);
+        atomic.send(3, 4);
+
+        let local = line_machine(10);
+        let mut scratch = LocalChargeScratch::new();
+        let mut lc = local.begin_local_charge(&mut scratch);
+        for &(a, b) in ops {
+            lc.send(a, b);
+            lc.tick(a);
+        }
+        lc.advance_all(2);
+        lc.send(3, 4);
+        lc.commit();
+
+        assert_eq!(atomic.report(), local.report());
+        for s in 0..10 {
+            assert_eq!(atomic.clock(s), local.clock(s), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn local_charge_round_matches_atomic_round() {
+        // Batches where slots are both senders and receivers (the relay
+        // chain case) must match Machine::round's two-phase semantics.
+        let batches: &[&[(u32, u32)]] = &[
+            &[(0, 1), (1, 2), (2, 3)],
+            &[(3, 0), (0, 3)],
+            &[],
+            &[(5, 4), (4, 5), (1, 4)],
+        ];
+        let atomic = line_machine(8);
+        for batch in batches {
+            atomic.round(batch);
+        }
+        let local = line_machine(8);
+        let mut scratch = LocalChargeScratch::new();
+        let mut lc = local.begin_local_charge(&mut scratch);
+        for batch in batches {
+            lc.round(batch);
+        }
+        lc.commit();
+        assert_eq!(atomic.report(), local.report());
+        for s in 0..8 {
+            assert_eq!(atomic.clock(s), local.clock(s), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn local_charge_traces_like_atomic_path() {
+        // On traced machines a session records the identical events as
+        // the equivalent atomic sends/rounds.
+        let build = || {
+            MachineBuilder::from_points((0..8).map(|i| GridPoint::new(i, 0)).collect())
+                .trace(true)
+                .build()
+        };
+        let atomic = build();
+        atomic.send(0, 3);
+        atomic.round(&[(3, 1), (1, 5)]);
+        atomic.send(5, 2);
+
+        let local = build();
+        let mut scratch = LocalChargeScratch::new();
+        let mut lc = local.begin_local_charge(&mut scratch);
+        lc.send(0, 3);
+        lc.round(&[(3, 1), (1, 5)]);
+        lc.send(5, 2);
+        lc.commit();
+
+        assert_eq!(atomic.take_trace(), local.take_trace());
+        assert_eq!(atomic.report(), local.report());
+    }
+
+    #[test]
+    fn local_charge_resumes_from_prior_state() {
+        // Charges before the session are visible inside it, and charges
+        // after commit chain on the session's clocks.
+        let m = line_machine(8);
+        m.send(0, 1);
+        m.send(1, 2); // clock(2) = 2
+        let mut scratch = LocalChargeScratch::new();
+        let mut lc = m.begin_local_charge(&mut scratch);
+        assert_eq!(lc.clock(2), 2);
+        lc.send(2, 3);
+        assert_eq!(lc.depth(), 3);
+        lc.commit();
+        m.send(3, 4);
+        assert_eq!(m.clock(4), 4);
+        assert_eq!(m.depth(), 4);
+    }
+
+    #[test]
+    fn dist_sum_and_pointer_round() {
+        let m = line_machine(10);
+        let pairs = [(0u32, 3u32), (9, 4)];
+        let e = m.dist_sum(pairs);
+        assert_eq!(e, 3 + 5);
+        m.charge_pointer_round(e, 2);
+        assert_eq!(m.energy(), 8);
+        assert_eq!(m.message_count(), 2);
+        assert_eq!(m.work(), 2);
+        assert_eq!(m.depth(), 1);
     }
 
     #[test]

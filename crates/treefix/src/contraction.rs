@@ -24,8 +24,11 @@
 //!   `Vec<StepLog>` of `Vec`s;
 //! - message batches and relay groups reuse persistent scratch buffers
 //!   ([`spatial_messaging::relay::RelayScratch`] plus the engine's own
-//!   CSR group buffers), and the [`Machine`] round staging is
-//!   pre-reserved.
+//!   CSR group buffers);
+//! - every engine round charges through a
+//!   [`spatial_model::LocalCharge`] session (a non-atomic clock
+//!   snapshot committed in one batch — identical energy, messages,
+//!   work, and depth to per-message atomic charging).
 //!
 //! After `new` returns, `contract`, `uncontract_bottom_up` and
 //! `uncontract_top_down` perform **zero heap allocation** (asserted by
@@ -38,9 +41,9 @@ use crate::monoid::CommutativeMonoid;
 use rand::Rng;
 use spatial_layout::Layout;
 use spatial_messaging::relay::{
-    charge_broadcast_relays_csr, charge_reduce_relays_csr, RelayScratch,
+    charge_broadcast_relays_csr_into, charge_reduce_relays_csr_into, RelayScratch,
 };
-use spatial_model::{Machine, Slot};
+use spatial_model::{LocalCharge, LocalChargeScratch, Machine, Slot};
 use spatial_tree::{ChildrenCsr, NodeId, Tree, NIL};
 
 /// Cost-relevant counters of one contraction run (Las Vegas evidence:
@@ -105,6 +108,10 @@ pub struct ContractionEngine<'a, M: CommutativeMonoid> {
     group_offsets: Vec<u32>,
     /// Relay level-walk scratch.
     relay: RelayScratch,
+    /// Clock snapshot + round staging for the local charging sessions
+    /// (one per `contract`, one per `uncontract_*`): all engine rounds
+    /// charge through plain arithmetic and commit in one batch.
+    local: LocalChargeScratch,
     /// Uncontraction accumulator (`A_v` / `B_v`), preallocated.
     acc: Vec<M>,
     /// Output buffer, preallocated and moved out by uncontraction.
@@ -172,6 +179,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             group_parts: Vec::with_capacity(n),
             group_offsets: Vec::with_capacity(n + 1),
             relay: RelayScratch::with_capacity(n, n),
+            local: LocalChargeScratch::with_capacity(n, 2 * n + 2),
             acc: vec![M::identity(); n],
             out: vec![M::identity(); n],
             stats: ContractionStats {
@@ -192,9 +200,6 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
                 eng.prev_sib[w[1] as usize] = w[0];
             }
         }
-        // Warm the machine's round staging so even the first COMPACT
-        // round stays allocation-free.
-        machine.reserve_round_capacity(2 * n + 2);
         eng
     }
 
@@ -217,7 +222,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// is branching. All parents broadcast *simultaneously* (batched
     /// relays, one machine round per relay level): `O(n)` energy and
     /// `O(log Δ)` depth per COMPACT round.
-    fn charge_children_broadcast(&mut self) {
+    fn charge_children_broadcast(&mut self, lc: &mut LocalCharge) {
         let layout = self.layout;
         self.group_slots.clear();
         self.group_parts.clear();
@@ -235,8 +240,8 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             }
             self.group_offsets.push(self.group_parts.len() as u32);
         }
-        charge_broadcast_relays_csr(
-            self.machine,
+        charge_broadcast_relays_csr_into(
+            lc,
             &self.group_slots,
             &self.group_parts,
             &self.group_offsets,
@@ -251,11 +256,11 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
 
     /// One COMPACT round: compress an independent random-mate set of
     /// viable supervertices, then rake leaf supervertices.
-    fn compact_round<R: Rng>(&mut self, rng: &mut R) {
+    fn compact_round<R: Rng>(&mut self, rng: &mut R, lc: &mut LocalCharge) {
         let layout = self.layout;
 
         // Step 1: branching info.
-        self.charge_children_broadcast();
+        self.charge_children_broadcast(lc);
 
         // Step 2: random-mate selection among viable supervertices.
         for &v in &self.alive {
@@ -274,7 +279,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             self.msgs_scratch
                 .push((layout.slot(self.parent[v as usize]), layout.slot(v)));
         }
-        self.machine.round(&self.msgs_scratch);
+        lc.round(&self.msgs_scratch);
         selected.retain(|&v| self.coin[v as usize] && !self.coin[self.parent[v as usize] as usize]);
 
         // Step 3: COMPRESS every selected v with its parent u. The
@@ -298,7 +303,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             self.msgs_scratch.push((layout.slot(v), layout.slot(c)));
             self.compress_log.push(v);
         }
-        self.machine.round(&self.msgs_scratch);
+        lc.round(&self.msgs_scratch);
         self.stats.compresses += selected.len() as u64;
         self.nodes_scratch = selected;
 
@@ -306,7 +311,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         let mut alive = std::mem::take(&mut self.alive);
         alive.retain(|&v| self.active[v as usize]);
         self.alive = alive;
-        self.charge_children_broadcast();
+        self.charge_children_broadcast(lc);
 
         // Step 5: RAKE leaf supervertices wherever all-but-at-most-one
         // children are leaves. All rakes of the round run concurrently:
@@ -367,8 +372,8 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             self.rake_groups
                 .push((u, group_start, self.rake_log.len() as u32));
         }
-        charge_reduce_relays_csr(
-            self.machine,
+        charge_reduce_relays_csr_into(
+            lc,
             &self.group_parts,
             &self.group_offsets,
             &self.group_slots,
@@ -391,21 +396,32 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         // progress; the bound below is a defensive cap, not a tuning
         // parameter.
         let cap = 4 * n as u64 + 64;
+        // All rounds of the contraction charge through one local
+        // session (identical accounting, no per-message atomics).
+        let machine = self.machine;
+        let mut scratch = std::mem::take(&mut self.local);
+        let mut lc = machine.begin_local_charge(&mut scratch);
         while self.alive.len() > 1 {
             let before = self.alive.len();
-            self.compact_round(rng);
+            self.compact_round(rng, &mut lc);
             debug_assert!(self.alive.len() < before, "COMPACT made no progress");
             assert!(
                 (self.stats.compact_rounds as u64) <= cap,
                 "contraction failed to converge"
             );
         }
+        lc.commit();
+        self.local = scratch;
         self.stats
     }
 
     /// Replays one logged round's rake undo broadcasts (group `u` →
     /// its raked leaves) from the flat log.
-    fn charge_rake_undo_broadcast(&mut self, group_range: std::ops::Range<usize>) {
+    fn charge_rake_undo_broadcast(
+        &mut self,
+        group_range: std::ops::Range<usize>,
+        lc: &mut LocalCharge,
+    ) {
         let layout = self.layout;
         self.group_slots.clear();
         self.group_parts.clear();
@@ -418,8 +434,8 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             }
             self.group_offsets.push(self.group_parts.len() as u32);
         }
-        charge_broadcast_relays_csr(
-            self.machine,
+        charge_broadcast_relays_csr_into(
+            lc,
             &self.group_slots,
             &self.group_parts,
             &self.group_offsets,
@@ -429,14 +445,14 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
 
     /// Charges the compress-undo messages (`u → v`) of one logged
     /// round.
-    fn charge_compress_undo(&mut self, log_range: std::ops::Range<usize>) {
+    fn charge_compress_undo(&mut self, log_range: std::ops::Range<usize>, lc: &mut LocalCharge) {
         let layout = self.layout;
         self.msgs_scratch.clear();
         for &v in &self.compress_log[log_range] {
             let u = self.parent_at_merge(v);
             self.msgs_scratch.push((layout.slot(u), layout.slot(v)));
         }
-        self.machine.round(&self.msgs_scratch);
+        lc.round(&self.msgs_scratch);
     }
 
     /// §V-B uncontraction for the bottom-up treefix: returns
@@ -444,6 +460,9 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     pub fn uncontract_bottom_up(mut self) -> Vec<M> {
         assert!(self.alive.len() <= 1, "contract() must run first");
         let n = self.tree.n() as usize;
+        let machine = self.machine;
+        let mut scratch = std::mem::take(&mut self.local);
+        let mut lc = machine.begin_local_charge(&mut scratch);
         // a[v]: combination of v's *outside descendants* — subtree
         // values below v that merged past it (preallocated identity).
         for round in (0..self.stats.compact_rounds as usize).rev() {
@@ -451,7 +470,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             let (cs, ce) = round_span(&self.compress_ends, round);
             // Rakes were executed after compresses within the step; undo
             // them first — all rake groups of the step concurrently.
-            self.charge_rake_undo_broadcast(gs..ge);
+            self.charge_rake_undo_broadcast(gs..ge, &mut lc);
             for gi in (gs..ge).rev() {
                 let (u, start, end) = self.rake_groups[gi];
                 let mut acc = M::identity();
@@ -463,7 +482,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
                 self.acc[u as usize] = self.acc[u as usize].combine(acc);
                 self.p[u as usize] = self.saved_p[self.rake_log[start as usize] as usize];
             }
-            self.charge_compress_undo(cs..ce);
+            self.charge_compress_undo(cs..ce, &mut lc);
             for li in (cs..ce).rev() {
                 let v = self.compress_log[li];
                 let u = self.parent_at_merge(v);
@@ -473,6 +492,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
                 self.p[u as usize] = self.saved_p[v as usize];
             }
         }
+        lc.commit();
         let mut out = std::mem::take(&mut self.out);
         for (v, slot) in out.iter_mut().enumerate().take(n) {
             *slot = self.p[v].combine(self.acc[v]);
@@ -490,12 +510,15 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             "top-down uncontraction needs a path-segment P (rake_adds_to_p = false)"
         );
         let n = self.tree.n() as usize;
+        let machine = self.machine;
+        let mut scratch = std::mem::take(&mut self.local);
+        let mut lc = machine.begin_local_charge(&mut scratch);
         // acc[v] plays b[v]: combination of values strictly above
         // supervertex v.
         for round in (0..self.stats.compact_rounds as usize).rev() {
             let (gs, ge) = round_span(&self.rake_ends, round);
             let (cs, ce) = round_span(&self.compress_ends, round);
-            self.charge_rake_undo_broadcast(gs..ge);
+            self.charge_rake_undo_broadcast(gs..ge, &mut lc);
             for gi in (gs..ge).rev() {
                 let (u, start, end) = self.rake_groups[gi];
                 for li in start as usize..end as usize {
@@ -504,7 +527,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
                     self.acc[v as usize] = self.acc[u as usize].combine(self.p[u as usize]);
                 }
             }
-            self.charge_compress_undo(cs..ce);
+            self.charge_compress_undo(cs..ce, &mut lc);
             for li in (cs..ce).rev() {
                 let v = self.compress_log[li];
                 let u = self.parent_at_merge(v);
@@ -513,6 +536,7 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
                 self.p[u as usize] = self.saved_p[v as usize];
             }
         }
+        lc.commit();
         let mut out = std::mem::take(&mut self.out);
         for (v, slot) in out.iter_mut().enumerate().take(n) {
             *slot = self.acc[v].combine(values[v]);

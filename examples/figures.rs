@@ -111,7 +111,6 @@ fn figure8() {
     for li in 0..cover.num_layers() {
         let ranges: Vec<String> = cover
             .layer(li)
-            .iter()
             .map(|s| format!("S(root {}) = [{}, {}]", s.root, s.lo, s.hi - 1))
             .collect();
         println!("    layer {li}: {}", ranges.join(", "));
