@@ -74,6 +74,198 @@ fn main() {
     if want("bench-json") || want("bench-json-lca") {
         bench_json_lca();
     }
+    // Layout scenario sweep + §IV build / dynamic-layout perf baseline
+    // (the PR 3 acceptance bar); `bench-json-layout` runs it solo.
+    if want("bench-json") || want("bench-json-layout") {
+        bench_json_layout();
+    }
+}
+
+/// Best-of-`passes` single-shot timer (ms) for multi-millisecond
+/// pipeline runs; one untimed warmup call. Shared by every
+/// `bench-json-*` perf section.
+fn time_best_ms(passes: u32, mut f: impl FnMut() -> u64) -> f64 {
+    let mut sink = 0u64;
+    sink ^= f();
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = std::time::Instant::now();
+        sink ^= f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+/// `bench-json-layout` — the unified layout scenario runner plus the
+/// machine-readable perf baseline for the layout subsystem. One code
+/// path sweeps `LayoutKind × CurveKind × tree family` (grid/BFS
+/// adversary, comb, random caterpillar, uniform random, and the
+/// heavy-path adversary) through the shared quality metrics; the perf
+/// section times the flat-array [`spatial_trees::layout::LayoutEngine`]
+/// against the retained seed build on the order-10 grid, and the
+/// incremental `DynamicLayout` against the seed rebuild-per-insert
+/// baseline. Writes `BENCH_layout.json` next to the workspace root.
+fn bench_json_layout() {
+    use spatial_trees::layout::reference::{
+        build_light_first_spatial_reference, ReferenceDynamicLayout,
+    };
+    use spatial_trees::layout::{edge_distance_stats_with_points, DynamicLayout, LayoutEngine};
+    println!(
+        "\n### bench-json-layout — layout scenario sweep + perf baseline → BENCH_layout.json\n"
+    );
+
+    // ---- Scenario sweep: tree family × curve × layout order, all ----
+    // ---- through edge_distance_stats_with_points (one code path). ----
+    let families = [
+        TreeFamily::PerfectBinary,
+        TreeFamily::Comb,
+        TreeFamily::Caterpillar,
+        TreeFamily::UniformRandom,
+        TreeFamily::HeavyAdversary,
+    ];
+    let n_sweep = 1u32 << 14;
+    let mut rng = StdRng::seed_from_u64(200);
+    let mut sweep_rows = Vec::new();
+    let mut table = Table::new([
+        "family", "n", "curve", "layout", "mean", "p50", "p95", "p99", "max",
+    ]);
+    for family in families {
+        let t = workload(family, n_sweep, 201);
+        for curve in CurveKind::ENERGY_BOUND {
+            for kind in LayoutKind::ALL {
+                let layout = Layout::of_kind(kind, &t, curve, &mut rng);
+                // Coordinates derived once per layout, shared by every
+                // metric — the sweep's single code path.
+                let points = layout.grid_points();
+                let s = edge_distance_stats_with_points(&t, &points);
+                table.row([
+                    family.name().to_string(),
+                    t.n().to_string(),
+                    curve.name().to_string(),
+                    kind.name().to_string(),
+                    f2(s.mean),
+                    s.p50.to_string(),
+                    s.p95.to_string(),
+                    s.p99.to_string(),
+                    s.max.to_string(),
+                ]);
+                sweep_rows.push(format!(
+                    "    {{\"family\": \"{}\", \"n\": {}, \"curve\": \"{}\", \"layout\": \"{}\", \"edges\": {}, \"total\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                    family.name(), t.n(), curve.name(), kind.name(),
+                    s.edges, s.total, s.mean, s.p50, s.p95, s.p99, s.max
+                ));
+            }
+        }
+    }
+    table.print();
+
+    // ---- Perf 1: the §IV on-machine build on the order-10 grid ----
+    // ---- (n = 2^20 vertices ⇒ the routing machine is 1024²).   ----
+    let n = 1u32 << 20;
+    let t = workload(TreeFamily::UniformRandom, n, 7);
+    let mut engine = LayoutEngine::new(&t, CurveKind::Hilbert);
+    assert_eq!(
+        CurveKind::Hilbert.side_for_capacity(n as u64),
+        1 << 10,
+        "order-10 grid"
+    );
+    // Correctness + charge cross-check before timing anything.
+    {
+        let (ref_layout, ref_report) = build_light_first_spatial_reference(
+            &t,
+            CurveKind::Hilbert,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let report = engine.build_into(&mut StdRng::seed_from_u64(9));
+        assert_eq!(engine.order(), ref_layout.order(), "engines disagree");
+        assert_eq!(
+            report.sizes_phase, ref_report.sizes_phase,
+            "charges disagree"
+        );
+        assert_eq!(
+            report.order_phase, ref_report.order_phase,
+            "charges disagree"
+        );
+        assert_eq!(
+            report.permute_phase, ref_report.permute_phase,
+            "charges disagree"
+        );
+    }
+    let build_ref = time_best_ms(3, || {
+        let (l, _) = build_light_first_spatial_reference(
+            &t,
+            CurveKind::Hilbert,
+            &mut StdRng::seed_from_u64(9),
+        );
+        l.order()[0] as u64
+    });
+    let build_oneshot = time_best_ms(3, || {
+        let mut e = LayoutEngine::new(&t, CurveKind::Hilbert);
+        e.build_into(&mut StdRng::seed_from_u64(9));
+        e.order()[0] as u64
+    });
+    // The reuse path the engine exists for: structure built once, runs
+    // pay only the per-build work.
+    let build_reuse = time_best_ms(3, || {
+        engine.build_into(&mut StdRng::seed_from_u64(9));
+        engine.order()[0] as u64
+    });
+
+    // ---- Perf 2: dynamic layout — a leaf-insertion stream that ----
+    // ---- doubles a 2^13 tree (incremental vs seed rebuild-all). ----
+    let base = workload(TreeFamily::UniformRandom, 1 << 13, 103);
+    let inserts: Vec<u32> = {
+        let mut rng = StdRng::seed_from_u64(104);
+        (1u32 << 13..1 << 14).map(|m| rng.gen_range(0..m)).collect()
+    };
+    let dyn_new = time_best_ms(3, || {
+        let mut dl = DynamicLayout::new(&base, CurveKind::Hilbert, 4.0);
+        for &p in &inserts {
+            dl.insert_leaf(p);
+        }
+        dl.current_energy()
+    });
+    let dyn_ref = time_best_ms(3, || {
+        let mut dl = ReferenceDynamicLayout::new(&base, CurveKind::Hilbert, 4.0);
+        for &p in &inserts {
+            dl.insert_leaf(p);
+        }
+        dl.current_energy()
+    });
+
+    let mut table = Table::new(["benchmark", "optimized ms", "reference ms", "speedup"]);
+    let mut rows = Vec::new();
+    for (name, opt, reference) in [
+        ("layout_build_order10_grid_2^20", build_oneshot, build_ref),
+        (
+            "layout_build_order10_grid_2^20_engine_reuse",
+            build_reuse,
+            build_ref,
+        ),
+        ("dynamic_insert_stream_2^13", dyn_new, dyn_ref),
+    ] {
+        table.row([
+            name.to_string(),
+            f2(opt),
+            f2(reference),
+            format!("{:.2}x", reference / opt),
+        ]);
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"optimized_ms\": {opt:.2}, \"reference_ms\": {reference:.2}, \"speedup\": {:.3}}}",
+            reference / opt
+        ));
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"grid\": \"order-10 (1024x1024) for the on-machine build\",\n  \"build_workload\": \"uniform_random n=2^20, light-first spatial build\",\n  \"dynamic_workload\": \"uniform_random n=2^13 doubled by random leaf inserts, factor 4\",\n  \"sweep_n\": {n_sweep},\n  \"results\": [\n{}\n  ],\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        sweep_rows.join(",\n")
+    );
+    let path = "BENCH_layout.json";
+    std::fs::write(path, &json).expect("write BENCH_layout.json");
+    println!("\n  wrote {path}\n");
 }
 
 /// `bench-json-lca` — the machine-readable perf baseline for the upper
@@ -87,22 +279,6 @@ fn bench_json_lca() {
     use spatial_trees::lca::reference::batched_lca_reference;
     use spatial_trees::mincut::reference::one_respecting_cuts_reference;
     use spatial_trees::mincut::{one_respecting_cuts, SpannedGraph};
-    use std::time::Instant;
-
-    /// Best-of-`passes` single-shot timer (ms) for multi-millisecond
-    /// pipeline runs; one untimed warmup call.
-    fn time_best_ms(passes: u32, mut f: impl FnMut() -> u64) -> f64 {
-        let mut sink = 0u64;
-        sink ^= f();
-        let mut best = f64::INFINITY;
-        for _ in 0..passes {
-            let start = Instant::now();
-            sink ^= f();
-            best = best.min(start.elapsed().as_secs_f64() * 1e3);
-        }
-        std::hint::black_box(sink);
-        best
-    }
 
     println!(
         "\n### bench-json-lca — LCA + ranking + mincut perf baseline → BENCH_lca_mincut.json\n"
@@ -540,11 +716,12 @@ fn a3_expression_evaluation() {
     println!("  (all subexpression values verified against the host evaluator)\n");
 }
 
-/// E1 (Theorem 1, Fig. 1): mean parent→child grid distance per layout.
-/// Light-first stays O(1); BFS on perfect binary trees and random
-/// layouts grow like √n; DFS degrades on the comb.
+/// E1 (Theorems 1–2, Fig. 1): mean parent→child grid distance per
+/// layout, on every energy-bound curve (Hilbert, Moore, Z-order,
+/// Peano). Light-first stays O(1); BFS on perfect binary trees and
+/// random layouts grow like √n; DFS degrades on the comb.
 fn e1_layout_energy() {
-    println!("\n### E1 — messaging-kernel energy by layout (Theorem 1)\n");
+    println!("\n### E1 — messaging-kernel energy by layout (Theorems 1–2, all four curves)\n");
     let mut rng = StdRng::seed_from_u64(1);
     for family in [
         TreeFamily::PerfectBinary,
@@ -552,16 +729,18 @@ fn e1_layout_energy() {
         TreeFamily::UniformRandom,
         TreeFamily::PreferentialAttachment,
     ] {
-        println!("family = {family} (curve = hilbert, mean edge distance)");
-        let mut table = Table::new(["n", "light-first", "bfs", "dfs", "random"]);
+        println!("family = {family} (mean edge distance)");
+        let mut table = Table::new(["n", "curve", "light-first", "bfs", "dfs", "random"]);
         for log_n in [12u32, 14, 16] {
             let t = workload(family, 1 << log_n, 11);
-            let mut cells = vec![format!("2^{log_n} ({})", t.n())];
-            for kind in LayoutKind::ALL {
-                let layout = Layout::of_kind(kind, &t, CurveKind::Hilbert, &mut rng);
-                cells.push(f2(edge_distance_stats(&t, &layout).mean));
+            for curve in CurveKind::ENERGY_BOUND {
+                let mut cells = vec![format!("2^{log_n}"), curve.name().to_string()];
+                for kind in LayoutKind::ALL {
+                    let layout = Layout::of_kind(kind, &t, curve, &mut rng);
+                    cells.push(f2(edge_distance_stats(&t, &layout).mean));
+                }
+                table.row(cells);
             }
-            table.row(cells);
         }
         table.print();
         println!();
@@ -573,12 +752,21 @@ fn e1_layout_energy() {
 fn e2_zorder() {
     println!("\n### E2 — Z-order light-first and the diagonal term (Theorem 2)\n");
     println!("kernel energy per vertex, light-first order, by curve:");
-    let mut table = Table::new(["n", "hilbert", "zorder", "peano", "serpentine", "rowmajor"]);
+    let mut table = Table::new([
+        "n",
+        "hilbert",
+        "moore",
+        "zorder",
+        "peano",
+        "serpentine",
+        "rowmajor",
+    ]);
     for log_n in [12u32, 14, 16] {
         let t = workload(TreeFamily::UniformRandom, 1 << log_n, 22);
         let mut cells = vec![format!("2^{log_n}")];
         for curve in [
             CurveKind::Hilbert,
+            CurveKind::Moore,
             CurveKind::ZOrder,
             CurveKind::Peano,
             CurveKind::Serpentine,

@@ -17,15 +17,22 @@
 //! Both tours place each dart on its owning vertex's processor (a vertex
 //! owns its up and down darts — O(1) state per processor). The total is
 //! `O(n^{3/2})` energy and `O(log n)` depth with high probability.
+//!
+//! The heavy lifting lives in [`crate::engine::LayoutEngine`] — the
+//! flat-array, allocation-free implementation; this module keeps the
+//! one-shot entry point and the host-side reference order. The seed
+//! implementation is retained in [`crate::reference`] and pinned by the
+//! `engine_vs_reference` differential suite.
 
 use rand::Rng;
 use spatial_euler::rank_sequential;
-use spatial_euler::ranking::{rank_spatial, UNRANKED};
+use spatial_euler::ranking::UNRANKED;
 use spatial_euler::tour::{ChildOrder, EulerTour};
-use spatial_model::{collectives, CostReport, Machine, Slot};
-use spatial_sfc::{Curve, CurveKind, GridPoint};
-use spatial_tree::{traversal, NodeId, Tree};
+use spatial_model::CostReport;
+use spatial_sfc::CurveKind;
+use spatial_tree::Tree;
 
+use crate::engine::LayoutEngine;
 use crate::layout::Layout;
 
 /// Per-phase cost breakdown of the spatial layout construction.
@@ -48,113 +55,27 @@ impl SpatialBuildReport {
     }
 }
 
-/// Machine for a tour: dart `d` lives on the processor of its owning
-/// vertex `⌊d/2⌋`, placed at curve position = vertex id (the arbitrary
-/// *input* placement the paper starts from).
-fn dart_machine(curve_kind: CurveKind, n: u32) -> Machine {
-    let curve = curve_kind.for_capacity(n as u64);
-    // Batch the n vertex positions, then fan each out to its two darts.
-    let mut vertex_points = vec![GridPoint::default(); n as usize];
-    curve.point_range_batch(0, &mut vertex_points);
-    let points: Vec<GridPoint> = vertex_points.into_iter().flat_map(|p| [p, p]).collect();
-    Machine::from_points(points)
-}
-
-fn ranks_to_u32(ranks: &[u64]) -> Vec<u32> {
-    ranks
-        .iter()
-        .map(|&r| if r == UNRANKED { u32::MAX } else { r as u32 })
-        .collect()
-}
-
 /// Builds the light-first layout on the spatial computer, returning the
 /// layout and the per-phase cost breakdown (Theorem 4: `O(n^{3/2})`
 /// energy, `O(log n)` depth w.h.p.).
+///
+/// One-shot wrapper over [`LayoutEngine`]; callers that build the same
+/// tree repeatedly (cost experiments, Las Vegas studies, dynamic
+/// rebuild harnesses) should hold an engine and call
+/// [`LayoutEngine::build`] directly.
 pub fn build_light_first_spatial<R: Rng>(
     tree: &Tree,
     curve_kind: CurveKind,
     rng: &mut R,
 ) -> (Layout, SpatialBuildReport) {
-    let n = tree.n();
-    if n == 1 {
-        let layout = Layout::from_order(curve_kind, vec![tree.root()]);
-        let empty = CostReport::default();
-        return (
-            layout,
-            SpatialBuildReport {
-                sizes_phase: empty,
-                order_phase: empty,
-                permute_phase: empty,
-                ranking_rounds: (0, 0),
-            },
-        );
-    }
+    LayoutEngine::new(tree, curve_kind).build(rng)
+}
 
-    // ---- Phase 1: subtree sizes from a natural-order tour. ----
-    let m1 = dart_machine(curve_kind, n);
-    let tour1 = EulerTour::new(tree, ChildOrder::Natural);
-    let ranking1 = rank_spatial(&m1, tour1.next_darts(), tour1.start(), rng);
-    let ranks1 = ranks_to_u32(&ranking1.ranks);
-    let sizes = spatial_euler::tour::subtree_sizes_from_ranks(tree, &ranks1);
-    let sizes_phase = m1.report();
-
-    // ---- Phase 2: light-first tour, ranking, compaction. ----
-    let m2 = dart_machine(curve_kind, n);
-    let sorted = traversal::children_by_size(tree, &sizes);
-    let tour2 = EulerTour::with_children(tree, |v| &sorted[v as usize][..]);
-    let ranking2 = rank_spatial(&m2, tour2.next_darts(), tour2.start(), rng);
-    let ranks2 = ranks_to_u32(&ranking2.ranks);
-
-    // Compaction (§IV step 3): physically gather darts into rank order
-    // with a sorting network, then drop non-first occurrences with a
-    // parallel prefix sum over the curve order.
-    let mut rank_keyed: Vec<(u32, u32)> = tour2
-        .sequence()
+pub(crate) fn ranks_to_u32(ranks: &[u64]) -> Vec<u32> {
+    ranks
         .iter()
-        .map(|&d| (ranks2[d as usize], d))
-        .collect();
-    collectives::bitonic_sort_by_key(&m2, &mut rank_keyed);
-    let flags: Vec<u64> = rank_keyed
-        .iter()
-        .map(|&(_, d)| u64::from(spatial_euler::tour::is_down(d)))
-        .collect();
-    let scan = collectives::exclusive_prefix_sum(&m2, &flags, 0, &|a, b| a + b);
-    // Vertex at light-first position 1 + scan[i] for each first
-    // occurrence; the root occupies position 0.
-    let mut order = vec![tree.root(); n as usize];
-    for (i, &(_, d)) in rank_keyed.iter().enumerate() {
-        if spatial_euler::tour::is_down(d) {
-            let pos = 1 + scan[i] as usize;
-            order[pos] = spatial_euler::tour::dart_vertex(d);
-        }
-    }
-    let order_phase = m2.report();
-
-    // ---- Phase 3: permutation routing to the final curve positions. ----
-    let m3 = Machine::on_curve(curve_kind, n);
-    let mut records: Vec<(Slot, NodeId)> = order
-        .iter()
-        .enumerate()
-        .map(|(target, &v)| (target as Slot, v))
-        .collect();
-    // Input placement: vertex id order. Route each record to its target
-    // slot through the sorting network.
-    records.sort_by_key(|&(_, v)| v);
-    collectives::bitonic_sort_by_key(&m3, &mut records);
-    let routed: Vec<NodeId> = records.into_iter().map(|(_, v)| v).collect();
-    debug_assert_eq!(routed, order, "routing must realize the permutation");
-    let permute_phase = m3.report();
-
-    let layout = Layout::from_order(curve_kind, routed);
-    (
-        layout,
-        SpatialBuildReport {
-            sizes_phase,
-            order_phase,
-            permute_phase,
-            ranking_rounds: (ranking1.rounds, ranking2.rounds),
-        },
-    )
+        .map(|&r| if r == UNRANKED { u32::MAX } else { r as u32 })
+        .collect()
 }
 
 /// Host-side reference: the same pipeline without a machine (used by
@@ -175,7 +96,7 @@ pub use spatial_euler::ranking::SpatialRanking as RankingInfo;
 mod tests {
     use super::*;
     use rand::prelude::*;
-    use spatial_tree::generators;
+    use spatial_tree::{generators, traversal};
 
     #[test]
     fn spatial_build_matches_host_order() {

@@ -62,9 +62,34 @@ impl Layout {
     /// # Panics
     /// Panics when `order` is not a permutation of `0..n`.
     pub fn from_order(curve_kind: CurveKind, order: Vec<NodeId>) -> Self {
+        let n = order.len() as u64;
+        Self::from_order_with_capacity(curve_kind, order, n)
+    }
+
+    /// [`Layout::from_order`] with the curve sized for at least
+    /// `capacity` cells instead of exactly `order.len()`. The slots
+    /// `order.len()..capacity` are *reserved tail slots*: unoccupied
+    /// curve positions that [`Layout::append_tail`] can fill without
+    /// changing the geometry of any existing vertex — the backbone of
+    /// incremental [`crate::DynamicLayout`] maintenance.
+    ///
+    /// # Panics
+    /// Panics when `order` is not a permutation of `0..n`, or when
+    /// `capacity < order.len()`.
+    pub fn from_order_with_capacity(
+        curve_kind: CurveKind,
+        order: Vec<NodeId>,
+        capacity: u64,
+    ) -> Self {
         let n = order.len();
-        let curve = curve_kind.for_capacity(n as u64);
-        let mut slot_of = vec![Slot::MAX; n];
+        assert!(capacity >= n as u64, "capacity below vertex count");
+        let curve = curve_kind.for_capacity(capacity);
+        // Reserve both arrays up front so appends into the tail slots
+        // never reallocate (the dynamic-layout zero-alloc contract).
+        let mut order = order;
+        order.reserve(capacity as usize - n);
+        let mut slot_of = Vec::with_capacity(capacity as usize);
+        slot_of.resize(n, Slot::MAX);
         for (i, &v) in order.iter().enumerate() {
             assert!(
                 (v as usize) < n && slot_of[v as usize] == Slot::MAX,
@@ -77,6 +102,50 @@ impl Layout {
             slot_of,
             vertex_at: order,
         }
+    }
+
+    /// Number of curve cells the layout's grid covers (`≥ n`); slots
+    /// `n..capacity` are free tail positions for [`Layout::append_tail`].
+    pub fn capacity(&self) -> u64 {
+        self.curve.len()
+    }
+
+    /// Appends vertex `n` (the next fresh id) at the first free curve
+    /// tail slot in O(1), returning its slot. No existing vertex moves.
+    ///
+    /// # Panics
+    /// Panics when the curve has no free tail slot left (grow by
+    /// rebuilding with [`Layout::from_order_with_capacity`]).
+    pub fn append_tail(&mut self, v: NodeId) -> Slot {
+        let slot = self.vertex_at.len() as Slot;
+        assert_eq!(v as usize, self.vertex_at.len(), "ids must be dense");
+        assert!(
+            (slot as u64) < self.curve.len(),
+            "no reserved tail slot left (capacity {})",
+            self.curve.len()
+        );
+        self.vertex_at.push(v);
+        self.slot_of.push(slot);
+        slot
+    }
+
+    /// Replaces the linear order in place, reusing the existing buffers
+    /// and curve (same vertex count, same capacity): the amortized
+    /// rebuild path of [`crate::DynamicLayout`] — no heap allocation.
+    ///
+    /// # Panics
+    /// Panics when `order` is not a permutation of the current `0..n`.
+    pub fn set_order(&mut self, order: &[NodeId]) {
+        assert_eq!(order.len(), self.vertex_at.len(), "vertex count changed");
+        self.slot_of.fill(Slot::MAX);
+        for (i, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < order.len() && self.slot_of[v as usize] == Slot::MAX,
+                "order is not a permutation (vertex {v})"
+            );
+            self.slot_of[v as usize] = i as Slot;
+        }
+        self.vertex_at.copy_from_slice(order);
     }
 
     /// Light-first layout (sequential host construction).
@@ -206,6 +275,55 @@ mod tests {
     #[should_panic(expected = "not a permutation")]
     fn rejects_duplicate_vertex() {
         let _ = Layout::from_order(CurveKind::Hilbert, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn capacity_reserves_tail_slots() {
+        let l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![1, 0, 2], 64);
+        assert_eq!(l.n(), 3);
+        assert_eq!(l.capacity(), 64);
+        // Appends fill consecutive tail slots without moving anyone.
+        let p1 = l.point(1);
+        let mut l = l;
+        assert_eq!(l.append_tail(3), 3);
+        assert_eq!(l.append_tail(4), 4);
+        assert_eq!(l.n(), 5);
+        assert_eq!(l.point(1), p1);
+        assert_eq!(l.vertex_at(3), 3);
+        assert_eq!(l.slot(4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must be dense")]
+    fn append_tail_rejects_sparse_ids() {
+        let mut l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![0, 1], 16);
+        l.append_tail(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reserved tail slot")]
+    fn append_tail_rejects_full_curve() {
+        let mut l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![0, 1, 2, 3], 4);
+        l.append_tail(4);
+    }
+
+    #[test]
+    fn set_order_rebuilds_in_place() {
+        let t = generators::comb(32);
+        let mut l = Layout::bfs(&t, CurveKind::Hilbert);
+        let fresh = Layout::light_first(&t, CurveKind::Hilbert);
+        l.set_order(fresh.order());
+        assert_eq!(l.order(), fresh.order());
+        for v in 0..32u32 {
+            assert_eq!(l.slot(v), fresh.slot(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn set_order_rejects_duplicates() {
+        let mut l = Layout::from_order(CurveKind::Hilbert, vec![0, 1, 2]);
+        l.set_order(&[0, 0, 2]);
     }
 
     #[test]

@@ -22,10 +22,17 @@
 
 pub mod builder;
 pub mod dynamic;
+pub mod engine;
 pub mod layout;
 pub mod quality;
+#[doc(hidden)]
+pub mod reference;
 
 pub use builder::{build_light_first_spatial, SpatialBuildReport};
 pub use dynamic::{DynamicLayout, DynamicStats};
+pub use engine::LayoutEngine;
 pub use layout::{Layout, LayoutKind};
-pub use quality::{edge_distance_stats, local_kernel_energy, EdgeDistanceStats};
+pub use quality::{
+    edge_distance_stats, edge_distance_stats_with_points, local_kernel_energy,
+    local_kernel_energy_with_points, EdgeDistanceStats,
+};

@@ -4,11 +4,17 @@
 //! each of its children. Its energy is the distance-weighted sum over
 //! tree edges, entirely determined by the layout. [`local_kernel_energy`]
 //! measures it exactly; [`edge_distance_stats`] summarizes the per-edge
-//! distance distribution. Experiment E1 sweeps these across layouts,
-//! curves and tree families.
+//! distance distribution, including exact p50/p95/p99 percentiles from a
+//! flat counting pass (edge distances are bounded by the grid diameter
+//! `2·(side − 1)`, so a counting array beats sorting). Experiment E1 and
+//! the `bench-json-layout` scenario sweep run these across layouts,
+//! curves and tree families through the `*_with_points` entry points,
+//! which take precomputed per-vertex coordinates instead of re-deriving
+//! them per call.
 
 use crate::layout::Layout;
 use rayon::prelude::*;
+use spatial_sfc::GridPoint;
 use spatial_tree::Tree;
 
 /// Summary of per-edge grid distances under a layout.
@@ -20,6 +26,12 @@ pub struct EdgeDistanceStats {
     pub total: u64,
     /// Mean distance per edge.
     pub mean: f64,
+    /// Median edge distance (exact, nearest-rank).
+    pub p50: u64,
+    /// 95th-percentile edge distance (exact, nearest-rank).
+    pub p95: u64,
+    /// 99th-percentile edge distance (exact, nearest-rank).
+    pub p99: u64,
     /// Maximum edge distance.
     pub max: u64,
 }
@@ -34,6 +46,13 @@ pub fn local_kernel_energy(tree: &Tree, layout: &Layout) -> u64 {
     // One batch transform for all vertex coordinates, then a pure
     // array scan over the edges.
     let points = layout.grid_points();
+    local_kernel_energy_with_points(tree, &points)
+}
+
+/// [`local_kernel_energy`] over precomputed per-vertex grid coordinates
+/// (`points[v]` is vertex `v`'s position): lets sweep harnesses derive
+/// the coordinates once per layout instead of once per metric.
+pub fn local_kernel_energy_with_points(tree: &Tree, points: &[GridPoint]) -> u64 {
     (0..tree.n())
         .into_par_iter()
         .map(|v| {
@@ -46,25 +65,57 @@ pub fn local_kernel_energy(tree: &Tree, layout: &Layout) -> u64 {
 }
 
 /// Per-edge distance statistics under a layout.
-///
-/// A plain sequential scan: the batch `grid_points` transform is the
-/// expensive part, and a tuple fold over edges keeps the function
-/// valid against both the in-repo rayon shim and the real crate.
 pub fn edge_distance_stats(tree: &Tree, layout: &Layout) -> EdgeDistanceStats {
     let points = layout.grid_points();
-    let (mut total, mut max, mut edges) = (0u64, 0u64, 0u64);
+    edge_distance_stats_with_points(tree, &points)
+}
+
+/// [`edge_distance_stats`] over precomputed per-vertex coordinates.
+///
+/// A plain sequential scan plus a flat counting pass for the exact
+/// percentiles: the batch coordinate transform is the expensive part,
+/// and edge distances are bounded by the grid diameter, so one count
+/// array of that size replaces a sort.
+pub fn edge_distance_stats_with_points(tree: &Tree, points: &[GridPoint]) -> EdgeDistanceStats {
+    // One pass: the counting array (bounded by the grid diameter, grown
+    // on demand) carries everything — totals, max, and percentiles.
+    let mut counts: Vec<u64> = Vec::new();
+    let (mut total, mut edges) = (0u64, 0u64);
     for v in tree.vertices() {
         for &c in tree.children(v) {
             let d = spatial_sfc::manhattan(points[v as usize], points[c as usize]);
+            if d as usize >= counts.len() {
+                counts.resize(d as usize + 1, 0);
+            }
+            counts[d as usize] += 1;
             total += d;
-            max = max.max(d);
             edges += 1;
         }
     }
+    let max = counts.len().saturating_sub(1) as u64;
+    // Nearest-rank percentile: smallest d whose cumulative count
+    // reaches ⌈q·edges⌉.
+    let percentile = |q: f64| -> u64 {
+        if edges == 0 {
+            return 0;
+        }
+        let rank = ((q * edges as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (d, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return d as u64;
+            }
+        }
+        max
+    };
     EdgeDistanceStats {
         edges,
         total,
         mean: total as f64 / edges.max(1) as f64,
+        p50: percentile(0.50),
+        p95: percentile(0.95),
+        p99: percentile(0.99),
         max,
     }
 }
@@ -88,22 +139,93 @@ mod tests {
     }
 
     #[test]
-    fn theorem1_light_first_linear_energy() {
-        // Energy per vertex stays bounded as n grows (perfect binary).
-        let mut per_n = Vec::new();
-        for depth in [8u32, 10, 12] {
-            let t = generators::perfect_kary(2, depth);
-            let l = Layout::light_first(&t, CurveKind::Hilbert);
-            let e = local_kernel_energy(&t, &l);
-            per_n.push(e as f64 / t.n() as f64);
+    fn with_points_matches_per_layout_derivation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = generators::preferential_attachment(400, &mut rng);
+        let l = Layout::light_first(&t, CurveKind::ZOrder);
+        let points = l.grid_points();
+        assert_eq!(
+            local_kernel_energy_with_points(&t, &points),
+            local_kernel_energy(&t, &l)
+        );
+        assert_eq!(
+            edge_distance_stats_with_points(&t, &points),
+            edge_distance_stats(&t, &l)
+        );
+    }
+
+    #[test]
+    fn percentiles_are_exact_against_sorting() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (i, t) in [
+            generators::uniform_random(300, &mut rng),
+            generators::comb(200),
+            generators::star(64),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let l = Layout::of_kind(LayoutKind::Random, &t, CurveKind::Hilbert, &mut rng);
+            let stats = edge_distance_stats(&t, &l);
+            // Oracle: sort all edge distances, nearest-rank lookup.
+            let points = l.grid_points();
+            let mut ds: Vec<u64> = Vec::new();
+            for v in t.vertices() {
+                for &c in t.children(v) {
+                    ds.push(spatial_sfc::manhattan(
+                        points[v as usize],
+                        points[c as usize],
+                    ));
+                }
+            }
+            ds.sort_unstable();
+            let rank = |q: f64| ds[((q * ds.len() as f64).ceil() as usize).max(1) - 1];
+            assert_eq!(stats.p50, rank(0.50), "tree {i}");
+            assert_eq!(stats.p95, rank(0.95), "tree {i}");
+            assert_eq!(stats.p99, rank(0.99), "tree {i}");
+            assert_eq!(stats.max, *ds.last().unwrap(), "tree {i}");
         }
-        for w in per_n.windows(2) {
+    }
+
+    #[test]
+    fn percentiles_ordered_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = generators::uniform_random(1000, &mut rng);
+        for kind in LayoutKind::ALL {
+            let l = Layout::of_kind(kind, &t, CurveKind::Hilbert, &mut rng);
+            let s = edge_distance_stats(&t, &l);
+            assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max, "{kind}");
+            // The median cannot sit far above the mean (Markov-style
+            // sanity bound on the counting-pass ranks).
             assert!(
-                w[1] < w[0] * 1.5,
-                "light-first energy/n should not grow: {per_n:?}"
+                s.p50 as f64 <= s.mean * 2.0 + 2.0,
+                "{kind}: p50 {} vs mean {}",
+                s.p50,
+                s.mean
             );
         }
-        assert!(per_n[2] < 6.0, "energy/n too large: {per_n:?}");
+    }
+
+    #[test]
+    fn theorem1_light_first_linear_energy() {
+        // Energy per vertex stays bounded as n grows (perfect binary),
+        // on every distance-bound curve the workspace ships.
+        for curve in [CurveKind::Hilbert, CurveKind::Moore, CurveKind::Peano] {
+            let mut per_n = Vec::new();
+            for depth in [8u32, 10, 12] {
+                let t = generators::perfect_kary(2, depth);
+                let l = Layout::light_first(&t, curve);
+                let e = local_kernel_energy(&t, &l);
+                per_n.push(e as f64 / t.n() as f64);
+            }
+            for w in per_n.windows(2) {
+                assert!(
+                    w[1] < w[0] * 1.5,
+                    "{curve}: light-first energy/n should not grow: {per_n:?}"
+                );
+            }
+            assert!(per_n[2] < 8.0, "{curve}: energy/n too large: {per_n:?}");
+        }
     }
 
     #[test]
@@ -150,6 +272,8 @@ mod tests {
             lf.mean
         );
         assert!(lf.mean < 4.0, "light-first comb mean {}", lf.mean);
+        // The tail separates even harder than the mean.
+        assert!(dfs.p95 >= lf.p95, "p95: {} vs {}", dfs.p95, lf.p95);
     }
 
     #[test]
@@ -162,6 +286,7 @@ mod tests {
         );
         let lf_stats = edge_distance_stats(&t, &Layout::light_first(&t, CurveKind::Hilbert));
         assert!(rand_stats.mean > 5.0 * lf_stats.mean);
+        assert!(rand_stats.p50 > lf_stats.p50);
     }
 
     #[test]
@@ -172,5 +297,52 @@ mod tests {
         assert_eq!(s.edges, 0);
         assert_eq!(s.total, 0);
         assert_eq!(s.mean, 0.0);
+        assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use spatial_model::CurveKind;
+    use spatial_tree::generators;
+
+    proptest! {
+        /// Theorems 1–2: on random bounded-degree trees, the light-first
+        /// kernel energy is linear in n on every energy-bound curve —
+        /// asserted with an explicit per-vertex constant.
+        #[test]
+        fn prop_light_first_energy_linear_bounded_degree(
+            seed in 0u64..10_000,
+            n in 64u32..2048,
+        ) {
+            let t = generators::random_binary(n, &mut StdRng::seed_from_u64(seed));
+            prop_assert!(t.max_degree() <= 3);
+            for curve in CurveKind::ENERGY_BOUND {
+                let l = Layout::light_first(&t, curve);
+                let e = local_kernel_energy(&t, &l);
+                // Theorem 1 constant for α ≤ 3.3 and degree ≤ 3 is well
+                // below this; Z-order (Theorem 2) carries the diagonal
+                // term. 24·n is a hard linear cap with slack for small n.
+                prop_assert!(
+                    e <= 24 * n as u64,
+                    "{curve}: energy {e} > 24n = {} at n={n}", 24 * n
+                );
+            }
+        }
+
+        /// The comb (caterpillar) adversary: light-first stays linear
+        /// even where DFS pays — Theorem 1 on the paper's §III example.
+        #[test]
+        fn prop_light_first_energy_linear_comb(n in 64u32..4096) {
+            let t = generators::comb(n);
+            for curve in [CurveKind::Hilbert, CurveKind::ZOrder] {
+                let l = Layout::light_first(&t, curve);
+                let e = local_kernel_energy(&t, &l);
+                prop_assert!(e <= 16 * n as u64, "{curve}: {e} > 16n at n={n}");
+            }
+        }
     }
 }

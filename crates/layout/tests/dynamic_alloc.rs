@@ -1,0 +1,54 @@
+//! Counting-allocator proof of the [`DynamicLayout`] steady-state
+//! zero-allocation claim: once the reserved capacity covers the stream
+//! (and the first rebuild has warmed the retained scratch), leaf
+//! appends, threshold rebuilds, forced rebuilds, and batched inserts
+//! perform **no heap allocation**. Only capacity growth — amortized
+//! over the doubling — may allocate.
+//!
+//! Shared harness with `alloc_free.rs`; exactly one live `#[test]` per
+//! binary so no concurrent test pollutes the count.
+
+use rand::prelude::*;
+use spatial_layout::DynamicLayout;
+use spatial_model::CurveKind;
+use spatial_tree::generators;
+
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
+use counting_alloc::count_allocations;
+
+#[test]
+fn steady_state_inserts_and_rebuilds_do_not_allocate() {
+    let tree = generators::uniform_random(600, &mut StdRng::seed_from_u64(1));
+    // Tight factor: the gated stream triggers real threshold rebuilds.
+    let mut dl = DynamicLayout::new(&tree, CurveKind::Hilbert, 2.0);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // Warm-up: one rebuild primes the retained scratch; the reserved
+    // capacity (2 × 600) already covers the gated stream below.
+    dl.rebuild();
+    let rebuilds_before = dl.stats().rebuilds;
+
+    let batch: Vec<u32> = (0..50).map(|_| rng.gen_range(0..dl.n())).collect();
+    let stream: Vec<u32> = (0..400).map(|i| rng.gen_range(0..dl.n() + i)).collect();
+
+    let ((), allocs) = count_allocations(|| {
+        for &p in &stream {
+            dl.insert_leaf(p);
+        }
+        dl.insert_leaves(&batch);
+        dl.rebuild();
+    });
+
+    assert_eq!(dl.n(), 600 + 400 + 50);
+    assert_eq!(dl.stats().grows, 0, "stream must fit the reserved tail");
+    assert!(
+        dl.stats().rebuilds > rebuilds_before,
+        "the gated stream should have rebuilt at least once"
+    );
+    assert_eq!(dl.current_energy(), dl.recomputed_energy());
+    assert_eq!(
+        allocs, 0,
+        "steady-state inserts/rebuilds allocated {allocs} times"
+    );
+}

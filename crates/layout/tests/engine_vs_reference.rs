@@ -1,0 +1,122 @@
+//! Differential suite pinning the flat-array [`LayoutEngine`] to the
+//! retained seed build: identical layouts, per-phase cost reports,
+//! ranking rounds, and messaging-kernel energies on arbitrary trees,
+//! curves, and seeds.
+
+use rand::prelude::*;
+use spatial_layout::engine::LayoutEngine;
+use spatial_layout::reference::build_light_first_spatial_reference;
+use spatial_layout::{build_light_first_spatial, local_kernel_energy};
+use spatial_sfc::CurveKind;
+use spatial_tree::{generators, Tree};
+
+fn test_trees() -> Vec<(String, Tree)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    vec![
+        (
+            "uniform_random_500".into(),
+            generators::uniform_random(500, &mut rng),
+        ),
+        ("comb_257".into(), generators::comb(257)),
+        ("star_100".into(), generators::star(100)),
+        ("path_64".into(), generators::path(64)),
+        ("perfect_binary_6".into(), generators::perfect_kary(2, 6)),
+        (
+            "random_binary_800".into(),
+            generators::random_binary(800, &mut rng),
+        ),
+        (
+            "pref_attach_300".into(),
+            generators::preferential_attachment(300, &mut rng),
+        ),
+        (
+            "two_vertices".into(),
+            Tree::from_parents(0, vec![spatial_tree::NIL, 0]),
+        ),
+        (
+            "single_vertex".into(),
+            Tree::from_parents(0, vec![spatial_tree::NIL]),
+        ),
+    ]
+}
+
+/// The core pin: for every tree × curve × seed, the engine and the
+/// seed reference produce the same layout, the same per-phase
+/// `CostReport`s, the same ranking rounds, and the same kernel energy.
+#[test]
+fn engine_is_charge_identical_to_reference() {
+    for (name, tree) in test_trees() {
+        for curve in CurveKind::ENERGY_BOUND {
+            let mut engine = LayoutEngine::new(&tree, curve);
+            for seed in [1u64, 7, 1234] {
+                let (ref_layout, ref_report) = build_light_first_spatial_reference(
+                    &tree,
+                    curve,
+                    &mut StdRng::seed_from_u64(seed),
+                );
+                let (layout, report) = engine.build(&mut StdRng::seed_from_u64(seed));
+
+                let ctx = format!("{name} curve={curve} seed={seed}");
+                assert_eq!(layout.order(), ref_layout.order(), "layout: {ctx}");
+                assert_eq!(
+                    report.sizes_phase, ref_report.sizes_phase,
+                    "sizes phase: {ctx}"
+                );
+                assert_eq!(
+                    report.order_phase, ref_report.order_phase,
+                    "order phase: {ctx}"
+                );
+                assert_eq!(
+                    report.permute_phase, ref_report.permute_phase,
+                    "permute phase: {ctx}"
+                );
+                assert_eq!(
+                    report.ranking_rounds, ref_report.ranking_rounds,
+                    "rounds: {ctx}"
+                );
+                assert_eq!(
+                    local_kernel_energy(&tree, &layout),
+                    local_kernel_energy(&tree, &ref_layout),
+                    "kernel energy: {ctx}"
+                );
+            }
+        }
+    }
+}
+
+/// The one-shot facade goes through the engine; it must stay pinned to
+/// the reference as well.
+#[test]
+fn facade_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree = generators::uniform_random(700, &mut rng);
+    let (a, ra) =
+        build_light_first_spatial(&tree, CurveKind::Hilbert, &mut StdRng::seed_from_u64(5));
+    let (b, rb) = build_light_first_spatial_reference(
+        &tree,
+        CurveKind::Hilbert,
+        &mut StdRng::seed_from_u64(5),
+    );
+    assert_eq!(a.order(), b.order());
+    assert_eq!(ra.total(), rb.total());
+}
+
+/// Larger smoke: one bigger random tree, Hilbert only, single seed —
+/// catches size-dependent divergence (padding boundaries, u32 packing).
+#[test]
+fn engine_matches_reference_at_scale() {
+    let mut rng = StdRng::seed_from_u64(8);
+    // 4097 crosses a power-of-two padding boundary on both machines.
+    let tree = generators::uniform_random(4097, &mut rng);
+    let mut engine = LayoutEngine::new(&tree, CurveKind::Hilbert);
+    let (layout, report) = engine.build(&mut StdRng::seed_from_u64(21));
+    let (ref_layout, ref_report) = build_light_first_spatial_reference(
+        &tree,
+        CurveKind::Hilbert,
+        &mut StdRng::seed_from_u64(21),
+    );
+    assert_eq!(layout.order(), ref_layout.order());
+    assert_eq!(report.sizes_phase, ref_report.sizes_phase);
+    assert_eq!(report.order_phase, ref_report.order_phase);
+    assert_eq!(report.permute_phase, ref_report.permute_phase);
+}

@@ -390,8 +390,9 @@ impl LocalChargeScratch {
 /// A sink for communication-round charges: either the [`Machine`]
 /// itself (atomic, thread-safe) or a [`LocalCharge`] session
 /// (single-threaded, batch-committed). Lets charging helpers — the CSR
-/// relay walkers, the broadcast schedules — serve both paths with the
-/// identical message pattern.
+/// relay walkers, the broadcast schedules, the list-ranking engine, the
+/// layout builder — serve both paths with the identical message
+/// pattern.
 pub trait RoundCharger {
     /// Charges one batch of simultaneous messages ([`Machine::round`]
     /// semantics: no intra-batch chaining).
@@ -400,6 +401,22 @@ pub trait RoundCharger {
     /// Advances every slot's clock ([`Machine::advance_all`]
     /// semantics).
     fn charge_advance_all(&mut self, delta: u32);
+
+    /// Charges one message ([`Machine::send`] semantics: the receiver's
+    /// clock chains on the sender's).
+    fn charge_send(&mut self, from: Slot, to: Slot);
+
+    /// Bulk-charges energy, messages, and work without touching clocks
+    /// ([`Machine::charge_bulk`] semantics).
+    fn charge_bulk(&mut self, energy: u64, messages: u64, work: u64);
+
+    /// Charges one synchronous pointer round
+    /// ([`Machine::charge_pointer_round`] semantics): bulk counters plus
+    /// one global clock step.
+    fn charge_pointer_round(&mut self, energy: u64, messages: u64) {
+        self.charge_bulk(energy, messages, messages);
+        self.charge_advance_all(1);
+    }
 }
 
 impl RoundCharger for &Machine {
@@ -410,6 +427,14 @@ impl RoundCharger for &Machine {
     fn charge_advance_all(&mut self, delta: u32) {
         Machine::advance_all(self, delta);
     }
+
+    fn charge_send(&mut self, from: Slot, to: Slot) {
+        Machine::send(self, from, to);
+    }
+
+    fn charge_bulk(&mut self, energy: u64, messages: u64, work: u64) {
+        Machine::charge_bulk(self, energy, messages, work);
+    }
 }
 
 impl RoundCharger for LocalCharge<'_, '_> {
@@ -419,6 +444,14 @@ impl RoundCharger for LocalCharge<'_, '_> {
 
     fn charge_advance_all(&mut self, delta: u32) {
         LocalCharge::advance_all(self, delta);
+    }
+
+    fn charge_send(&mut self, from: Slot, to: Slot) {
+        LocalCharge::send(self, from, to);
+    }
+
+    fn charge_bulk(&mut self, energy: u64, messages: u64, work: u64) {
+        LocalCharge::charge_bulk(self, energy, messages, work);
     }
 }
 
@@ -486,6 +519,15 @@ impl LocalCharge<'_, '_> {
         if c > self.max {
             self.max = c;
         }
+    }
+
+    /// Local mirror of [`Machine::charge_bulk`]: counters only, no
+    /// clock movement.
+    #[inline]
+    pub fn charge_bulk(&mut self, energy: u64, messages: u64, work: u64) {
+        self.energy += energy;
+        self.messages += messages;
+        self.work += work;
     }
 
     /// Local mirror of [`Machine::round`]: all sender clocks are read
@@ -814,6 +856,32 @@ mod tests {
         m.send(3, 4);
         assert_eq!(m.clock(4), 4);
         assert_eq!(m.depth(), 4);
+    }
+
+    #[test]
+    fn local_charge_pointer_round_matches_machine() {
+        // The bulk/pointer-round mirrors must evolve counters and clocks
+        // exactly like the atomic path — the ranking-through-session
+        // equivalence the layout differential suite relies on.
+        let atomic = line_machine(8);
+        atomic.send(0, 1);
+        atomic.charge_pointer_round(17, 3);
+        atomic.charge_bulk(5, 2, 1);
+        atomic.send(4, 5);
+
+        let local = line_machine(8);
+        let mut scratch = LocalChargeScratch::new();
+        let mut lc = local.begin_local_charge(&mut scratch);
+        lc.send(0, 1);
+        RoundCharger::charge_pointer_round(&mut lc, 17, 3);
+        lc.charge_bulk(5, 2, 1);
+        lc.send(4, 5);
+        lc.commit();
+
+        assert_eq!(atomic.report(), local.report());
+        for s in 0..8 {
+            assert_eq!(atomic.clock(s), local.clock(s), "slot {s}");
+        }
     }
 
     #[test]

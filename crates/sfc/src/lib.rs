@@ -219,6 +219,17 @@ impl CurveKind {
     pub const DISTANCE_BOUND: [CurveKind; 3] =
         [CurveKind::Hilbert, CurveKind::Moore, CurveKind::Peano];
 
+    /// The curve kinds that are *energy-bound* for light-first layouts
+    /// (Theorems 1–2): the three distance-bound curves plus Z-order.
+    /// E1-style experiment tables and the `bench-json-layout` scenario
+    /// sweep cover exactly these four.
+    pub const ENERGY_BOUND: [CurveKind; 4] = [
+        CurveKind::Hilbert,
+        CurveKind::Moore,
+        CurveKind::ZOrder,
+        CurveKind::Peano,
+    ];
+
     /// Human-readable name used in experiment tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -470,6 +481,16 @@ mod tests {
                 assert!(c.len() >= cap, "{kind} capacity {cap} got {}", c.len());
             }
         }
+    }
+
+    #[test]
+    fn energy_bound_is_distance_bound_plus_zorder() {
+        for kind in CurveKind::DISTANCE_BOUND {
+            assert!(CurveKind::ENERGY_BOUND.contains(&kind), "{kind}");
+        }
+        assert!(CurveKind::ENERGY_BOUND.contains(&CurveKind::ZOrder));
+        assert!(!CurveKind::ENERGY_BOUND.contains(&CurveKind::RowMajor));
+        assert!(!CurveKind::ENERGY_BOUND.contains(&CurveKind::Serpentine));
     }
 
     #[test]

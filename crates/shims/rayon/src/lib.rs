@@ -16,10 +16,19 @@
 use std::marker::PhantomData;
 
 /// Number of worker threads a fork-join computation may use.
+///
+/// Memoized: `available_parallelism` probes cgroup files on Linux and
+/// heap-allocates on every call, which would break the engines'
+/// zero-allocation contracts (and costs a syscall in batch hot paths).
+/// The real rayon reads its pool size without allocating, so the memo
+/// matches its behavior when the shim is swapped out.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs both closures, potentially in parallel, and returns both

@@ -139,6 +139,72 @@ pub fn prufer_decode(n: u32, seq: &[NodeId]) -> Vec<(NodeId, NodeId)> {
     edges
 }
 
+/// Random caterpillar: a spine of `⌈n/4⌉` vertices; every remaining
+/// vertex is a leaf under a uniformly random spine vertex. Generalizes
+/// the comb — the same spine-plus-leaves shape, but with irregular
+/// bushels (expected 3 leaves per spine vertex, `Θ(log n / log log n)`
+/// maximum).
+pub fn caterpillar<R: Rng>(n: u32, rng: &mut R) -> Tree {
+    assert!(n >= 1);
+    let spine = n.div_ceil(4).max(1);
+    let mut parent = vec![NIL; n as usize];
+    for v in 1..spine {
+        parent[v as usize] = v - 1;
+    }
+    for leaf in spine..n {
+        parent[leaf as usize] = rng.gen_range(0..spine);
+    }
+    Tree::from_parents(0, parent)
+}
+
+/// Heavy-path adversary: the Fibonacci (Leonardo) tree of the given
+/// order — every vertex's two subtrees are as balanced as they can be
+/// while staying *distinct* in size, so the light child is as heavy as
+/// possible everywhere. This maximizes the light depth (`≈ 1.44·log₂ n`
+/// light edges root-to-leaf, vs `log₂ n` for any tree) and gives heavy
+/// path decompositions their worst constant — the stress test for
+/// light-first layouts and §VI-A layering.
+///
+/// `T(0) = T(1) =` a single vertex; `T(k) =` root with children
+/// `T(k−1)` (heavy) and `T(k−2)` (light). Sizes are the Leonardo
+/// numbers 1, 1, 3, 5, 9, 15, 25, 41, …
+pub fn heavy_path_adversary(order: u32) -> Tree {
+    // Vertices are numbered in construction (preorder) order.
+    fn build(order: u32, parent: &mut Vec<NodeId>, at: NodeId) {
+        if order <= 1 {
+            return;
+        }
+        // Light child first (construction order is irrelevant to the
+        // layouts — children get sorted by subtree size — but keeping
+        // the light subtree contiguous makes the shape easy to read).
+        let light = at + 1;
+        parent.push(at);
+        build(order - 2, parent, light);
+        let heavy = parent.len() as NodeId;
+        parent.push(at);
+        build(order - 1, parent, heavy);
+    }
+    let mut parent = vec![NIL];
+    build(order, &mut parent, 0);
+    Tree::from_parents(0, parent)
+}
+
+/// Number of vertices of [`heavy_path_adversary`]`(order)` (the
+/// Leonardo numbers).
+pub fn heavy_path_adversary_size(order: u32) -> u64 {
+    let (mut a, mut b) = (1u64, 1u64); // T(0), T(1)
+    for _ in 2..=order.max(1) {
+        let next = a + b + 1;
+        a = b;
+        b = next;
+    }
+    if order <= 1 {
+        1
+    } else {
+        b
+    }
+}
+
 /// Random recursive tree: vertex `i` attaches to a uniformly random
 /// earlier vertex. Expected maximum degree `Θ(log n)`.
 pub fn random_recursive<R: Rng>(n: u32, rng: &mut R) -> Tree {
@@ -241,6 +307,8 @@ pub enum TreeFamily {
     PerfectBinary,
     /// Comb/caterpillar (DFS adversary).
     Comb,
+    /// Random caterpillar (irregular leaf bushels on a spine).
+    Caterpillar,
     /// Path graph.
     Path,
     /// Star (max unbounded degree).
@@ -257,13 +325,17 @@ pub enum TreeFamily {
     RandomBinary,
     /// Yule phylogeny.
     Yule,
+    /// Fibonacci/Leonardo tree — the heavy-path adversary (maximum
+    /// light depth).
+    HeavyAdversary,
 }
 
 impl TreeFamily {
     /// All families, in experiment-table order.
-    pub const ALL: [TreeFamily; 10] = [
+    pub const ALL: [TreeFamily; 12] = [
         TreeFamily::PerfectBinary,
         TreeFamily::Comb,
+        TreeFamily::Caterpillar,
         TreeFamily::Path,
         TreeFamily::Star,
         TreeFamily::Broom,
@@ -272,14 +344,16 @@ impl TreeFamily {
         TreeFamily::PreferentialAttachment,
         TreeFamily::RandomBinary,
         TreeFamily::Yule,
+        TreeFamily::HeavyAdversary,
     ];
 
     /// Families whose maximum degree is bounded by a constant.
-    pub const BOUNDED_DEGREE: [TreeFamily; 4] = [
+    pub const BOUNDED_DEGREE: [TreeFamily; 5] = [
         TreeFamily::PerfectBinary,
         TreeFamily::Comb,
         TreeFamily::Path,
         TreeFamily::RandomBinary,
+        TreeFamily::HeavyAdversary,
     ];
 
     /// Table name.
@@ -287,6 +361,7 @@ impl TreeFamily {
         match self {
             TreeFamily::PerfectBinary => "perfect-binary",
             TreeFamily::Comb => "comb",
+            TreeFamily::Caterpillar => "caterpillar",
             TreeFamily::Path => "path",
             TreeFamily::Star => "star",
             TreeFamily::Broom => "broom",
@@ -295,6 +370,7 @@ impl TreeFamily {
             TreeFamily::PreferentialAttachment => "pref-attach",
             TreeFamily::RandomBinary => "random-binary",
             TreeFamily::Yule => "yule",
+            TreeFamily::HeavyAdversary => "heavy-adversary",
         }
     }
 
@@ -308,6 +384,7 @@ impl TreeFamily {
                 perfect_kary(2, depth)
             }
             TreeFamily::Comb => comb(n),
+            TreeFamily::Caterpillar => caterpillar(n, rng),
             TreeFamily::Path => path(n),
             TreeFamily::Star => star(n),
             TreeFamily::Broom => broom(n, (n / 2).max(1)),
@@ -316,6 +393,14 @@ impl TreeFamily {
             TreeFamily::PreferentialAttachment => preferential_attachment(n, rng),
             TreeFamily::RandomBinary => random_binary(n, rng),
             TreeFamily::Yule => yule((n / 2).max(1), rng),
+            TreeFamily::HeavyAdversary => {
+                // Largest Leonardo tree with ≤ n vertices.
+                let mut order = 1u32;
+                while heavy_path_adversary_size(order + 1) <= n as u64 {
+                    order += 1;
+                }
+                heavy_path_adversary(order)
+            }
         }
     }
 }
@@ -386,6 +471,66 @@ mod tests {
         let t = broom(10, 4);
         assert_eq!(t.height(), 4);
         assert_eq!(t.num_children(3), 6);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1u32, 4, 5, 100, 1000] {
+            let t = caterpillar(n, &mut rng);
+            assert_eq!(t.n(), n);
+            let spine = n.div_ceil(4).max(1);
+            // Every non-spine vertex is a leaf attached to the spine.
+            for v in spine..n {
+                assert!(t.is_leaf(v), "n={n} v={v}");
+                assert!(t.parent(v).unwrap() < spine);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_adversary_is_leonardo() {
+        // Sizes follow the Leonardo numbers and every internal vertex
+        // has subtrees of order k−1 and k−2.
+        for order in 0..12u32 {
+            let t = heavy_path_adversary(order);
+            assert_eq!(t.n() as u64, heavy_path_adversary_size(order), "{order}");
+            assert!(t.max_degree() <= 3);
+        }
+        let t = heavy_path_adversary(10);
+        let sizes = t.subtree_sizes();
+        // Root children: T(8) = 67 and T(9) = 109 vertices.
+        let mut cs: Vec<u64> = t
+            .children(0)
+            .iter()
+            .map(|&c| sizes[c as usize] as u64)
+            .collect();
+        cs.sort_unstable();
+        assert_eq!(
+            cs,
+            vec![heavy_path_adversary_size(8), heavy_path_adversary_size(9)]
+        );
+    }
+
+    #[test]
+    fn heavy_adversary_maximizes_light_depth() {
+        // Walking light children from the root takes ~order/2 steps —
+        // strictly deeper than the ⌊log₂ n⌋ bound a balanced tree gives.
+        let order = 16u32;
+        let t = heavy_path_adversary(order);
+        let sizes = t.subtree_sizes();
+        let mut at = 0u32;
+        let mut light_depth = 0u32;
+        loop {
+            let cs = t.children(at);
+            if cs.is_empty() {
+                break;
+            }
+            // The light child: smaller subtree.
+            at = *cs.iter().min_by_key(|&&c| (sizes[c as usize], c)).unwrap();
+            light_depth += 1;
+        }
+        assert_eq!(light_depth, order / 2, "light chain of T({order})");
     }
 
     #[test]
