@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spatial_bench::workload;
-use spatial_trees::pram::{pram_subtree_sums, PramMachine};
+use spatial_trees::pram::{pram_subtree_sums, PramEngine, PramTreefix};
 use spatial_trees::tree::generators::TreeFamily;
 use std::hint::black_box;
 
@@ -16,8 +16,22 @@ fn bench_pram(c: &mut Criterion) {
     group.bench_function("subtree_sums", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(12);
-            let mut pram = PramMachine::new(2 * tree.n(), 2 * tree.n(), &mut rng);
+            let mut pram = PramEngine::new(2 * tree.n(), 2 * tree.n(), &mut rng);
             pram_subtree_sums(&mut pram, black_box(&tree), &values, &mut rng)
+        })
+    });
+    // The reuse path: placement + tour + scratch built once, each
+    // iteration pays only the run (allocation-free after warm-up).
+    let mut pram = PramEngine::new(2 * tree.n(), 2 * tree.n(), &mut StdRng::seed_from_u64(12));
+    let mut engine = PramTreefix::new(&tree);
+    group.bench_function("subtree_sums_engine_reuse", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(13);
+            pram.reset();
+            engine
+                .subtree_sums(&mut pram, black_box(&values), &mut rng)
+                .last()
+                .copied()
         })
     });
     group.finish();

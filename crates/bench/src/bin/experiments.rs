@@ -13,8 +13,9 @@ use spatial_trees::layout::{
 };
 use spatial_trees::lca::batched_lca;
 use spatial_trees::messaging::{local_broadcast, VirtualTree};
+use spatial_trees::model::CostReport;
 use spatial_trees::model::{CurveKind, Machine};
-use spatial_trees::pram::{pram_lca_batch, pram_subtree_sums, PramMachine};
+use spatial_trees::pram::{pram_lca_batch, pram_subtree_sums, PramEngine};
 use spatial_trees::prelude::*;
 use spatial_trees::sfc::locality::{alpha_estimate, mean_step_distance};
 use spatial_trees::sfc::zorder::{longest_diagonal, ZOrderCurve};
@@ -79,6 +80,34 @@ fn main() {
     if want("bench-json") || want("bench-json-layout") {
         bench_json_layout();
     }
+    // E8 PRAM-vs-spatial energy crossover (the PR 4 acceptance bar);
+    // `bench-json-pram` runs it solo.
+    if want("bench-json") || want("bench-json-pram") {
+        bench_json_pram();
+    }
+}
+
+/// One `scenarios` row of the shared `BENCH_*.json` schema: every
+/// checked-in baseline file carries machine-level cost rows with the
+/// keys `scenario`, `impl`, `family`, `n`, `curve`, `energy`, `depth`,
+/// `messages`, `work` (consistency pinned by
+/// `crates/bench/tests/bench_schema.rs`).
+fn scenario_row(
+    scenario: &str,
+    impl_name: &str,
+    family: &str,
+    n: u64,
+    curve: &str,
+    r: CostReport,
+    steps: Option<u32>,
+) -> String {
+    let steps = steps
+        .map(|s| format!(", \"steps\": {s}"))
+        .unwrap_or_default();
+    format!(
+        "    {{\"scenario\": \"{scenario}\", \"impl\": \"{impl_name}\", \"family\": \"{family}\", \"n\": {n}, \"curve\": \"{curve}\", \"energy\": {}, \"depth\": {}, \"messages\": {}, \"work\": {}{steps}}}",
+        r.energy, r.depth, r.messages, r.work
+    )
 }
 
 /// Best-of-`passes` single-shot timer (ms) for multi-millisecond
@@ -110,7 +139,9 @@ fn bench_json_layout() {
     use spatial_trees::layout::reference::{
         build_light_first_spatial_reference, ReferenceDynamicLayout,
     };
-    use spatial_trees::layout::{edge_distance_stats_with_points, DynamicLayout, LayoutEngine};
+    use spatial_trees::layout::{
+        edge_distance_stats_with_points_into, DynamicLayout, LayoutEngine,
+    };
     println!(
         "\n### bench-json-layout — layout scenario sweep + perf baseline → BENCH_layout.json\n"
     );
@@ -130,6 +161,9 @@ fn bench_json_layout() {
     let mut table = Table::new([
         "family", "n", "curve", "layout", "mean", "p50", "p95", "p99", "max",
     ]);
+    // One counting scratch across the whole sweep — the percentile
+    // array is allocated once and reused by every layout × curve cell.
+    let mut counts_scratch: Vec<u64> = Vec::new();
     for family in families {
         let t = workload(family, n_sweep, 201);
         for curve in CurveKind::ENERGY_BOUND {
@@ -138,7 +172,7 @@ fn bench_json_layout() {
                 // Coordinates derived once per layout, shared by every
                 // metric — the sweep's single code path.
                 let points = layout.grid_points();
-                let s = edge_distance_stats_with_points(&t, &points);
+                let s = edge_distance_stats_with_points_into(&t, &points, &mut counts_scratch);
                 table.row([
                     family.name().to_string(),
                     t.n().to_string(),
@@ -170,8 +204,9 @@ fn bench_json_layout() {
         1 << 10,
         "order-10 grid"
     );
-    // Correctness + charge cross-check before timing anything.
-    {
+    // Correctness + charge cross-check before timing anything; the
+    // build's total machine charges feed the shared `scenarios` rows.
+    let build_report = {
         let (ref_layout, ref_report) = build_light_first_spatial_reference(
             &t,
             CurveKind::Hilbert,
@@ -191,7 +226,8 @@ fn bench_json_layout() {
             report.permute_phase, ref_report.permute_phase,
             "charges disagree"
         );
-    }
+        report.total()
+    };
     let build_ref = time_best_ms(3, || {
         let (l, _) = build_light_first_spatial_reference(
             &t,
@@ -258,13 +294,348 @@ fn bench_json_layout() {
     }
     table.print();
 
+    let scenario_rows = [scenario_row(
+        "layout_build",
+        "spatial",
+        TreeFamily::UniformRandom.name(),
+        n as u64,
+        CurveKind::Hilbert.name(),
+        build_report,
+        None,
+    )];
     let json = format!(
-        "{{\n  \"grid\": \"order-10 (1024x1024) for the on-machine build\",\n  \"build_workload\": \"uniform_random n=2^20, light-first spatial build\",\n  \"dynamic_workload\": \"uniform_random n=2^13 doubled by random leaf inserts, factor 4\",\n  \"sweep_n\": {n_sweep},\n  \"results\": [\n{}\n  ],\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"grid\": \"order-10 (1024x1024) for the on-machine build\",\n  \"build_workload\": \"uniform_random n=2^20, light-first spatial build\",\n  \"dynamic_workload\": \"uniform_random n=2^13 doubled by random leaf inserts, factor 4\",\n  \"sweep_n\": {n_sweep},\n  \"results\": [\n{}\n  ],\n  \"scenarios\": [\n{}\n  ],\n  \"sweep\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
+        scenario_rows.join(",\n"),
         sweep_rows.join(",\n")
     );
     let path = "BENCH_layout.json";
     std::fs::write(path, &json).expect("write BENCH_layout.json");
+    println!("\n  wrote {path}\n");
+}
+
+/// `bench-json-pram` — experiment E8 end to end: every PRAM baseline
+/// (random-mate list ranking, Blelloch prefix sums, Euler-tour subtree
+/// sums, sparse-table LCA) against its spatial counterpart (the
+/// [`spatial_trees::euler::RankingEngine`], the §II-A prefix-sum
+/// collective, treefix sums, the [`spatial_trees::lca::LcaEngine`])
+/// across sizes × curves × tree families. Both sides compute the same
+/// outputs from the same inputs (asserted); the energy columns make
+/// the `Θ(n^{3/2})` vs `O(n log n)` crossover visible in the data.
+/// Writes `BENCH_pram.json` next to the workspace root.
+fn bench_json_pram() {
+    use spatial_trees::euler::ranking::END;
+    use spatial_trees::euler::RankingEngine;
+    use spatial_trees::lca::LcaEngine;
+    use spatial_trees::model::collectives;
+    use spatial_trees::pram::{pram_list_rank, pram_prefix_sum, PramEngine};
+
+    println!("\n### bench-json-pram — E8 PRAM-vs-spatial energy crossover → BENCH_pram.json\n");
+    let curves = [CurveKind::Hilbert, CurveKind::ZOrder];
+    let mut rows: Vec<String> = Vec::new();
+
+    // ---- Subtree sums: PRAM Euler tour + rank + prefix vs spatial ----
+    // ---- treefix (O(n log n) energy). The headline crossover.      ----
+    println!("subtree sums (same inputs, same outputs):");
+    let mut table = Table::new([
+        "family",
+        "curve",
+        "n",
+        "spatial_energy",
+        "pram_energy",
+        "ratio",
+        "spatial/(n·log n)",
+        "pram/n^1.5",
+    ]);
+    for family in [
+        TreeFamily::RandomBinary,
+        TreeFamily::UniformRandom,
+        TreeFamily::Comb,
+    ] {
+        for curve in curves {
+            let mut ratios = Vec::new();
+            for log_n in [14u32, 16, 18] {
+                let n = 1u32 << log_n;
+                let t = workload(family, n, 88);
+                let values: Vec<u64> = (0..t.n() as u64).collect();
+                let layout = Layout::light_first(&t, curve);
+                let machine = layout.machine();
+                let monoids: Vec<Add> = values.iter().map(|&v| Add(v)).collect();
+                let spatial = treefix_bottom_up(
+                    &machine,
+                    &layout,
+                    &t,
+                    &monoids,
+                    &mut StdRng::seed_from_u64(89),
+                );
+                let sr = machine.report();
+
+                let mut prng = StdRng::seed_from_u64(90);
+                let mut pram = PramEngine::with_curve(curve, 2 * t.n(), 2 * t.n(), &mut prng);
+                let sums = pram_subtree_sums(&mut pram, &t, &values, &mut prng);
+                let got: Vec<u64> = spatial.values.iter().map(|&Add(v)| v).collect();
+                assert_eq!(got, sums, "baselines must agree");
+                let pr = pram.report();
+
+                ratios.push(pr.energy as f64 / sr.energy as f64);
+                table.row([
+                    family.name().to_string(),
+                    curve.name().to_string(),
+                    format!("2^{log_n}"),
+                    sr.energy.to_string(),
+                    pr.energy.to_string(),
+                    f2(pr.energy as f64 / sr.energy as f64),
+                    f3(sr.energy_per_n_log_n(n as u64)),
+                    f3(pr.energy_per_n_three_halves(n as u64)),
+                ]);
+                rows.push(scenario_row(
+                    "subtree_sums",
+                    "spatial",
+                    family.name(),
+                    n as u64,
+                    curve.name(),
+                    sr,
+                    None,
+                ));
+                rows.push(scenario_row(
+                    "subtree_sums",
+                    "pram",
+                    family.name(),
+                    n as u64,
+                    curve.name(),
+                    pr,
+                    Some(pram.steps()),
+                ));
+            }
+            // The acceptance bar: Θ(n^{3/2}) must outgrow O(n log n).
+            assert!(
+                ratios.windows(2).all(|w| w[1] > w[0]),
+                "{family}/{curve}: PRAM/spatial energy ratio must grow with n: {ratios:?}"
+            );
+        }
+    }
+    table.print();
+
+    // ---- List ranking: PRAM random-mate vs the spatial RankingEngine. ----
+    // ---- "in-order": the list laid out along the curve (the layout-   ----
+    // ---- aware case — near-linear spatial energy, the crossover).     ----
+    // ---- "random-perm": no layout; both sides pay Θ(n^{3/2}) and the  ----
+    // ---- gap is the constant-factor cost of hashed shared memory.     ----
+    println!("\nlist ranking (spatial engine vs PRAM random-mate):");
+    let mut table = Table::new([
+        "list",
+        "curve",
+        "n",
+        "spatial_energy",
+        "pram_energy",
+        "ratio",
+    ]);
+    for in_order in [true, false] {
+        let list_family = if in_order {
+            "in-order-list"
+        } else {
+            "random-perm-list"
+        };
+        for curve in curves {
+            let mut ratios = Vec::new();
+            for log_n in [14u32, 16, 18] {
+                let n = 1usize << log_n;
+                let (next, start) = if in_order {
+                    let mut next: Vec<u32> = (1..=n as u32).collect();
+                    next[n - 1] = END;
+                    (next, 0u32)
+                } else {
+                    spatial_bench::random_list(n, 10 + log_n as u64)
+                };
+                let m = Machine::on_curve(curve, n as u32);
+                let mut engine = RankingEngine::new(&next, start);
+                engine.rank(&m, &mut StdRng::seed_from_u64(11));
+                let sr = m.report();
+
+                let mut prng = StdRng::seed_from_u64(12);
+                let mut pram = PramEngine::with_curve(curve, n as u32, n as u32, &mut prng);
+                let pram_ranks = pram_list_rank(&mut pram, &next, start, &mut prng);
+                assert_eq!(engine.ranks(), &pram_ranks[..], "baselines must agree");
+                let pr = pram.report();
+
+                ratios.push(pr.energy as f64 / sr.energy as f64);
+                table.row([
+                    list_family.to_string(),
+                    curve.name().to_string(),
+                    format!("2^{log_n}"),
+                    sr.energy.to_string(),
+                    pr.energy.to_string(),
+                    f2(pr.energy as f64 / sr.energy as f64),
+                ]);
+                rows.push(scenario_row(
+                    "list_ranking",
+                    "spatial",
+                    list_family,
+                    n as u64,
+                    curve.name(),
+                    sr,
+                    None,
+                ));
+                rows.push(scenario_row(
+                    "list_ranking",
+                    "pram",
+                    list_family,
+                    n as u64,
+                    curve.name(),
+                    pr,
+                    Some(pram.steps()),
+                ));
+            }
+            if in_order {
+                // The acceptance bar: with a layout to exploit, spatial
+                // ranking is near-linear and the PRAM gap widens.
+                assert!(
+                    ratios.windows(2).all(|w| w[1] > w[0]),
+                    "in-order/{curve}: PRAM/spatial ratio must grow with n: {ratios:?}"
+                );
+            } else {
+                // No layout: both are Θ(n^{3/2}); PRAM still pays the
+                // hashed-access constant.
+                assert!(
+                    ratios.iter().all(|&r| r > 1.0),
+                    "random-perm/{curve}: PRAM must cost more: {ratios:?}"
+                );
+            }
+        }
+    }
+    table.print();
+
+    // ---- Prefix sums: PRAM Blelloch vs the §II-A spatial collective ----
+    // ---- (O(n) energy on the curve).                                ----
+    println!("\nprefix sums (Blelloch vs spatial collective):");
+    let mut table = Table::new(["curve", "n", "spatial_energy", "pram_energy", "ratio"]);
+    for curve in curves {
+        let mut ratios = Vec::new();
+        for log_n in [14u32, 16, 18] {
+            let n = 1usize << log_n;
+            let values: Vec<u64> = {
+                let mut rng = StdRng::seed_from_u64(20);
+                (0..n).map(|_| rng.gen_range(0..1000)).collect()
+            };
+            let m = Machine::on_curve(curve, n as u32);
+            let spatial = collectives::exclusive_prefix_sum(&m, &values, 0u64, &|a, b| a + b);
+            let sr = m.report();
+
+            let mut prng = StdRng::seed_from_u64(21);
+            let mut pram = PramEngine::with_curve(curve, n as u32, n as u32, &mut prng);
+            let pram_sums = pram_prefix_sum(&mut pram, &values);
+            assert_eq!(spatial, pram_sums, "baselines must agree");
+            let pr = pram.report();
+
+            ratios.push(pr.energy as f64 / sr.energy as f64);
+            table.row([
+                curve.name().to_string(),
+                format!("2^{log_n}"),
+                sr.energy.to_string(),
+                pr.energy.to_string(),
+                f2(pr.energy as f64 / sr.energy as f64),
+            ]);
+            rows.push(scenario_row(
+                "prefix_sums",
+                "spatial",
+                "values",
+                n as u64,
+                curve.name(),
+                sr,
+                None,
+            ));
+            rows.push(scenario_row(
+                "prefix_sums",
+                "pram",
+                "values",
+                n as u64,
+                curve.name(),
+                pr,
+                Some(pram.steps()),
+            ));
+        }
+        assert!(
+            ratios.windows(2).all(|w| w[1] > w[0]),
+            "prefix/{curve}: PRAM/spatial ratio must grow with n: {ratios:?}"
+        );
+    }
+    table.print();
+
+    // ---- Batched LCA: PRAM sparse table vs the spatial LcaEngine ----
+    // ---- (O(n log n) energy, n/2 queries).                       ----
+    println!("\nbatched LCA (n/2 queries):");
+    let mut table = Table::new([
+        "family",
+        "curve",
+        "n",
+        "spatial_energy",
+        "pram_energy",
+        "ratio",
+    ]);
+    for family in [TreeFamily::UniformRandom, TreeFamily::Comb] {
+        for curve in curves {
+            let mut ratios = Vec::new();
+            for log_n in [12u32, 14, 16] {
+                let n = 1u32 << log_n;
+                let t = workload(family, n, 90);
+                let mut qrng = StdRng::seed_from_u64(91);
+                let queries: Vec<(NodeId, NodeId)> = (0..n / 2)
+                    .map(|_| (qrng.gen_range(0..t.n()), qrng.gen_range(0..t.n())))
+                    .collect();
+                let layout = Layout::light_first(&t, curve);
+                let machine = layout.machine();
+                let mut lca_engine = LcaEngine::new(&layout, &t);
+                let res = lca_engine.run(&machine, &queries, &mut StdRng::seed_from_u64(92));
+                let sr = machine.report();
+
+                let mut prng = StdRng::seed_from_u64(93);
+                let mut pram = PramEngine::with_curve(curve, 2 * t.n(), 2 * t.n(), &mut prng);
+                let pram_answers = pram_lca_batch(&mut pram, &t, &queries, &mut prng);
+                assert_eq!(res.answers, pram_answers, "baselines must agree");
+                let pr = pram.report();
+
+                ratios.push(pr.energy as f64 / sr.energy as f64);
+                table.row([
+                    family.name().to_string(),
+                    curve.name().to_string(),
+                    format!("2^{log_n}"),
+                    sr.energy.to_string(),
+                    pr.energy.to_string(),
+                    f2(pr.energy as f64 / sr.energy as f64),
+                ]);
+                rows.push(scenario_row(
+                    "batched_lca",
+                    "spatial",
+                    family.name(),
+                    n as u64,
+                    curve.name(),
+                    sr,
+                    None,
+                ));
+                rows.push(scenario_row(
+                    "batched_lca",
+                    "pram",
+                    family.name(),
+                    n as u64,
+                    curve.name(),
+                    pr,
+                    Some(pram.steps()),
+                ));
+            }
+            assert!(
+                ratios.windows(2).all(|w| w[1] > w[0]),
+                "lca {family}/{curve}: PRAM/spatial ratio must grow with n: {ratios:?}"
+            );
+        }
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"suite\": \"E8 — PRAM-simulation baselines vs spatial counterparts\",\n  \"subtree_sums_workload\": \"treefix bottom-up vs PRAM Euler tour + rank + prefix, 2n-cell shared memory\",\n  \"list_ranking_workload\": \"RankingEngine vs PRAM random-mate; in-order-list = laid out along the curve\",\n  \"prefix_sums_workload\": \"spatial prefix collective vs PRAM Blelloch\",\n  \"lca_workload\": \"LcaEngine vs PRAM sparse-table RMQ, n/2 queries\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = "BENCH_pram.json";
+    std::fs::write(path, &json).expect("write BENCH_pram.json");
     println!("\n  wrote {path}\n");
 }
 
@@ -295,8 +666,9 @@ fn bench_json_lca() {
     let queries: Vec<(NodeId, NodeId)> = (0..n / 2)
         .map(|_| (qrng.gen_range(0..n), qrng.gen_range(0..n)))
         .collect();
-    // Correctness cross-check before timing anything.
-    {
+    // Correctness cross-check before timing anything; the machine
+    // charges feed the shared `scenarios` rows.
+    let lca_report = {
         let m_new = layout.machine();
         let res_new = batched_lca(&m_new, &layout, &t, &queries, &mut StdRng::seed_from_u64(9));
         let m_ref = layout.machine();
@@ -304,7 +676,8 @@ fn bench_json_lca() {
             batched_lca_reference(&m_ref, &layout, &t, &queries, &mut StdRng::seed_from_u64(9));
         assert_eq!(res_new.answers, res_ref.answers, "engines disagree");
         assert_eq!(m_new.report(), m_ref.report(), "charges disagree");
-    }
+        m_new.report()
+    };
     let lca_new = time_best_ms(3, || {
         let machine = layout.machine();
         let res = batched_lca(
@@ -339,14 +712,15 @@ fn bench_json_lca() {
     // ---- Spatial list ranking, n = 2^18 elements. ----
     let rn = 1usize << 18;
     let (next, start) = spatial_bench::random_list(rn, 10);
-    {
+    let rank_report = {
         let m_new = Machine::on_curve(CurveKind::Hilbert, rn as u32);
         let got = rank_spatial(&m_new, &next, start, &mut StdRng::seed_from_u64(11));
         let m_ref = Machine::on_curve(CurveKind::Hilbert, rn as u32);
         let expect = rank_spatial_reference(&m_ref, &next, start, &mut StdRng::seed_from_u64(11));
         assert_eq!(got.ranks, expect.ranks, "ranking engines disagree");
         assert_eq!(m_new.report(), m_ref.report(), "ranking charges disagree");
-    }
+        m_new.report()
+    };
     let rank_new = time_best_ms(3, || {
         let m = Machine::on_curve(CurveKind::Hilbert, rn as u32);
         let res = rank_spatial(&m, &next, start, &mut StdRng::seed_from_u64(11));
@@ -362,7 +736,7 @@ fn bench_json_lca() {
     let mn = 1u32 << 16;
     let graph = SpannedGraph::random(mn, mn as usize / 2, 100, &mut StdRng::seed_from_u64(12));
     let mlayout = Layout::light_first(graph.tree(), CurveKind::Hilbert);
-    {
+    let cut_report = {
         let m_new = mlayout.machine();
         let res_new = one_respecting_cuts(&m_new, &mlayout, &graph, &mut StdRng::seed_from_u64(13));
         let m_ref = mlayout.machine();
@@ -370,7 +744,8 @@ fn bench_json_lca() {
             one_respecting_cuts_reference(&m_ref, &mlayout, &graph, &mut StdRng::seed_from_u64(13));
         assert_eq!(res_new.cuts, res_ref.cuts, "mincut engines disagree");
         assert_eq!(m_new.report(), m_ref.report(), "mincut charges disagree");
-    }
+        m_new.report()
+    };
     let cut_new = time_best_ms(3, || {
         let machine = mlayout.machine();
         let res = one_respecting_cuts(&machine, &mlayout, &graph, &mut StdRng::seed_from_u64(13));
@@ -419,9 +794,39 @@ fn bench_json_lca() {
     }
     table.print();
 
+    let scenario_rows = [
+        scenario_row(
+            "batched_lca",
+            "spatial",
+            TreeFamily::UniformRandom.name(),
+            n as u64,
+            CurveKind::Hilbert.name(),
+            lca_report,
+            None,
+        ),
+        scenario_row(
+            "list_ranking",
+            "spatial",
+            "random-perm-list",
+            rn as u64,
+            CurveKind::Hilbert.name(),
+            rank_report,
+            None,
+        ),
+        scenario_row(
+            "mincut_1respect",
+            "spatial",
+            "spanned-graph",
+            mn as u64,
+            CurveKind::Hilbert.name(),
+            cut_report,
+            None,
+        ),
+    ];
     let json = format!(
-        "{{\n  \"grid\": \"order-10 (1024x1024) for batched LCA\",\n  \"lca_workload\": \"uniform_random n=2^20, n/2 queries\",\n  \"ranking_workload\": \"random permutation list n=2^18\",\n  \"mincut_workload\": \"random spanned graph n=2^16, n/2 extra edges\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"grid\": \"order-10 (1024x1024) for batched LCA\",\n  \"lca_workload\": \"uniform_random n=2^20, n/2 queries\",\n  \"ranking_workload\": \"random permutation list n=2^18\",\n  \"mincut_workload\": \"random spanned graph n=2^16, n/2 extra edges\",\n  \"results\": [\n{}\n  ],\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        scenario_rows.join(",\n")
     );
     let path = "BENCH_lca_mincut.json";
     std::fs::write(path, &json).expect("write BENCH_lca_mincut.json");
@@ -526,6 +931,18 @@ fn bench_json() {
         eng.contract(&mut rng);
         eng.uncontract_bottom_up()[0].0
     });
+    // One charged run for the shared `scenarios` rows.
+    let tf_report = {
+        let machine = layout.machine();
+        treefix_bottom_up(
+            &machine,
+            &layout,
+            &t,
+            &values,
+            &mut StdRng::seed_from_u64(6),
+        );
+        machine.report()
+    };
 
     let mut table = Table::new(["benchmark", "optimized ns/op", "reference ns/op", "speedup"]);
     let mut rows = Vec::new();
@@ -550,9 +967,19 @@ fn bench_json() {
     }
     table.print();
 
+    let scenario_rows = [scenario_row(
+        "treefix_bottom_up",
+        "spatial",
+        TreeFamily::RandomBinary.name(),
+        t.n() as u64,
+        CurveKind::Hilbert.name(),
+        tf_report,
+        None,
+    )];
     let json = format!(
-        "{{\n  \"grid\": \"order-10 (1024x1024)\",\n  \"treefix_tree\": \"random_binary n=2^13\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"grid\": \"order-10 (1024x1024)\",\n  \"treefix_tree\": \"random_binary n=2^13\",\n  \"results\": [\n{}\n  ],\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        scenario_rows.join(",\n")
     );
     let path = "BENCH_sfc_treefix.json";
     std::fs::write(path, &json).expect("write BENCH_sfc_treefix.json");
@@ -1042,7 +1469,7 @@ fn e8_pram_baseline() {
         let spatial = treefix_bottom_up(&machine, &layout, &t, &monoids, &mut rng);
         let se = machine.report().energy;
 
-        let mut pram = PramMachine::new(2 * t.n(), 2 * t.n(), &mut rng);
+        let mut pram = PramEngine::new(2 * t.n(), 2 * t.n(), &mut rng);
         let pram_res = pram_subtree_sums(&mut pram, &t, &values, &mut rng);
         let pe = pram.report().energy;
         let got: Vec<u64> = spatial.values.iter().map(|&Add(v)| v).collect();
@@ -1074,7 +1501,7 @@ fn e8_pram_baseline() {
         let res = batched_lca(&machine, &layout, &t, &queries, &mut rng);
         let se = machine.report().energy;
 
-        let mut pram = PramMachine::new(t.n(), 2 * t.n(), &mut rng);
+        let mut pram = PramEngine::new(t.n(), 2 * t.n(), &mut rng);
         let pram_answers = pram_lca_batch(&mut pram, &t, &queries, &mut rng);
         assert_eq!(res.answers, pram_answers, "baselines must agree");
         let pe = pram.report().energy;

@@ -1,0 +1,136 @@
+//! Schema-consistency check across the checked-in `BENCH_*.json`
+//! baselines.
+//!
+//! Every baseline file carries a `scenarios` array whose rows share one
+//! machine-cost schema — `scenario`, `n`, `curve`, `energy`, `depth`,
+//! `messages` (plus `impl`/`family`/`work`, and `steps` on PRAM rows) —
+//! so downstream tooling can join the four files on the shared keys.
+//! The writers emit one row object per line; this suite validates the
+//! shared keys and the numeric fields without a JSON dependency (the
+//! offline workspace has none).
+
+use std::path::PathBuf;
+
+const FILES: [&str; 4] = [
+    "BENCH_sfc_treefix.json",
+    "BENCH_lca_mincut.json",
+    "BENCH_layout.json",
+    "BENCH_pram.json",
+];
+
+/// Keys every scenarios row must carry, in every file.
+const SHARED_KEYS: [&str; 6] = [
+    "\"scenario\"",
+    "\"n\"",
+    "\"curve\"",
+    "\"energy\"",
+    "\"depth\"",
+    "\"messages\"",
+];
+
+/// Numeric fields: `"key": <u64>`.
+const NUMERIC_KEYS: [&str; 4] = ["n", "energy", "depth", "messages"];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn numeric_value(row: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = row
+        .find(&needle)
+        .unwrap_or_else(|| panic!("missing key {key} in row: {row}"));
+    let rest = &row[at + needle.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in row: {row}"))
+}
+
+#[test]
+fn every_bench_file_shares_the_scenarios_schema() {
+    let root = workspace_root();
+    for file in FILES {
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{file} must be checked in at the workspace root: {e}"));
+        assert!(
+            text.contains("\"scenarios\": ["),
+            "{file}: missing the shared `scenarios` section"
+        );
+        // Balanced-brace sanity so a truncated regeneration can't slip
+        // through CI.
+        let opens = text.matches(['{', '[']).count();
+        let closes = text.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{file}: unbalanced JSON brackets");
+
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"scenario\":"))
+            .collect();
+        assert!(!rows.is_empty(), "{file}: no scenarios rows");
+        for row in rows {
+            for key in SHARED_KEYS {
+                assert!(
+                    row.contains(&format!("{key}: ")),
+                    "{file}: row missing shared key {key}: {row}"
+                );
+            }
+            for key in NUMERIC_KEYS {
+                numeric_value(row, key);
+            }
+            assert!(
+                numeric_value(row, "n") > 0,
+                "{file}: scenario with n = 0: {row}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pram_file_shows_the_e8_crossover() {
+    // The acceptance bar, checked against the committed data: for list
+    // ranking (layout-aware list) and subtree sums, PRAM energy grows
+    // strictly faster than spatial energy across the checked-in sizes.
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_pram.json"))
+        .expect("BENCH_pram.json checked in");
+    for (scenario, family) in [
+        ("subtree_sums", "random-binary"),
+        ("list_ranking", "in-order-list"),
+    ] {
+        let mut by_impl: std::collections::BTreeMap<u64, [Option<u64>; 2]> =
+            std::collections::BTreeMap::new();
+        for row in text.lines().filter(|l| {
+            l.contains(&format!("\"scenario\": \"{scenario}\""))
+                && l.contains(&format!("\"family\": \"{family}\""))
+                && l.contains("\"curve\": \"hilbert\"")
+        }) {
+            let n = numeric_value(row, "n");
+            let e = numeric_value(row, "energy");
+            let slot = if row.contains("\"impl\": \"pram\"") {
+                1
+            } else {
+                0
+            };
+            by_impl.entry(n).or_insert([None, None])[slot] = Some(e);
+        }
+        assert!(
+            by_impl.len() >= 3,
+            "{scenario}/{family}: expected ≥ 3 sizes, got {by_impl:?}"
+        );
+        let ratios: Vec<f64> = by_impl
+            .values()
+            .map(|pair| {
+                let (s, p) = (pair[0].expect("spatial row"), pair[1].expect("pram row"));
+                p as f64 / s as f64
+            })
+            .collect();
+        assert!(
+            ratios.windows(2).all(|w| w[1] > w[0]),
+            "{scenario}/{family}: PRAM/spatial energy ratio must grow with n: {ratios:?}"
+        );
+    }
+}

@@ -33,6 +33,6 @@ pub use dynamic::{DynamicLayout, DynamicStats};
 pub use engine::LayoutEngine;
 pub use layout::{Layout, LayoutKind};
 pub use quality::{
-    edge_distance_stats, edge_distance_stats_with_points, local_kernel_energy,
-    local_kernel_energy_with_points, EdgeDistanceStats,
+    edge_distance_stats, edge_distance_stats_with_points, edge_distance_stats_with_points_into,
+    local_kernel_energy, local_kernel_energy_with_points, EdgeDistanceStats,
 };

@@ -77,9 +77,28 @@ pub fn edge_distance_stats(tree: &Tree, layout: &Layout) -> EdgeDistanceStats {
 /// and edge distances are bounded by the grid diameter, so one count
 /// array of that size replaces a sort.
 pub fn edge_distance_stats_with_points(tree: &Tree, points: &[GridPoint]) -> EdgeDistanceStats {
+    let mut counts: Vec<u64> = Vec::new();
+    edge_distance_stats_with_points_into(tree, points, &mut counts)
+}
+
+/// [`edge_distance_stats_with_points`] with a caller-owned counting
+/// array. The scratch is cleared and regrown on demand (never shrunk),
+/// so sweep harnesses — the `bench-json-layout` scenario runner crosses
+/// layouts × curves × families through this one code path — pay for
+/// the counting allocation once instead of once per call.
+///
+/// All three percentiles come from a **single** cumulative sweep of
+/// the counting array (the ranks are ordered, `r50 ≤ r95 ≤ r99`, so
+/// one pass resolves them in threshold order), replacing the seed's
+/// one-sweep-per-percentile scan.
+pub fn edge_distance_stats_with_points_into(
+    tree: &Tree,
+    points: &[GridPoint],
+    counts: &mut Vec<u64>,
+) -> EdgeDistanceStats {
     // One pass: the counting array (bounded by the grid diameter, grown
     // on demand) carries everything — totals, max, and percentiles.
-    let mut counts: Vec<u64> = Vec::new();
+    counts.clear();
     let (mut total, mut edges) = (0u64, 0u64);
     for v in tree.vertices() {
         for &c in tree.children(v) {
@@ -93,29 +112,37 @@ pub fn edge_distance_stats_with_points(tree: &Tree, points: &[GridPoint]) -> Edg
         }
     }
     let max = counts.len().saturating_sub(1) as u64;
-    // Nearest-rank percentile: smallest d whose cumulative count
-    // reaches ⌈q·edges⌉.
-    let percentile = |q: f64| -> u64 {
-        if edges == 0 {
-            return 0;
-        }
-        let rank = ((q * edges as f64).ceil() as u64).max(1);
+    // Nearest-rank percentiles — smallest d whose cumulative count
+    // reaches ⌈q·edges⌉ — resolved in one cumulative sweep.
+    let (mut p50, mut p95, mut p99) = (0u64, 0u64, 0u64);
+    if edges > 0 {
+        let rank = |q: f64| ((q * edges as f64).ceil() as u64).max(1);
+        let (r50, r95, r99) = (rank(0.50), rank(0.95), rank(0.99));
         let mut cum = 0u64;
+        let mut next = 0u8; // how many of the three ranks are resolved
         for (d, &c) in counts.iter().enumerate() {
             cum += c;
-            if cum >= rank {
-                return d as u64;
+            if next == 0 && cum >= r50 {
+                p50 = d as u64;
+                next = 1;
+            }
+            if next == 1 && cum >= r95 {
+                p95 = d as u64;
+                next = 2;
+            }
+            if next == 2 && cum >= r99 {
+                p99 = d as u64;
+                break;
             }
         }
-        max
-    };
+    }
     EdgeDistanceStats {
         edges,
         total,
         mean: total as f64 / edges.max(1) as f64,
-        p50: percentile(0.50),
-        p95: percentile(0.95),
-        p99: percentile(0.99),
+        p50,
+        p95,
+        p99,
         max,
     }
 }
@@ -298,6 +325,57 @@ mod tests {
         assert_eq!(s.total, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
+        // The zero-edge case through the scratch-reuse entry point,
+        // including with a dirty scratch left by a previous call.
+        let mut counts = vec![7u64, 8, 9];
+        let s2 = edge_distance_stats_with_points_into(&t, &l.grid_points(), &mut counts);
+        assert_eq!(s2, s);
+        assert_eq!(s2.max, 0);
+    }
+
+    #[test]
+    fn all_equal_distances_collapse_every_percentile() {
+        // A path tree laid out with uniform spacing: every edge has the
+        // same distance, so p50 = p95 = p99 = max = mean — the case
+        // where one cumulative step must resolve all three ranks.
+        for (n, spacing) in [(2u32, 1u32), (17, 3), (100, 2)] {
+            let parents: Vec<u32> = std::iter::once(spatial_tree::NIL).chain(0..n - 1).collect();
+            let t = spatial_tree::Tree::from_parents(0, parents);
+            let points: Vec<GridPoint> = (0..n).map(|i| GridPoint::new(i * spacing, 0)).collect();
+            let s = edge_distance_stats_with_points(&t, &points);
+            assert_eq!(s.edges, (n - 1) as u64);
+            let d = spacing as u64;
+            assert_eq!(
+                (s.p50, s.p95, s.p99, s.max),
+                (d, d, d, d),
+                "n={n} spacing={spacing}"
+            );
+            assert_eq!(s.mean, d as f64);
+            assert_eq!(s.total, d * (n - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_scratch_across_sweeps() {
+        // One scratch across trees of very different diameters must
+        // reproduce the fresh-allocation results exactly (stale counts
+        // from a larger previous call must not leak).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = Vec::new();
+        for t in [
+            generators::uniform_random(2000, &mut rng),
+            generators::comb(64),
+            generators::star(300),
+            generators::uniform_random(500, &mut rng),
+        ] {
+            for kind in [LayoutKind::Random, LayoutKind::LightFirst] {
+                let l = Layout::of_kind(kind, &t, CurveKind::Hilbert, &mut rng);
+                let points = l.grid_points();
+                let fresh = edge_distance_stats_with_points(&t, &points);
+                let reused = edge_distance_stats_with_points_into(&t, &points, &mut counts);
+                assert_eq!(reused, fresh, "n={} {kind}", t.n());
+            }
+        }
     }
 }
 

@@ -1,0 +1,252 @@
+//! Differential property suite: the flat-array [`PramEngine`] and the
+//! engine-based E8 baselines must behave *identically* to the retained
+//! seed implementation in `spatial_pram::reference` — same results,
+//! same energy, depth, messages, work, **and step counts** — across
+//! algorithm seeds, sizes, and machine shapes, including
+//! non-power-of-two `processors ≠ cells` geometries.
+//!
+//! Both sides draw the machine placement and the Las Vegas coins from
+//! identically-seeded rngs, so any divergence in a charge rule, the
+//! step-overhead formula, the access order, or the batched-access
+//! accounting shows up as a report mismatch.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use spatial_pram::reference;
+use spatial_pram::{
+    pram_lca_batch, pram_list_rank, pram_prefix_sum, pram_subtree_sums, PramEngine,
+};
+use spatial_tree::generators::TreeFamily;
+use spatial_tree::NodeId;
+
+/// Machine shapes exercised everywhere: square powers of two, and the
+/// non-power-of-two `processors ≠ cells` geometries the seed machine
+/// hashes over `max(processors, cells)` slots.
+fn shapes(n: u32) -> [(u32, u32); 3] {
+    [(n, n), (n + 37, n + 5), (n / 2 + 1, n + 101)]
+}
+
+fn engines(machine_seed: u64, processors: u32, cells: u32) -> (PramEngine, reference::PramMachine) {
+    let engine = PramEngine::new(processors, cells, &mut StdRng::seed_from_u64(machine_seed));
+    let seed =
+        reference::PramMachine::new(processors, cells, &mut StdRng::seed_from_u64(machine_seed));
+    (engine, seed)
+}
+
+fn assert_charges_match(engine: &PramEngine, seed: &reference::PramMachine, ctx: &str) {
+    assert_eq!(engine.report(), seed.report(), "{ctx}: machine charges");
+    assert_eq!(engine.steps(), seed.steps(), "{ctx}: step counts");
+    assert_eq!(engine.cells(), seed.cells(), "{ctx}: cell counts");
+    assert_eq!(
+        engine.step_overhead(),
+        seed.step_overhead(),
+        "{ctx}: step overhead"
+    );
+}
+
+fn random_list(n: usize, seed: u64) -> (Vec<u32>, u32) {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut next = vec![u32::MAX; n];
+    for w in order.windows(2) {
+        next[w[0] as usize] = w[1];
+    }
+    (next, order[0])
+}
+
+fn compare_list_rank(n: usize, list_seed: u64, machine_seed: u64, algo_seed: u64) {
+    let (next, start) = random_list(n, list_seed);
+    for (p, c) in shapes(n as u32) {
+        let c = c.max(n as u32); // the ranker needs one cell per element
+        let (mut engine, mut seed) = engines(machine_seed, p, c);
+        let got = pram_list_rank(
+            &mut engine,
+            &next,
+            start,
+            &mut StdRng::seed_from_u64(algo_seed),
+        );
+        let expect = reference::pram_list_rank(
+            &mut seed,
+            &next,
+            start,
+            &mut StdRng::seed_from_u64(algo_seed),
+        );
+        let ctx = format!("list_rank n={n} shape=({p},{c}) seed={algo_seed}");
+        assert_eq!(got, expect, "{ctx}: ranks");
+        assert_eq!(got, spatial_euler::rank_sequential(&next, start), "{ctx}");
+        assert_charges_match(&engine, &seed, &ctx);
+    }
+}
+
+#[test]
+fn list_rank_identical_across_sizes_and_shapes() {
+    for (n, list_seed) in [(1usize, 0u64), (2, 1), (33, 2), (300, 3), (777, 4)] {
+        for algo_seed in 0..3u64 {
+            compare_list_rank(n, list_seed, 90 + list_seed, algo_seed);
+        }
+    }
+}
+
+#[test]
+fn prefix_sum_identical() {
+    let mut vrng = StdRng::seed_from_u64(11);
+    for n in [1usize, 2, 100, 777, 1024] {
+        let values: Vec<u64> = (0..n).map(|_| vrng.gen_range(0..1000)).collect();
+        for (p, c) in shapes(n as u32) {
+            let c = c.max(n as u32);
+            let (mut engine, mut seed) = engines(7, p, c);
+            let got = pram_prefix_sum(&mut engine, &values);
+            let expect = reference::pram_prefix_sum(&mut seed, &values);
+            let ctx = format!("prefix_sum n={n} shape=({p},{c})");
+            assert_eq!(got, expect, "{ctx}: sums");
+            assert_charges_match(&engine, &seed, &ctx);
+        }
+    }
+}
+
+#[test]
+fn subtree_sums_identical_across_families() {
+    for (fam, n) in [
+        (TreeFamily::UniformRandom, 257u32),
+        (TreeFamily::RandomBinary, 400),
+        (TreeFamily::Comb, 200),
+        (TreeFamily::Star, 150),
+        (TreeFamily::Path, 97),
+    ] {
+        let t = fam.generate(n, &mut StdRng::seed_from_u64(5));
+        let values: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
+        for algo_seed in 0..3u64 {
+            // Cells must cover the 2n darts; sweep exact and skewed
+            // non-power-of-two shapes.
+            for (p, c) in [(2 * n, 2 * n), (2 * n + 13, 2 * n + 7), (n, 2 * n + 1)] {
+                let (mut engine, mut seed) = engines(40 + algo_seed, p, c);
+                let got = pram_subtree_sums(
+                    &mut engine,
+                    &t,
+                    &values,
+                    &mut StdRng::seed_from_u64(algo_seed),
+                );
+                let expect = reference::pram_subtree_sums(
+                    &mut seed,
+                    &t,
+                    &values,
+                    &mut StdRng::seed_from_u64(algo_seed),
+                );
+                let ctx = format!("subtree_sums {fam} n={n} shape=({p},{c}) seed={algo_seed}");
+                assert_eq!(got, expect, "{ctx}: sums");
+                assert_charges_match(&engine, &seed, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn lca_identical_across_families() {
+    let mut qrng = StdRng::seed_from_u64(17);
+    for (fam, n) in [
+        (TreeFamily::UniformRandom, 300u32),
+        (TreeFamily::Comb, 128),
+        (TreeFamily::Broom, 222),
+    ] {
+        let t = fam.generate(n, &mut StdRng::seed_from_u64(6));
+        let queries: Vec<(NodeId, NodeId)> = (0..150)
+            .map(|_| (qrng.gen_range(0..t.n()), qrng.gen_range(0..t.n())))
+            .collect();
+        for algo_seed in 0..2u64 {
+            for (p, c) in [(2 * n, 2 * n), (2 * n + 9, 2 * n + 3)] {
+                let (mut engine, mut seed) = engines(60 + algo_seed, p, c);
+                let got = pram_lca_batch(
+                    &mut engine,
+                    &t,
+                    &queries,
+                    &mut StdRng::seed_from_u64(algo_seed),
+                );
+                let expect = reference::pram_lca_batch(
+                    &mut seed,
+                    &t,
+                    &queries,
+                    &mut StdRng::seed_from_u64(algo_seed),
+                );
+                let ctx = format!("lca {fam} n={n} shape=({p},{c}) seed={algo_seed}");
+                assert_eq!(got, expect, "{ctx}: answers");
+                assert_charges_match(&engine, &seed, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_engine_matches_fresh_seed_machines() {
+    // The reuse path the engine exists for: one PramEngine + one
+    // PramTreefix across many runs must charge exactly like a fresh
+    // seed machine per run (after reset).
+    let t = TreeFamily::RandomBinary.generate(350, &mut StdRng::seed_from_u64(8));
+    let values: Vec<u64> = (0..350u64).collect();
+    let mut engine = PramEngine::new(700, 700, &mut StdRng::seed_from_u64(30));
+    let mut treefix = spatial_pram::PramTreefix::new(&t);
+    for algo_seed in 0..4u64 {
+        engine.reset();
+        let got = treefix
+            .subtree_sums(&mut engine, &values, &mut StdRng::seed_from_u64(algo_seed))
+            .to_vec();
+        let mut seed = reference::PramMachine::new(700, 700, &mut StdRng::seed_from_u64(30));
+        let expect = reference::pram_subtree_sums(
+            &mut seed,
+            &t,
+            &values,
+            &mut StdRng::seed_from_u64(algo_seed),
+        );
+        let ctx = format!("reuse seed={algo_seed}");
+        assert_eq!(got, expect, "{ctx}: sums");
+        assert_charges_match(&engine, &seed, &ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary list sizes, machine shapes, and coin seeds: ranks and
+    /// every cost meter agree between the engine and the seed.
+    #[test]
+    fn prop_list_rank_charge_identical(
+        n in 1usize..220,
+        list_seed in 0u64..1000,
+        machine_seed in 0u64..1000,
+        algo_seed in 0u64..1000,
+        extra_cells in 0u32..64,
+        extra_procs in 0u32..64,
+    ) {
+        let (next, start) = random_list(n, list_seed);
+        let (p, c) = (n as u32 + extra_procs, n as u32 + extra_cells);
+        let (mut engine, mut seed) = engines(machine_seed, p, c);
+        let got = pram_list_rank(&mut engine, &next, start, &mut StdRng::seed_from_u64(algo_seed));
+        let expect = reference::pram_list_rank(
+            &mut seed, &next, start, &mut StdRng::seed_from_u64(algo_seed),
+        );
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(engine.report(), seed.report());
+        prop_assert_eq!(engine.steps(), seed.steps());
+    }
+
+    /// Arbitrary trees: subtree sums charge-identical end to end.
+    #[test]
+    fn prop_subtree_sums_charge_identical(
+        n in 2u32..180,
+        tree_seed in 0u64..1000,
+        algo_seed in 0u64..1000,
+    ) {
+        let t = TreeFamily::UniformRandom.generate(n, &mut StdRng::seed_from_u64(tree_seed));
+        let values: Vec<u64> = (0..n as u64).map(|v| v + 1).collect();
+        let (mut engine, mut seed) = engines(tree_seed ^ 0x9e37, 2 * n + 3, 2 * n + 1);
+        let got = pram_subtree_sums(&mut engine, &t, &values, &mut StdRng::seed_from_u64(algo_seed));
+        let expect = reference::pram_subtree_sums(
+            &mut seed, &t, &values, &mut StdRng::seed_from_u64(algo_seed),
+        );
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(engine.report(), seed.report());
+        prop_assert_eq!(engine.steps(), seed.steps());
+    }
+}

@@ -6,7 +6,9 @@
 //! - [`join`] and [`scope`] run on **real OS threads** (via
 //!   [`std::thread::scope`]), so fork-join code — the light-first layout
 //!   constructor, the batched curve transforms — gets genuine
-//!   multi-core speedups;
+//!   multi-core speedups; [`join`] stops spawning past
+//!   `⌈log₂(threads)⌉ + 1` levels of nesting and runs small halves
+//!   inline, so deep recursive splits never oversubscribe the machine;
 //! - the parallel *iterator* adapters (`par_iter`, `into_par_iter`)
 //!   degrade to the equivalent sequential [`Iterator`] chains. Every
 //!   hot path in this workspace that needs real parallelism uses the
@@ -31,8 +33,45 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+thread_local! {
+    /// Current fork-join recursion depth on this thread (propagated
+    /// into spawned halves so nested [`join`]s see their true depth).
+    static JOIN_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Total OS threads ever spawned by [`join`] — the regression meter
+/// for the spawn cutoff.
+#[doc(hidden)]
+pub fn join_spawned_threads() -> u64 {
+    JOIN_SPAWNS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static JOIN_SPAWNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Recursion depth beyond which [`join`] runs both halves inline:
+/// `⌈log₂(threads)⌉ + 1` levels of forking already yield more than
+/// `2 × threads` leaves, so spawning deeper only oversubscribes the
+/// machine with threads that have no core to run on (the real rayon
+/// never spawns per call — it schedules onto a fixed pool).
+#[doc(hidden)]
+pub fn join_spawn_depth_limit() -> usize {
+    static LIMIT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        let threads = current_num_threads();
+        (usize::BITS - threads.next_power_of_two().leading_zeros()) as usize
+    })
+}
+
 /// Runs both closures, potentially in parallel, and returns both
-/// results. `oper_a` runs on a spawned scoped thread, `oper_b` inline.
+/// results.
+///
+/// Near the top of a fork-join recursion `oper_a` runs on a spawned
+/// scoped thread and `oper_b` inline; past
+/// [`join_spawn_depth_limit`] levels of nesting both halves run
+/// inline on the calling thread. Without the cutoff every recursive
+/// split — the light-first builder, the batch curve transforms —
+/// spawned a fresh OS thread per call, oversubscribing the machine at
+/// depth (thousands of threads for a 2^12-leaf recursion).
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -40,8 +79,34 @@ where
     RA: Send,
     RB: Send,
 {
+    let depth = JOIN_DEPTH.with(|d| d.get());
+    if depth >= join_spawn_depth_limit() {
+        // Small halves: run inline, no thread, no synchronization.
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    JOIN_SPAWNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    // Restore the caller's depth even when a half panics and the
+    // unwind escapes through `thread::scope` — otherwise a caught
+    // panic would leave the thread-local inflated and every later
+    // join on this thread would silently run inline.
+    struct DepthGuard(usize);
+    impl Drop for DepthGuard {
+        fn drop(&mut self) {
+            JOIN_DEPTH.with(|d| d.set(self.0));
+        }
+    }
+    let _guard = DepthGuard(depth);
     std::thread::scope(|s| {
-        let ha = s.spawn(oper_a);
+        let ha = s.spawn(move || {
+            // The spawned thread starts at depth 0 in its own
+            // thread-local; inherit the caller's depth so nested joins
+            // stay bounded.
+            JOIN_DEPTH.with(|d| d.set(depth + 1));
+            oper_a()
+        });
+        JOIN_DEPTH.with(|d| d.set(depth + 1));
         let rb = oper_b();
         (ha.join().expect("joined task panicked"), rb)
     })
@@ -146,6 +211,53 @@ mod tests {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_spawns_are_bounded_in_balanced_recursion() {
+        // A full binary fork-join of depth 12 (4096 leaves). Without
+        // the depth cutoff this spawned 4095 OS threads; with it, only
+        // the top ⌈log₂(threads)⌉+1 levels fork.
+        fn count(depth: u32) -> u64 {
+            if depth == 0 {
+                return 1;
+            }
+            let (a, b) = super::join(|| count(depth - 1), || count(depth - 1));
+            a + b
+        }
+        let before = super::join_spawned_threads();
+        assert_eq!(count(12), 4096, "results must be unaffected");
+        let spawned = super::join_spawned_threads() - before;
+        // At most one spawn per internal node of the truncated
+        // recursion tree, plus slack for concurrent tests in this
+        // binary that also call join.
+        let bound = (1u64 << super::join_spawn_depth_limit()) + 16;
+        assert!(
+            spawned <= bound,
+            "balanced recursion spawned {spawned} threads (bound {bound})"
+        );
+    }
+
+    #[test]
+    fn join_spawns_are_bounded_in_chain_recursion() {
+        // A lopsided chain (always recursing in the spawned half) is
+        // the worst case for per-call spawning: 500 nested threads
+        // before the cutoff, ≤ depth-limit after.
+        fn chain(depth: u32) -> u64 {
+            if depth == 0 {
+                return 0;
+            }
+            let (a, _) = super::join(|| chain(depth - 1), || ());
+            a + 1
+        }
+        let before = super::join_spawned_threads();
+        assert_eq!(chain(500), 500, "results must be unaffected");
+        let spawned = super::join_spawned_threads() - before;
+        let bound = super::join_spawn_depth_limit() as u64 + 16;
+        assert!(
+            spawned <= bound,
+            "chain recursion spawned {spawned} threads (bound {bound})"
+        );
     }
 
     #[test]

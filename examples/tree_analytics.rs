@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spatial_trees::pram::PramMachine;
+use spatial_trees::pram::PramEngine;
 use spatial_trees::prelude::*;
 use spatial_trees::tree::generators;
 
@@ -71,7 +71,7 @@ fn main() {
     println!("  (all results verified against host references ✓)");
 
     // PRAM baseline for the subtree sums.
-    let mut pram = PramMachine::new(2 * n, 2 * n, &mut rng);
+    let mut pram = PramEngine::new(2 * n, 2 * n, &mut rng);
     let pram_sums =
         spatial_trees::pram::pram_subtree_sums(&mut pram, st.tree(), &weights, &mut rng);
     let expect: Vec<u64> = sums.values.iter().map(|&Add(v)| v).collect();

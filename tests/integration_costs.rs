@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spatial_trees::layout::{edge_distance_stats, local_kernel_energy, Layout};
 use spatial_trees::lca::batched_lca;
-use spatial_trees::pram::{pram_subtree_sums, PramMachine};
+use spatial_trees::pram::{pram_subtree_sums, PramEngine};
 use spatial_trees::prelude::*;
 use spatial_trees::tree::generators;
 use spatial_trees::treefix::treefix_bottom_up;
@@ -87,7 +87,7 @@ fn spatial_beats_pram_and_gap_widens() {
         let spatial = treefix_bottom_up(&machine, &layout, &t, &monoids, &mut rng);
         let spatial_energy = machine.report().energy;
 
-        let mut pram = PramMachine::new(2 * n, 2 * n, &mut rng);
+        let mut pram = PramEngine::new(2 * n, 2 * n, &mut rng);
         let pram_res = pram_subtree_sums(&mut pram, &t, &values, &mut rng);
         let pram_energy = pram.report().energy;
 
