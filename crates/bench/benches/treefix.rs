@@ -31,10 +31,9 @@ fn bench_engine_old_vs_new(c: &mut Criterion) {
             b.iter(|| {
                 let machine = layout.machine();
                 let mut rng = StdRng::seed_from_u64(6);
-                let mut eng =
-                    ContractionEngine::new(black_box(&tree), &layout, &machine, &values, true);
-                eng.contract(&mut rng);
-                eng.uncontract_bottom_up()
+                let mut eng = ContractionEngine::new(black_box(&tree), &layout, &values, true);
+                eng.contract(&machine, &mut rng);
+                eng.uncontract_bottom_up(&machine)[0]
             })
         });
         group.bench_function("seed_reference", |b| {

@@ -85,6 +85,255 @@ fn main() {
     if want("bench-json") || want("bench-json-pram") {
         bench_json_pram();
     }
+    // SpatialForest mixed-workload service throughput (the PR 5
+    // acceptance bar); `bench-json-service` runs it solo.
+    if want("bench-json") || want("bench-json-service") {
+        bench_json_service();
+    }
+}
+
+/// `bench-json-service` — the session layer's mixed-workload
+/// throughput: one warm [`spatial_trees::session::SpatialForest`]
+/// serving 16 batches × 96 mixed queries (LCA + subtree sums + tour
+/// ranks) against (a) building every engine fresh per query — the
+/// no-session-layer baseline the acceptance bar measures — and (b) a
+/// fresh forest per batch. Writes `BENCH_service.json` next to the
+/// workspace root.
+fn bench_json_service() {
+    use spatial_trees::euler::ranking::RankingEngine;
+    use spatial_trees::euler::EulerTour;
+    use spatial_trees::lca::LcaEngine;
+    use spatial_trees::session::{ForestOptions, QueryBatch, Request, Response, SpatialForest};
+    use spatial_trees::tree::ChildrenCsr;
+    use spatial_trees::treefix::contraction::ContractionEngine;
+    use spatial_trees::treefix::Add;
+
+    println!(
+        "\n### bench-json-service — SpatialForest mixed-workload throughput → BENCH_service.json\n"
+    );
+
+    let log_n = 13u32;
+    let n = 1u32 << log_n;
+    let family = TreeFamily::UniformRandom;
+    let t = workload(family, n, 21);
+
+    // 16 batches × 96 mixed queries, drawn once up front.
+    let mut qrng = StdRng::seed_from_u64(22);
+    let batches: Vec<QueryBatch> = (0..16)
+        .map(|_| {
+            let mut b = QueryBatch::with_capacity(96);
+            for _ in 0..40 {
+                b.lca(qrng.gen_range(0..n), qrng.gen_range(0..n));
+            }
+            for _ in 0..30 {
+                b.subtree_sum(qrng.gen_range(0..n));
+            }
+            for _ in 0..26 {
+                b.rank(qrng.gen_range(0..n));
+            }
+            b
+        })
+        .collect();
+    let total_queries: usize = batches.iter().map(|b| b.len()).sum();
+
+    // ---- The warm forest: correctness reference + charge rows. ----
+    let mut forest = SpatialForest::new(&t);
+    forest.execute(batches[0].requests(), &mut StdRng::seed_from_u64(23));
+    let report = {
+        forest.execute(batches[0].requests(), &mut StdRng::seed_from_u64(23));
+        forest.last_report()
+    };
+    let forest_answers: Vec<Response> = forest
+        .execute(batches[0].requests(), &mut StdRng::seed_from_u64(23))
+        .to_vec();
+
+    // ---- Baseline (a): fresh engines per query (shared tree, layout ----
+    // ---- and machine — only the engines are rebuilt, which is       ----
+    // ---- exactly what the session layer amortizes).                 ----
+    let layout = Layout::light_first(&t, CurveKind::Hilbert);
+    let sizes = t.subtree_sizes();
+    let csr = ChildrenCsr::by_size(&t, &sizes);
+    let tour = EulerTour::light_first_from_csr(&t, &csr);
+    let ones = vec![Add(1); n as usize];
+    let answer_fresh = |req: &Request, rng: &mut StdRng| -> Response {
+        match *req {
+            Request::Lca(a, b) => {
+                let machine = layout.machine();
+                let mut engine = LcaEngine::new(&layout, &t);
+                Response::Lca(engine.run(&machine, &[(a, b)], rng).answers[0])
+            }
+            Request::SubtreeSum(v) => {
+                let machine = layout.machine();
+                let mut engine = ContractionEngine::new(&t, &layout, &ones, true);
+                engine.contract(&machine, rng);
+                Response::SubtreeSum(engine.uncontract_bottom_up(&machine)[v as usize].0)
+            }
+            Request::Rank(v) => {
+                let machine = Machine::on_curve(CurveKind::Hilbert, 2 * n);
+                let mut engine = RankingEngine::new(tour.next_darts(), tour.start());
+                engine.rank(&machine, rng);
+                Response::Rank(if v == t.root() {
+                    0
+                } else {
+                    engine.ranks()[spatial_trees::euler::tour::down(v) as usize] + 1
+                })
+            }
+            Request::InsertLeaf { .. } => unreachable!("query-only batches"),
+        }
+    };
+    // Cross-check the warm forest against the fresh-engine baseline
+    // before timing anything.
+    {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (req, got) in batches[0].requests().iter().zip(&forest_answers) {
+            assert_eq!(
+                *got,
+                answer_fresh(req, &mut rng),
+                "forest diverged on {req:?}"
+            );
+        }
+    }
+
+    // ---- Timings (ms per query). ----
+    let reuse_ms = time_best_ms(3, || {
+        let mut acc = 0u64;
+        for b in &batches {
+            let responses = forest.execute(b.requests(), &mut StdRng::seed_from_u64(23));
+            acc = acc.wrapping_add(responses.len() as u64);
+        }
+        acc
+    }) / total_queries as f64;
+
+    // Fresh engines are ~three orders slower; one batch is plenty of
+    // signal (and keeps CI fast).
+    let fresh_engines_ms = time_best_ms(1, || {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut acc = 0u64;
+        for req in batches[0].requests() {
+            acc = acc.wrapping_add(match answer_fresh(req, &mut rng) {
+                Response::Lca(w) => w as u64,
+                Response::SubtreeSum(s) => s,
+                Response::Rank(r) => r,
+                Response::InsertedLeaf(v) => v as u64,
+            });
+        }
+        acc
+    }) / batches[0].len() as f64;
+
+    let fresh_forest_ms = time_best_ms(2, || {
+        let mut acc = 0u64;
+        for b in batches.iter().take(4) {
+            let mut fresh = SpatialForest::new(&t);
+            let responses = fresh.execute(b.requests(), &mut StdRng::seed_from_u64(23));
+            acc = acc.wrapping_add(responses.len() as u64);
+        }
+        acc
+    }) / (4 * batches[0].len()) as f64;
+
+    let speedup_engines = fresh_engines_ms / reuse_ms;
+    let speedup_forest = fresh_forest_ms / reuse_ms;
+    assert!(
+        speedup_engines >= 1.5,
+        "acceptance bar: mixed-batch reuse must beat per-query fresh engines by ≥ 1.5x, got {speedup_engines:.2}x"
+    );
+
+    // ---- Crossover mode: the same sums priced on the PRAM shadow. ----
+    let crossover_report = {
+        let mut xf = SpatialForest::with_options(
+            &t,
+            ForestOptions {
+                crossover: true,
+                ..ForestOptions::default()
+            },
+        );
+        let mut b = QueryBatch::new();
+        for i in 0..16u32 {
+            b.subtree_sum(i * 97 % n);
+        }
+        xf.execute(b.requests(), &mut StdRng::seed_from_u64(24));
+        xf.last_report()
+    };
+    let pram_shadow = crossover_report.pram.expect("crossover mode");
+
+    let mut table = Table::new(["benchmark", "optimized ms/q", "reference ms/q", "speedup"]);
+    let mut rows = Vec::new();
+    for (name, opt, reference) in [
+        (
+            "service_mixed_2^13_reuse_vs_fresh_engines",
+            reuse_ms,
+            fresh_engines_ms,
+        ),
+        (
+            "service_mixed_2^13_reuse_vs_fresh_forest_per_batch",
+            reuse_ms,
+            fresh_forest_ms,
+        ),
+    ] {
+        table.row([
+            name.to_string(),
+            format!("{opt:.4}"),
+            format!("{reference:.4}"),
+            format!("{:.2}x", reference / opt),
+        ]);
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"optimized_ms\": {opt:.4}, \"reference_ms\": {reference:.4}, \"speedup\": {:.3}}}",
+            reference / opt
+        ));
+    }
+    table.print();
+    println!(
+        "  crossover shadow: grid energy {} vs PRAM energy {} ({}x)",
+        crossover_report.grid.energy,
+        pram_shadow.energy,
+        pram_shadow.energy / crossover_report.grid.energy.max(1)
+    );
+
+    let scenario_rows = [
+        scenario_row(
+            "service_mixed",
+            "forest",
+            family.name(),
+            n as u64,
+            CurveKind::Hilbert.name(),
+            report.grid,
+            None,
+        ),
+        scenario_row(
+            "service_mixed_ranking",
+            "forest-dart",
+            family.name(),
+            n as u64,
+            CurveKind::Hilbert.name(),
+            report.ranking,
+            None,
+        ),
+        scenario_row(
+            "service_sums_crossover",
+            "spatial",
+            family.name(),
+            n as u64,
+            CurveKind::Hilbert.name(),
+            crossover_report.grid,
+            None,
+        ),
+        scenario_row(
+            "service_sums_crossover",
+            "pram",
+            family.name(),
+            n as u64,
+            CurveKind::Hilbert.name(),
+            pram_shadow,
+            None,
+        ),
+    ];
+    let json = format!(
+        "{{\n  \"workload\": \"uniform_random n=2^{log_n}, 16 batches x 96 mixed queries (40 LCA + 30 subtree sums + 26 tour ranks)\",\n  \"baselines\": \"fresh-engines = rebuild every engine per query (shared tree/layout); fresh-forest = new SpatialForest per batch\",\n  \"total_queries\": {total_queries},\n  \"speedup_vs_fresh_engines\": {speedup_engines:.3},\n  \"speedup_vs_fresh_forest_per_batch\": {speedup_forest:.3},\n  \"results\": [\n{}\n  ],\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        scenario_rows.join(",\n")
+    );
+    let path = "BENCH_service.json";
+    std::fs::write(path, &json).expect("write BENCH_service.json");
+    println!("\n  wrote {path}\n");
 }
 
 /// One `scenarios` row of the shared `BENCH_*.json` schema: every
@@ -920,9 +1169,9 @@ fn bench_json() {
     let tf_new = time_ns(|| {
         let machine = layout.machine();
         let mut rng = StdRng::seed_from_u64(6);
-        let mut eng = ContractionEngine::new(&t, &layout, &machine, &values, true);
-        eng.contract(&mut rng);
-        eng.uncontract_bottom_up()[0].0
+        let mut eng = ContractionEngine::new(&t, &layout, &values, true);
+        eng.contract(&machine, &mut rng);
+        eng.uncontract_bottom_up(&machine)[0].0
     });
     let tf_ref = time_ns(|| {
         let machine = layout.machine();

@@ -11,11 +11,12 @@
 
 use std::path::PathBuf;
 
-const FILES: [&str; 4] = [
+const FILES: [&str; 5] = [
     "BENCH_sfc_treefix.json",
     "BENCH_lca_mincut.json",
     "BENCH_layout.json",
     "BENCH_pram.json",
+    "BENCH_service.json",
 ];
 
 /// Keys every scenarios row must carry, in every file.
@@ -88,6 +89,41 @@ fn every_bench_file_shares_the_scenarios_schema() {
             );
         }
     }
+}
+
+#[test]
+fn service_file_shows_the_session_reuse_win() {
+    // The PR 5 acceptance bar, checked against the committed data:
+    // mixed-batch engine reuse through `SpatialForest` beats per-query
+    // fresh-engine builds by at least 1.5x, and the crossover scenario
+    // prices the PRAM shadow strictly above the spatial run.
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_service.json"))
+        .expect("BENCH_service.json checked in");
+    let row = text
+        .lines()
+        .find(|l| l.contains("\"name\": \"service_mixed_2^13_reuse_vs_fresh_engines\""))
+        .expect("fresh-engines result row");
+    let needle = "\"speedup\": ";
+    let at = row.find(needle).expect("speedup field");
+    let speedup: f64 = row[at + needle.len()..]
+        .trim_end_matches(['}', ',', ' '])
+        .parse()
+        .expect("numeric speedup");
+    assert!(
+        speedup >= 1.5,
+        "mixed-batch reuse must beat per-query fresh engines by >= 1.5x, committed {speedup}"
+    );
+
+    let crossover: Vec<u64> = text
+        .lines()
+        .filter(|l| l.contains("\"scenario\": \"service_sums_crossover\""))
+        .map(|l| numeric_value(l, "energy"))
+        .collect();
+    assert_eq!(crossover.len(), 2, "spatial + pram crossover rows");
+    assert!(
+        crossover[1] > crossover[0],
+        "PRAM shadow must cost more energy: {crossover:?}"
+    );
 }
 
 #[test]

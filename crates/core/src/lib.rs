@@ -19,6 +19,7 @@
 //! | §V treefix sums | [`treefix`] | [`treefix::treefix_bottom_up`], [`treefix::treefix_top_down`] |
 //! | §VI batched LCA | [`lca`] | [`lca::batched_lca`] |
 //! | §I-C PRAM baseline | [`pram`] | [`pram::pram_subtree_sums`] |
+//! | session layer (serving) | [`session`] | [`session::SpatialForest`], [`session::QueryBatch`] |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use spatial_messaging as messaging;
 pub use spatial_mincut as mincut;
 pub use spatial_model as model;
 pub use spatial_pram as pram;
+pub use spatial_session as session;
 pub use spatial_sfc as sfc;
 pub use spatial_tree as tree;
 pub use spatial_treefix as treefix;
@@ -55,7 +57,8 @@ pub mod prelude {
     pub use crate::SpatialTree;
     pub use spatial_layout::{Layout, LayoutKind};
     pub use spatial_lca::{batched_lca, LcaResult};
-    pub use spatial_model::{CostReport, CurveKind, Machine};
+    pub use spatial_model::{CostReport, CurveKind, EngineLifecycle, Machine};
+    pub use spatial_session::{QueryBatch, Request, Response, SpatialForest};
     pub use spatial_tree::{NodeId, Tree};
     pub use spatial_treefix::{Add, CommutativeMonoid, Max, Min};
 }

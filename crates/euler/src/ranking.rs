@@ -37,7 +37,7 @@
 
 use rand::Rng;
 use rayon::prelude::*;
-use spatial_model::{Machine, RoundCharger, Slot};
+use spatial_model::{EngineLifecycle, Machine, RoundCharger, Slot};
 
 /// Sentinel for "end of list" (same convention as the tour darts).
 pub const END: u32 = u32::MAX;
@@ -150,6 +150,9 @@ pub struct RankingEngine {
     alive0: Vec<u32>,
     /// Contract until at most this many elements remain.
     threshold: usize,
+    /// Largest element count the retained buffers have ever served;
+    /// bindings at or below this never allocate.
+    cap: usize,
 
     // ---- Per-run mutable state (reset at the top of `rank`). ----
     nxt: Vec<u32>,
@@ -179,37 +182,77 @@ impl RankingEngine {
     /// All arrays are allocated here; [`RankingEngine::rank`] never
     /// allocates.
     pub fn new(next: &[u32], start: u32) -> Self {
-        let n = next.len();
-        let membership = if start == END {
-            vec![false; n]
-        } else {
-            list_membership(next, start)
-        };
-        let alive0: Vec<u32> = (0..n as u32).filter(|&v| membership[v as usize]).collect();
-        let list_len = alive0.len();
-        let threshold = (2 * (usize::BITS - list_len.leading_zeros()) as usize).max(4);
+        let mut engine = Self::with_capacity(next.len());
+        engine.bind(next, start);
+        engine
+    }
+
+    /// An unbound engine whose buffers are pre-sized for lists of up to
+    /// `cap` elements; [`RankingEngine::bind`] calls within the
+    /// capacity never allocate.
+    pub fn with_capacity(cap: usize) -> Self {
         RankingEngine {
-            next0: next.to_vec(),
-            start,
-            alive0,
-            threshold,
-            nxt: vec![END; n],
-            prev: vec![END; n],
-            weight: vec![1u64; n],
-            coin: vec![false; n],
-            dead: vec![false; n],
-            alive: Vec::with_capacity(list_len),
-            ranks: vec![UNRANKED; n],
-            splice_mid: Vec::with_capacity(list_len),
-            splice_left: Vec::with_capacity(list_len),
-            splice_weight: Vec::with_capacity(list_len),
+            next0: Vec::with_capacity(cap),
+            start: END,
+            alive0: Vec::with_capacity(cap),
+            threshold: 4,
+            cap,
+            nxt: Vec::with_capacity(cap),
+            prev: Vec::with_capacity(cap),
+            weight: Vec::with_capacity(cap),
+            coin: Vec::with_capacity(cap),
+            dead: Vec::with_capacity(cap),
+            alive: Vec::with_capacity(cap),
+            ranks: Vec::with_capacity(cap),
+            splice_mid: Vec::with_capacity(cap),
+            splice_left: Vec::with_capacity(cap),
+            splice_weight: Vec::with_capacity(cap),
             // Every round appends one end offset, including rounds that
             // splice nothing; the capacity is a generous bound on the
             // O(log n) w.h.p. round count.
-            round_ends: Vec::with_capacity(list_len + 64),
-            selected: Vec::with_capacity(list_len),
+            round_ends: Vec::with_capacity(cap + 64),
+            selected: Vec::with_capacity(cap),
             rounds: 0,
         }
+    }
+
+    /// Loads a new list into the retained buffers, restarting the run
+    /// cycle — **zero heap allocation** whenever `next.len()` is within
+    /// the engine's capacity (grow first with
+    /// [`EngineLifecycle::reserve`]).
+    pub fn bind(&mut self, next: &[u32], start: u32) {
+        let n = next.len();
+        self.cap = self.cap.max(n);
+        self.next0.clear();
+        self.next0.extend_from_slice(next);
+        self.start = start;
+        // Membership walk through the retained coin buffer (reset to
+        // all-false first; `coin` is otherwise per-round scratch).
+        self.coin.clear();
+        self.coin.resize(n, false);
+        if start != END {
+            let mut at = start;
+            while at != END {
+                debug_assert!(!self.coin[at as usize], "cycle in list");
+                self.coin[at as usize] = true;
+                at = next[at as usize];
+            }
+        }
+        self.alive0.clear();
+        let coin = &self.coin;
+        self.alive0
+            .extend((0..n as u32).filter(|&v| coin[v as usize]));
+        let list_len = self.alive0.len();
+        self.threshold = (2 * (usize::BITS - list_len.leading_zeros()) as usize).max(4);
+        // Per-run arrays track the element count (`resize` both grows
+        // and shrinks); `reset_run` (called at the top of every
+        // `rank`) fills them.
+        self.nxt.resize(n, END);
+        self.prev.resize(n, END);
+        self.weight.resize(n, 1);
+        self.dead.resize(n, false);
+        self.ranks.resize(n, UNRANKED);
+        self.rounds = 0;
     }
 
     /// Number of elements on the list.
@@ -223,8 +266,11 @@ impl RankingEngine {
         &self.ranks
     }
 
-    /// Resets the per-run state to the pristine list.
-    fn reset(&mut self) {
+    /// Resets the per-run state to the pristine list. (Named apart
+    /// from [`EngineLifecycle::reset`]: a private inherent `reset`
+    /// would shadow the trait method and make `engine.reset()` a
+    /// private-method error for downstream callers.)
+    fn reset_run(&mut self) {
         self.nxt.copy_from_slice(&self.next0);
         self.prev.fill(END);
         for &v in &self.alive0 {
@@ -269,7 +315,7 @@ impl RankingEngine {
     ) -> u32 {
         let n = self.next0.len();
         assert!(n as u32 <= m.n_slots(), "need one slot per list element");
-        self.reset();
+        self.reset_run();
         if self.start == END {
             return 0;
         }
@@ -381,6 +427,43 @@ impl RankingEngine {
     }
 }
 
+impl EngineLifecycle for RankingEngine {
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn reserve(&mut self, cap: usize) {
+        if cap <= self.cap {
+            return;
+        }
+        fn grow<T>(buf: &mut Vec<T>, cap: usize) {
+            buf.reserve(cap.saturating_sub(buf.len()));
+        }
+        grow(&mut self.next0, cap);
+        grow(&mut self.alive0, cap);
+        grow(&mut self.nxt, cap);
+        grow(&mut self.prev, cap);
+        grow(&mut self.weight, cap);
+        grow(&mut self.coin, cap);
+        grow(&mut self.dead, cap);
+        grow(&mut self.alive, cap);
+        grow(&mut self.ranks, cap);
+        grow(&mut self.splice_mid, cap);
+        grow(&mut self.splice_left, cap);
+        grow(&mut self.splice_weight, cap);
+        grow(&mut self.round_ends, cap + 64);
+        grow(&mut self.selected, cap);
+        self.cap = cap;
+    }
+
+    fn reset(&mut self) {
+        self.next0.clear();
+        self.alive0.clear();
+        self.start = END;
+        self.rounds = 0;
+    }
+}
+
 /// Spatial list ranking by random-mate contraction (§IV, Theorem 5).
 ///
 /// Element `i` of the list lives at machine slot `i`; the machine must
@@ -443,6 +526,29 @@ mod tests {
         let m = Machine::on_curve(CurveKind::Hilbert, 4);
         let r = rank_spatial(&m, &[END, END], END, &mut StdRng::seed_from_u64(0));
         assert_eq!(r.ranks, vec![UNRANKED, UNRANKED]);
+    }
+
+    #[test]
+    fn rebinding_across_lists_matches_fresh_engines() {
+        // One pooled engine rebound across lists of sizes n, 2n+3, 5
+        // ranks and charges exactly like a fresh engine per list.
+        let n0 = 100usize;
+        let mut engine = RankingEngine::with_capacity(n0);
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [n0, 2 * n0 + 3, 5, n0] {
+            let (next, start) = random_list(n, &mut rng);
+            engine.reserve(n);
+            engine.bind(&next, start);
+            let m_pooled = Machine::on_curve(CurveKind::Hilbert, n as u32);
+            let rounds = engine.rank(&m_pooled, &mut StdRng::seed_from_u64(5));
+            let mut fresh = RankingEngine::new(&next, start);
+            let m_fresh = Machine::on_curve(CurveKind::Hilbert, n as u32);
+            let fresh_rounds = fresh.rank(&m_fresh, &mut StdRng::seed_from_u64(5));
+            assert_eq!(engine.ranks(), fresh.ranks(), "n={n}");
+            assert_eq!(rounds, fresh_rounds, "n={n}");
+            assert_eq!(m_pooled.report(), m_fresh.report(), "n={n}");
+            assert_eq!(engine.ranks(), &rank_sequential(&next, start)[..], "n={n}");
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use rand::Rng;
 use spatial_euler::ranking::RankingEngine;
 use spatial_euler::tour::{ChildOrder, EulerTour};
-use spatial_model::{CostReport, LocalCharge, LocalChargeScratch, Machine, Slot};
+use spatial_model::{CostReport, EngineLifecycle, LocalCharge, LocalChargeScratch, Machine, Slot};
 use spatial_sfc::CurveKind;
 use spatial_tree::{ChildrenCsr, NodeId, Tree};
 
@@ -174,6 +174,9 @@ fn run_scan(lc: &mut LocalCharge, a: &mut [u64], levels: &[(u64, u64)]) {
 pub struct LayoutEngine {
     curve_kind: CurveKind,
     n: u32,
+    /// Largest vertex count the per-run buffers have been reserved for
+    /// (`≥ n`; grown by [`EngineLifecycle::reserve`]).
+    cap: usize,
     root: NodeId,
     /// Dart machine (2 slots per vertex, input placement), reused for
     /// phases 1–2 with a reset in between.
@@ -241,6 +244,7 @@ impl LayoutEngine {
         LayoutEngine {
             curve_kind,
             n,
+            cap: n as usize,
             root: tree.root(),
             m_dart,
             m_curve,
@@ -417,6 +421,36 @@ impl LayoutEngine {
             permute_phase,
             ranking_rounds: (rounds1, rounds2),
         }
+    }
+}
+
+impl EngineLifecycle for LayoutEngine {
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The layout engine's structure (tours, rankings, network levels)
+    /// is inherently per-tree, so there is no rebind: `reserve` grows
+    /// only the per-run buffers (useful when the pool replaces the
+    /// engine for a larger tree and wants the staging pre-sized), and a
+    /// reconstruction via [`LayoutEngine::new`] is the real "bind".
+    fn reserve(&mut self, cap: usize) {
+        if cap <= self.cap {
+            return;
+        }
+        let padded = cap.next_power_of_two();
+        fn grow<T>(buf: &mut Vec<T>, cap: usize) {
+            buf.reserve(cap.saturating_sub(buf.len()));
+        }
+        grow(&mut self.packed, padded);
+        grow(&mut self.scan_buf, padded);
+        grow(&mut self.order, cap);
+        grow(&mut self.pos, cap);
+        self.cap = cap;
+    }
+
+    fn reset(&mut self) {
+        self.order.clear();
     }
 }
 

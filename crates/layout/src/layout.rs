@@ -294,6 +294,69 @@ mod tests {
     }
 
     #[test]
+    fn zero_node_layout_on_every_curve() {
+        // 0-node layouts must behave identically across curve families:
+        // capacity 0 rounds up to the 1-cell curve everywhere (the
+        // simple families used to reject side 0 while the fractal
+        // families rounded up).
+        for kind in spatial_sfc::CurveKind::ALL {
+            let l = Layout::from_order_with_capacity(kind, vec![], 0);
+            assert_eq!(l.n(), 0, "{kind}");
+            assert_eq!(l.capacity(), 1, "{kind}");
+            assert_eq!(l.order(), &[] as &[NodeId], "{kind}");
+            assert!(l.grid_points().is_empty(), "{kind}");
+            // The single reserved cell accepts exactly one append.
+            let mut l = l;
+            assert_eq!(l.append_tail(0), 0, "{kind}");
+            assert_eq!(l.n(), 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn zero_node_set_order_roundtrip() {
+        let mut l = Layout::from_order(CurveKind::Hilbert, vec![]);
+        l.set_order(&[]);
+        assert_eq!(l.n(), 0);
+        assert_eq!(l.machine().n_slots(), 0);
+    }
+
+    #[test]
+    fn one_node_layout_with_capacity_one() {
+        let l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![0], 1);
+        assert_eq!(l.n(), 1);
+        assert_eq!(l.capacity(), 1);
+        assert_eq!(l.slot(0), 0);
+        assert_eq!(l.point(0), spatial_sfc::GridPoint { x: 0, y: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "no reserved tail slot")]
+    fn one_node_full_curve_rejects_append() {
+        let mut l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![0], 1);
+        l.append_tail(1);
+    }
+
+    #[test]
+    fn capacity_equals_len_fills_to_curve_boundary() {
+        // capacity == len: the requested capacity is exhausted, but the
+        // curve's side rounding may leave real tail cells — appends must
+        // succeed exactly up to the curve boundary and panic after.
+        let l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![2, 0, 1], 3);
+        assert_eq!(l.capacity(), 4, "side rounds 3 up to a 2x2 grid");
+        let mut l = l;
+        assert_eq!(l.append_tail(3), 3);
+        assert_eq!(l.n() as u64, l.capacity());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| l.append_tail(4)));
+        assert!(r.is_err(), "append past the curve boundary must panic");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity below vertex count")]
+    fn rejects_capacity_below_len() {
+        let _ = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![0, 1, 2], 2);
+    }
+
+    #[test]
     #[should_panic(expected = "ids must be dense")]
     fn append_tail_rejects_sparse_ids() {
         let mut l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![0, 1], 16);

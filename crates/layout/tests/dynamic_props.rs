@@ -12,7 +12,6 @@ use proptest::prelude::*;
 use rand::prelude::*;
 use spatial_layout::{local_kernel_energy, DynamicLayout, Layout};
 use spatial_model::CurveKind;
-use spatial_tree::generators;
 
 /// Always-fresh oracle: kernel energy of a from-scratch light-first
 /// layout of the dynamic layout's current tree.
@@ -30,11 +29,11 @@ proptest! {
     /// ratio of ~0.7·c), and the post-check invariant holds throughout.
     #[test]
     fn prop_stream_energy_within_c_factor(
+        base in spatial_tree::strategies::arb_tree_sized(2, 150),
         seed in 0u64..10_000,
         factor_i in 0usize..3,
     ) {
         let factor = [2.0f64, 4.0, 8.0][factor_i];
-        let base = generators::uniform_random(150, &mut StdRng::seed_from_u64(seed));
         let mut dl = DynamicLayout::new(&base, CurveKind::Hilbert, factor);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
 
@@ -64,11 +63,13 @@ proptest! {
     /// (a constant per capacity doubling per log_c of fresh-energy
     /// growth), and strictly decreasing in the tolerance factor.
     #[test]
-    fn prop_rebuild_count_logarithmic(seed in 0u64..10_000) {
-        let base = generators::uniform_random(150, &mut StdRng::seed_from_u64(seed));
+    fn prop_rebuild_count_logarithmic(
+        base in spatial_tree::strategies::arb_tree_sized(2, 150),
+        seed in 0u64..10_000,
+    ) {
         let parents: Vec<u32> = {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
-            (150..600).map(|n| rng.gen_range(0..n)).collect()
+            (base.n()..base.n() + 450).map(|n| rng.gen_range(0..n)).collect()
         };
         let run = |factor: f64| {
             let mut dl = DynamicLayout::new(&base, CurveKind::Hilbert, factor);

@@ -5,8 +5,10 @@
 //! algorithm — subtree sizes, light-first child CSR, the TRANSFORM
 //! relay schedule, the heavy-path decomposition, and the layer-indexed
 //! CSR [`SubtreeCover`] — from the per-run work. [`LcaEngine::new`]
-//! computes the structure once; [`LcaEngine::run`] then answers any
-//! number of query batches, charging exactly the costs of §VI-C:
+//! (or [`LcaEngine::bind`], which reuses the retained buffers of an
+//! existing engine) computes the structure once per tree;
+//! [`LcaEngine::run`] then answers any number of query batches,
+//! charging exactly the costs of §VI-C:
 //!
 //! 1. one bottom-up treefix (subtree sizes → ranges; Theorem 6 step 1),
 //! 2. the virtual-tree construction + two range/heavy-child broadcasts
@@ -21,7 +23,13 @@
 //! most `O(log n)` cover subtrees containing it) instead of rescanning
 //! the whole batch once per layer. Costs: `O(n log n)` energy and
 //! `O(log² n)` depth w.h.p. for `O(1)` queries per vertex (Theorem 6).
-//! The seed implementation is retained as
+//!
+//! The engine owns everything it needs — tree structure is copied into
+//! flat arrays at bind — so the session layer's pool can hold one
+//! engine across tree mutations. Both treefix passes run on retained,
+//! rebindable [`ContractionEngine`]s, so [`LcaEngine::run_into`]
+//! performs **zero heap allocation** (the answers land in a
+//! caller-retained buffer). The seed implementation is retained as
 //! [`crate::reference::batched_lca_reference`]; the differential suite
 //! pins this engine to it bit for bit (answers, stats, charges).
 
@@ -29,7 +37,7 @@ use crate::cover::SubtreeCover;
 use rand::Rng;
 use spatial_layout::Layout;
 use spatial_messaging::{BroadcastSchedule, VirtualTree};
-use spatial_model::{collectives, LocalChargeScratch, Machine};
+use spatial_model::{collectives, EngineLifecycle, LocalChargeScratch, Machine, Slot};
 use spatial_tree::{ChildrenCsr, HeavyPathDecomposition, NodeId, Tree, NIL};
 use spatial_treefix::contraction::ContractionEngine;
 use spatial_treefix::Add;
@@ -54,13 +62,15 @@ pub struct LcaResult {
     pub stats: LcaStats,
 }
 
-/// The reusable batched-LCA engine: structure once, any number of
-/// query batches.
-pub struct LcaEngine<'a> {
-    tree: &'a Tree,
-    layout: &'a Layout,
-
-    // ---- Rng-independent structure, computed once. ----
+/// The rng-independent per-tree structure of the engine, rebuilt by
+/// [`LcaEngine::bind`].
+struct Structure {
+    n: u32,
+    /// Parent of every vertex ([`NIL`] at the root) — the only tree
+    /// shape the resolution walks need.
+    parents: Vec<NodeId>,
+    /// Machine slot of every vertex, copied from the layout.
+    slots: Vec<Slot>,
     /// Host-side subtree sizes (step 1 recomputes and charges them on
     /// the machine; the values are identical by exactness).
     sizes: Vec<u32>,
@@ -78,23 +88,17 @@ pub struct LcaEngine<'a> {
     ones: Vec<Add>,
     /// Step-3 treefix input (light-edge indicator).
     indicator: Vec<Add>,
-
-    // ---- Reusable scratch (allocated once, cleared per use). ----
-    /// Clock snapshot + round staging for the local charging sessions
-    /// (steps 2 and 4).
-    clock_scratch: LocalChargeScratch,
-    /// Head chains of the two query endpoints, indexed by layer.
-    chain_a: Vec<NodeId>,
-    chain_b: Vec<NodeId>,
 }
 
-impl<'a> LcaEngine<'a> {
-    /// Precomputes the engine's structure for one tree + layout pair.
-    /// The tree must be stored in an energy-bound light-first layout
-    /// (cover subtrees must be contiguous slot ranges).
-    pub fn new(layout: &'a Layout, tree: &'a Tree) -> Self {
+impl Structure {
+    fn build(layout: &Layout, tree: &Tree) -> Self {
         let n = tree.n();
         assert_eq!(layout.n(), n, "layout size mismatch");
+        debug_assert_eq!(
+            spatial_tree::traversal::verify_light_first(tree, layout.order()),
+            Ok(()),
+            "batched LCA requires a light-first layout"
+        );
         let sizes = tree.subtree_sizes();
         let csr = ChildrenCsr::by_size(tree, &sizes);
         let vt = VirtualTree::with_sizes(tree, &sizes);
@@ -109,10 +113,10 @@ impl<'a> LcaEngine<'a> {
             })
             .collect();
         let cover = SubtreeCover::new(tree, layout, &decomposition, &sizes);
-        let num_layers = cover.num_layers() as usize;
-        LcaEngine {
-            tree,
-            layout,
+        Structure {
+            n,
+            parents: tree.parents().to_vec(),
+            slots: (0..n).map(|v| layout.slot(v)).collect(),
             sizes,
             csr,
             schedule,
@@ -121,95 +125,160 @@ impl<'a> LcaEngine<'a> {
             cover,
             ones: vec![Add(1); n as usize],
             indicator,
-            clock_scratch: LocalChargeScratch::with_capacity(n as usize, n as usize),
+        }
+    }
+}
+
+/// The reusable batched-LCA engine: structure once per tree, any
+/// number of query batches; rebindable to new trees through the
+/// session pool's `reset/reserve/run` lifecycle.
+pub struct LcaEngine {
+    structure: Structure,
+
+    // ---- Retained per-run engines and scratch. ----
+    /// Step-1 bottom-up treefix (subtree sizes), rebound per run.
+    tf1: ContractionEngine<Add>,
+    /// Step-3 top-down treefix (layers), rebound per run.
+    tf3: ContractionEngine<Add>,
+    /// Clock snapshot + round staging for the local charging sessions
+    /// (steps 2 and 4).
+    clock_scratch: LocalChargeScratch,
+    /// Head chains of the two query endpoints, indexed by layer.
+    chain_a: Vec<NodeId>,
+    chain_b: Vec<NodeId>,
+}
+
+impl LcaEngine {
+    /// Precomputes the engine's structure for one tree + layout pair.
+    /// The tree must be stored in an energy-bound light-first layout
+    /// (cover subtrees must be contiguous slot ranges).
+    pub fn new(layout: &Layout, tree: &Tree) -> Self {
+        let structure = Structure::build(layout, tree);
+        let n = structure.n as usize;
+        let num_layers = structure.cover.num_layers() as usize;
+        LcaEngine {
+            structure,
+            tf1: ContractionEngine::with_capacity(n),
+            tf3: ContractionEngine::with_capacity(n),
+            clock_scratch: LocalChargeScratch::with_capacity(n, n),
             chain_a: Vec::with_capacity(num_layers),
             chain_b: Vec::with_capacity(num_layers),
         }
     }
 
+    /// Rebinds the engine to a (possibly different, possibly larger)
+    /// tree + layout pair, rebuilding the per-tree structure while
+    /// keeping the retained treefix engines and scratch — the pool
+    /// path after a tree mutation. Runs stay allocation-free;
+    /// rebinding itself allocates the new structure.
+    pub fn bind(&mut self, layout: &Layout, tree: &Tree) {
+        self.structure = Structure::build(layout, tree);
+        let n = self.structure.n as usize;
+        self.tf1.reserve(n);
+        self.tf3.reserve(n);
+    }
+
     /// The subtree cover the engine routes queries through.
     pub fn cover(&self) -> &SubtreeCover {
-        &self.cover
+        &self.structure.cover
     }
 
     /// The light-first child CSR (shared with callers that run further
     /// treefix passes over the same tree, e.g. the min-cut pipeline).
     pub fn children_csr(&self) -> &ChildrenCsr {
-        &self.csr
+        &self.structure.csr
     }
 
     /// Whether `partner`'s slot lies in `r(parent(root)) \ r(root)` —
     /// the Corollary 3 resolution test; returns the answer `w`.
     #[inline]
     fn resolve(&self, root: NodeId, partner: NodeId) -> Option<NodeId> {
-        let w = self.tree.parent(root)?;
-        let wlo = self.layout.slot(w);
-        let whi = wlo + self.sizes[w as usize];
-        let lo = self.layout.slot(root);
-        let hi = lo + self.sizes[root as usize];
-        let ps = self.layout.slot(partner);
+        let s = &self.structure;
+        let w = s.parents[root as usize];
+        if w == NIL {
+            return None;
+        }
+        let wlo = s.slots[w as usize];
+        let whi = wlo + s.sizes[w as usize];
+        let lo = s.slots[root as usize];
+        let hi = lo + s.sizes[root as usize];
+        let ps = s.slots[partner as usize];
         (wlo <= ps && ps < whi && !(lo <= ps && ps < hi)).then_some(w)
     }
 
     /// Fills `chain` so `chain[li]` is the head of the layer-`li` cover
     /// subtree containing `v`, for `li = 0 ..= layer[v]` (every vertex
     /// lies in exactly one subtree per layer up to its own).
-    fn fill_chain(head: &[NodeId], layer: &[u32], tree: &Tree, chain: &mut Vec<NodeId>, v: NodeId) {
+    fn fill_chain(
+        head: &[NodeId],
+        layer: &[u32],
+        parents: &[NodeId],
+        chain: &mut Vec<NodeId>,
+        v: NodeId,
+    ) {
         chain.clear();
         chain.resize(layer[v as usize] as usize + 1, NIL);
         let mut x = v;
         loop {
             let h = head[x as usize];
             chain[layer[h as usize] as usize] = h;
-            match tree.parent(h) {
-                None => break,
-                Some(p) => x = p,
+            match parents[h as usize] {
+                NIL => break,
+                p => x = p,
             }
         }
     }
 
     /// Answers one batch of LCA queries, charging the full §VI-C cost
     /// on `machine`. The random seed affects only costs (the Las Vegas
-    /// treefix rounds), never answers.
+    /// treefix rounds), never answers. Allocates only the returned
+    /// result; [`LcaEngine::run_into`] is the allocation-free variant.
     pub fn run<R: Rng>(
         &mut self,
         machine: &Machine,
         queries: &[(NodeId, NodeId)],
         rng: &mut R,
     ) -> LcaResult {
-        let n = self.tree.n();
-        debug_assert_eq!(
-            spatial_tree::traversal::verify_light_first(self.tree, self.layout.order()),
-            Ok(()),
-            "batched LCA requires a light-first layout"
-        );
+        let mut answers = Vec::new();
+        let stats = self.run_into(machine, queries, &mut answers, rng);
+        LcaResult { answers, stats }
+    }
+
+    /// [`LcaEngine::run`] into a caller-retained answer buffer:
+    /// performs **zero heap allocation** once `answers` has grown to
+    /// the batch size (the session layer's steady state).
+    pub fn run_into<R: Rng>(
+        &mut self,
+        machine: &Machine,
+        queries: &[(NodeId, NodeId)],
+        answers: &mut Vec<NodeId>,
+        rng: &mut R,
+    ) -> LcaStats {
+        let s = &self.structure;
+        let n = s.n;
+        assert!(n > 0, "bind() a tree first");
 
         // ---- Step 1: subtree sizes (bottom-up treefix), ranges, and ----
         // ---- ancestor/descendant answers.                           ----
-        let mut tf1 = ContractionEngine::with_children_csr(
-            self.tree,
-            self.layout,
-            machine,
-            &self.ones,
-            true,
-            &self.csr,
-        );
-        let stats1 = tf1.contract(rng);
-        let tf1_values = tf1.uncontract_bottom_up();
+        self.tf1
+            .bind_parts(&s.parents, &s.slots, &s.csr, &s.ones, true);
+        let stats1 = self.tf1.contract(machine, rng);
+        let tf1_values = self.tf1.uncontract_bottom_up(machine);
         debug_assert!(
             tf1_values
                 .iter()
                 .map(|a| a.0 as u32)
-                .eq(self.sizes.iter().copied()),
+                .eq(s.sizes.iter().copied()),
             "treefix sizes must match the host sizes"
         );
 
         let in_range = |v: NodeId, w: NodeId| -> bool {
-            let s = self.layout.slot(v);
-            let lo = self.layout.slot(w);
-            lo <= s && s < lo + self.sizes[w as usize]
+            let sv = s.slots[v as usize];
+            let lo = s.slots[w as usize];
+            lo <= sv && sv < lo + s.sizes[w as usize]
         };
-        let mut answers = vec![NIL; queries.len()];
+        answers.clear();
+        answers.resize(queries.len(), NIL);
         let mut answered_step1 = 0u32;
         for (qi, &(a, b)) in queries.iter().enumerate() {
             assert!(a < n && b < n, "query ({a}, {b}) out of range");
@@ -228,28 +297,22 @@ impl<'a> LcaEngine<'a> {
         // ---- indicator) — the precomputed CSR relay schedule,      ----
         // ---- replayed through a local charging session.            ----
         let mut lc = machine.begin_local_charge(&mut self.clock_scratch);
-        self.schedule.charge_construction_into(&mut lc);
-        self.schedule.charge_broadcast_into(&mut lc); // subtree ranges
-        self.schedule.charge_broadcast_into(&mut lc); // heavy-child ids
+        s.schedule.charge_construction_into(&mut lc);
+        s.schedule.charge_broadcast_into(&mut lc); // subtree ranges
+        s.schedule.charge_broadcast_into(&mut lc); // heavy-child ids
         lc.commit();
 
         // ---- Step 3: layers via top-down treefix over the light-edge ----
         // ---- indicator.                                              ----
-        let mut tf3 = ContractionEngine::with_children_csr(
-            self.tree,
-            self.layout,
-            machine,
-            &self.indicator,
-            false,
-            &self.csr,
-        );
-        let stats3 = tf3.contract(rng);
-        let tf3_values = tf3.uncontract_top_down(&self.indicator);
+        self.tf3
+            .bind_parts(&s.parents, &s.slots, &s.csr, &s.indicator, false);
+        let stats3 = self.tf3.contract(machine, rng);
+        let tf3_values = self.tf3.uncontract_top_down(machine, &s.indicator);
         debug_assert!(
             tf3_values
                 .iter()
                 .map(|a| a.0 as u32)
-                .eq(self.layer.iter().copied()),
+                .eq(s.layer.iter().copied()),
             "treefix layers must match the host decomposition"
         );
 
@@ -257,8 +320,8 @@ impl<'a> LcaEngine<'a> {
         // ---- cover subtree (Lemma 13) and barrier — one local       ----
         // ---- charging session for the whole phase.                  ----
         let mut lc = machine.begin_local_charge(&mut self.clock_scratch);
-        for li in 0..self.cover.num_layers() {
-            let (los, his) = self.cover.layer_ranges(li);
+        for li in 0..s.cover.num_layers() {
+            let (los, his) = s.cover.layer_ranges(li);
             for (&lo, &hi) in los.iter().zip(his.iter()) {
                 if hi - lo >= 2 {
                     collectives::range_broadcast_local(&mut lc, lo, hi);
@@ -276,9 +339,10 @@ impl<'a> LcaEngine<'a> {
             if answers[qi] != NIL {
                 continue;
             }
-            Self::fill_chain(&self.head, &self.layer, self.tree, &mut self.chain_a, a);
-            Self::fill_chain(&self.head, &self.layer, self.tree, &mut self.chain_b, b);
-            let (la, lb) = (self.layer[a as usize], self.layer[b as usize]);
+            let s = &self.structure;
+            Self::fill_chain(&s.head, &s.layer, &s.parents, &mut self.chain_a, a);
+            Self::fill_chain(&s.head, &s.layer, &s.parents, &mut self.chain_b, b);
+            let (la, lb) = (s.layer[a as usize], s.layer[b as usize]);
             for li in 0..=la.max(lb) as usize {
                 if li <= la as usize {
                     if let Some(w) = self.resolve(self.chain_a[li], b) {
@@ -300,14 +364,28 @@ impl<'a> LcaEngine<'a> {
             "Corollary 3 guarantees every query resolves"
         );
 
-        LcaResult {
-            answers,
-            stats: LcaStats {
-                layers: self.cover.num_layers(),
-                answered_step1,
-                treefix_rounds: (stats1.compact_rounds, stats3.compact_rounds),
-            },
+        LcaStats {
+            layers: self.structure.cover.num_layers(),
+            answered_step1,
+            treefix_rounds: (stats1.compact_rounds, stats3.compact_rounds),
         }
+    }
+}
+
+impl EngineLifecycle for LcaEngine {
+    fn capacity(&self) -> usize {
+        self.tf1.capacity()
+    }
+
+    fn reserve(&mut self, cap: usize) {
+        self.tf1.reserve(cap);
+        self.tf3.reserve(cap);
+    }
+
+    fn reset(&mut self) {
+        self.structure.n = 0;
+        self.tf1.reset();
+        self.tf3.reset();
     }
 }
 
@@ -438,6 +516,39 @@ mod tests {
                 (0, Some(f)) => assert_eq!(&res.answers, f, "repeat batch diverged"),
                 _ => {}
             }
+        }
+    }
+
+    #[test]
+    fn rebinding_across_trees_matches_fresh_engines() {
+        // One pooled engine rebound across trees of sizes n, 2n+3, 5
+        // answers and charges exactly like a fresh engine per tree.
+        let n0 = 150u32;
+        let mut engine: Option<LcaEngine> = None;
+        for (i, n) in [n0, 2 * n0 + 3, 5].into_iter().enumerate() {
+            let t = generators::uniform_random(n, &mut StdRng::seed_from_u64(50 + i as u64));
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let queries = random_queries(n, (n / 2) as usize, &mut StdRng::seed_from_u64(60));
+            let engine = match engine.as_mut() {
+                None => engine.insert(LcaEngine::new(&layout, &t)),
+                Some(e) => {
+                    e.bind(&layout, &t);
+                    e
+                }
+            };
+            let m_pooled = layout.machine();
+            let res = engine.run(&m_pooled, &queries, &mut StdRng::seed_from_u64(70));
+            let m_fresh = layout.machine();
+            let fresh = batched_lca(
+                &m_fresh,
+                &layout,
+                &t,
+                &queries,
+                &mut StdRng::seed_from_u64(70),
+            );
+            assert_eq!(res.answers, fresh.answers, "n={n}");
+            assert_eq!(res.stats, fresh.stats, "n={n}");
+            assert_eq!(m_pooled.report(), m_fresh.report(), "n={n}");
         }
     }
 

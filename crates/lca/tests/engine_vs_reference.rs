@@ -153,18 +153,17 @@ fn engine_reuse_charges_like_fresh_runs() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Arbitrary random trees, batch sizes, and seeds: answers, stats,
-    /// and charges all identical; answers match the oracle.
+    /// Arbitrary trees (every family via the shared strategy), batch
+    /// sizes, and seeds: answers, stats, and charges all identical;
+    /// answers match the oracle.
     #[test]
     fn prop_engine_identical_to_reference(
-        n in 2u32..300,
-        tree_seed in 0u64..10_000,
+        t in spatial_tree::strategies::arb_tree(300),
         query_seed in 0u64..10_000,
         algo_seed in 0u64..10_000,
         q in 0usize..120,
     ) {
-        let t = generators::uniform_random(n, &mut StdRng::seed_from_u64(tree_seed));
-        let queries = random_queries(n, q, query_seed);
+        let queries = random_queries(t.n(), q, query_seed);
         compare(&t, &queries, algo_seed, CurveKind::Hilbert);
     }
 

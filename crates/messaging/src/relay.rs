@@ -179,6 +179,20 @@ impl RelayScratch {
             group_len: Vec::with_capacity(groups),
         }
     }
+
+    /// Grows the scratch to the [`RelayScratch::with_capacity`] shape
+    /// (never shrinks) — the engine-pool `reserve` hook, so a capacity
+    /// growth keeps later charged runs allocation-free.
+    pub fn reserve(&mut self, participants: usize, groups: usize) {
+        fn grow<T>(buf: &mut Vec<T>, cap: usize) {
+            buf.reserve(cap.saturating_sub(buf.len()));
+        }
+        grow(&mut self.msgs, participants + groups);
+        grow(&mut self.seg, participants + 1);
+        grow(&mut self.seg_next, participants + 1);
+        grow(&mut self.work, participants);
+        grow(&mut self.group_len, groups);
+    }
 }
 
 /// CSR variant of [`charge_broadcast_relays`]: group `g` broadcasts

@@ -53,7 +53,7 @@ pub struct MinCutPipeline<'a> {
     layout: &'a Layout,
     /// The batched-LCA engine over the spanning tree (absent when the
     /// graph has no non-tree edges — the LCA phase is skipped then).
-    lca: Option<LcaEngine<'a>>,
+    lca: Option<LcaEngine>,
     /// Light-first child CSR for the fused treefix when no LCA engine
     /// exists to share one.
     csr: Option<ChildrenCsr>,
@@ -123,10 +123,9 @@ impl<'a> MinCutPipeline<'a> {
             Some(engine) => engine.children_csr(),
             None => self.csr.as_ref().expect("csr built when lca is absent"),
         };
-        let mut treefix =
-            ContractionEngine::with_children_csr(tree, layout, machine, &values, true, csr);
-        treefix.contract(rng);
-        let sums = treefix.uncontract_bottom_up();
+        let mut treefix = ContractionEngine::with_children_csr(tree, layout, &values, true, csr);
+        treefix.contract(machine, rng);
+        let sums = treefix.uncontract_bottom_up(machine);
 
         // Step 4: each non-root vertex computes its cut locally.
         let cuts: Vec<u64> = (0..n)

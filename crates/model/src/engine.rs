@@ -1,0 +1,32 @@
+//! The uniform engine lifecycle of the session layer.
+//!
+//! Every retained engine in the workspace (`ContractionEngine`,
+//! `RankingEngine`, `LcaEngine`, `LayoutEngine`, `PramEngine`) separates
+//! a capacity — how many vertices/elements its flat buffers can serve
+//! without reallocating — from the binding — which concrete tree/list it
+//! currently answers for. The session layer's engine pool drives all of
+//! them through this one trait: grow with [`EngineLifecycle::reserve`]
+//! (amortized doubling, the only allocating step), invalidate with
+//! [`EngineLifecycle::reset`], and run through the engine's own
+//! `bind`/`run`-shaped entry points, which are allocation-free once the
+//! capacity suffices.
+
+/// The `reserve`/`reset` half of the uniform `reset/reserve/run` engine
+/// lifecycle. The `run` half stays on each engine's inherent API (the
+/// signatures differ — queries, values, machines), but capacity
+/// management is identical everywhere, which is what lets one pool hold
+/// heterogeneous engines.
+pub trait EngineLifecycle {
+    /// Number of vertices (or list elements) the retained buffers can
+    /// currently serve without reallocating.
+    fn capacity(&self) -> usize;
+
+    /// Grows the retained buffers so that bindings of up to `cap`
+    /// vertices are allocation-free. Never shrinks; a no-op when the
+    /// capacity already suffices.
+    fn reserve(&mut self, cap: usize);
+
+    /// Clears per-run results and the current binding, keeping every
+    /// retained buffer (and therefore the capacity).
+    fn reset(&mut self);
+}

@@ -26,9 +26,11 @@
 //! sorting network, which would otherwise dominate simulation time).
 
 pub mod collectives;
+pub mod engine;
 pub mod machine;
 pub mod report;
 
+pub use engine::EngineLifecycle;
 pub use machine::{
     LocalCharge, LocalChargeScratch, Machine, MachineBuilder, RoundCharger, Slot, TraceEvent,
 };

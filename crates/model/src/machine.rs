@@ -385,6 +385,15 @@ impl LocalChargeScratch {
             staging: Vec::with_capacity(round),
         }
     }
+
+    /// Grows the scratch to the [`LocalChargeScratch::with_capacity`]
+    /// shape (never shrinks) — the engine-pool `reserve` hook, so a
+    /// capacity growth keeps later sessions allocation-free.
+    pub fn reserve(&mut self, slots: usize, round: usize) {
+        self.clocks.reserve(slots.saturating_sub(self.clocks.len()));
+        self.staging
+            .reserve(round.saturating_sub(self.staging.len()));
+    }
 }
 
 /// A sink for communication-round charges: either the [`Machine`]

@@ -1,0 +1,617 @@
+//! [`SpatialForest`]: one tree + layout, pooled engines, mixed query
+//! batches in charge-batched sessions.
+
+use crate::batch::{Request, Response, SessionReport};
+use crate::pool::EnginePool;
+use rand::Rng;
+use spatial_euler::ranking::{END, UNRANKED};
+use spatial_euler::tour::{down, EulerTour};
+use spatial_layout::{DynamicLayout, DynamicStats, Layout, SpatialBuildReport};
+use spatial_model::{CurveKind, GridPoint, Machine, Slot};
+use spatial_sfc::Curve;
+use spatial_tree::{ChildrenCsr, NodeId, Tree};
+use spatial_treefix::Add;
+
+/// Construction options for [`SpatialForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct ForestOptions {
+    /// Space-filling curve family of the layout and machine.
+    pub curve: CurveKind,
+    /// Kernel-energy degradation factor before the dynamic layout
+    /// rebuilds itself (see [`DynamicLayout`]).
+    pub rebuild_factor: f64,
+    /// Crossover mode: shadow-price every subtree-sum session on the
+    /// §I-C PRAM simulation and report both ([`SessionReport::pram`]).
+    pub crossover: bool,
+    /// Base seed of the PRAM shadow engine's hashed cell placement.
+    pub pram_seed: u64,
+}
+
+impl Default for ForestOptions {
+    fn default() -> Self {
+        ForestOptions {
+            curve: CurveKind::Hilbert,
+            rebuild_factor: 2.0,
+            crossover: false,
+            pram_seed: 0x5eed_0f0e,
+        }
+    }
+}
+
+/// A tree held in a light-first layout with a pool of retained engines,
+/// serving mixed query batches. See the crate docs for the model and
+/// `DESIGN.md` for the lifecycle details.
+pub struct SpatialForest {
+    opts: ForestOptions,
+    /// The tree + its incrementally maintained layout (owns both).
+    dynamic: DynamicLayout,
+    /// Mutation epoch: bumped by every insert and forced relayout;
+    /// engines bound at an older epoch rebind before running.
+    epoch: u64,
+    /// Whether tail appends have left the layout non-light-first (the
+    /// batched LCA engine requires light-first; other engines only
+    /// charge more on a degraded layout).
+    layout_dirty: bool,
+    /// Whether an execute is in flight (report-folding guard).
+    in_execute: bool,
+
+    // ---- Materialized structure cache (refreshed per epoch). ----
+    structure_epoch: u64,
+    tree: Tree,
+    parents: Vec<NodeId>,
+    slots: Vec<Slot>,
+    csr_sizes: Vec<u32>,
+    csr: ChildrenCsr,
+    tour_next: Vec<u32>,
+    tour_start: u32,
+    /// Grid machine over the layout's true curve geometry (the dynamic
+    /// curve is capacity-reserved, so `Layout::machine()`'s compact
+    /// grid would mis-price tail placements).
+    machine: Machine,
+    /// 2-slots-per-vertex machine for the Euler-tour ranking sessions.
+    dart_machine: Machine,
+    point_scratch: Vec<GridPoint>,
+
+    // ---- Per-vertex query values. ----
+    weights: Vec<u64>,
+    weights_add: Vec<Add>,
+
+    pool: EnginePool,
+
+    // ---- Retained batch scratch (zero steady-state allocation). ----
+    responses: Vec<Response>,
+    lca_q: Vec<(NodeId, NodeId)>,
+    lca_idx: Vec<u32>,
+    lca_answers: Vec<NodeId>,
+    sum_v: Vec<NodeId>,
+    sum_idx: Vec<u32>,
+    rank_v: Vec<NodeId>,
+    rank_idx: Vec<u32>,
+
+    session: SessionReport,
+}
+
+impl SpatialForest {
+    /// A forest over `tree` with unit weights and default options
+    /// (Hilbert curve, rebuild factor 2, no crossover shadow).
+    pub fn new(tree: &Tree) -> Self {
+        Self::with_options(tree, ForestOptions::default())
+    }
+
+    /// [`SpatialForest::new`] on an explicit curve family.
+    pub fn with_curve(tree: &Tree, curve: CurveKind) -> Self {
+        Self::with_options(
+            tree,
+            ForestOptions {
+                curve,
+                ..ForestOptions::default()
+            },
+        )
+    }
+
+    /// A forest with explicit options; weights start at 1 per vertex
+    /// (adjust with [`SpatialForest::set_weight`]).
+    pub fn with_options(tree: &Tree, opts: ForestOptions) -> Self {
+        let n = tree.n() as usize;
+        let dynamic = DynamicLayout::new(tree, opts.curve, opts.rebuild_factor);
+        let mut forest = SpatialForest {
+            opts,
+            dynamic,
+            epoch: 0,
+            layout_dirty: false,
+            in_execute: false,
+            structure_epoch: u64::MAX,
+            tree: Tree::from_parents(0, vec![spatial_tree::NIL]),
+            parents: Vec::with_capacity(n),
+            slots: Vec::with_capacity(n),
+            csr_sizes: Vec::with_capacity(n),
+            csr: ChildrenCsr::by_size(tree, &tree.subtree_sizes()),
+            tour_next: Vec::with_capacity(2 * n),
+            tour_start: END,
+            machine: Machine::on_curve(opts.curve, 1),
+            dart_machine: Machine::on_curve(opts.curve, 1),
+            point_scratch: Vec::with_capacity(n),
+            weights: vec![1; n],
+            weights_add: vec![Add(1); n],
+            pool: EnginePool::new(opts.curve, n, opts.pram_seed),
+            responses: Vec::new(),
+            lca_q: Vec::new(),
+            lca_idx: Vec::new(),
+            lca_answers: Vec::new(),
+            sum_v: Vec::new(),
+            sum_idx: Vec::new(),
+            rank_v: Vec::new(),
+            rank_idx: Vec::new(),
+            session: SessionReport::default(),
+        };
+        forest.refresh_structure();
+        forest
+    }
+
+    /// Current number of vertices.
+    pub fn n(&self) -> u32 {
+        self.dynamic.n()
+    }
+
+    /// The current tree (materialized; refreshes the structure cache
+    /// if the last batch mutated the tree).
+    pub fn tree(&mut self) -> &Tree {
+        self.ensure_structure();
+        &self.tree
+    }
+
+    /// The current layout (valid until the next mutating batch).
+    pub fn layout(&self) -> &Layout {
+        self.dynamic.layout()
+    }
+
+    /// The dynamic layout's lifetime statistics (inserts, rebuilds,
+    /// capacity growths).
+    pub fn dynamic_stats(&self) -> DynamicStats {
+        self.dynamic.stats()
+    }
+
+    /// The engine pool (build/rebind observability).
+    pub fn pool(&self) -> &EnginePool {
+        &self.pool
+    }
+
+    /// Charges of the most recent [`SpatialForest::execute`].
+    pub fn last_report(&self) -> SessionReport {
+        self.session
+    }
+
+    /// The subtree-sum weight of a vertex.
+    pub fn weight(&self, v: NodeId) -> u64 {
+        self.weights[v as usize]
+    }
+
+    /// Sets the subtree-sum weight of a vertex (no relayout — weights
+    /// are per-session treefix inputs, not structure).
+    pub fn set_weight(&mut self, v: NodeId, weight: u64) {
+        self.weights[v as usize] = weight;
+        self.weights_add[v as usize] = Add(weight);
+    }
+
+    /// Runs the §IV on-machine layout construction for the current
+    /// tree through the pooled [`spatial_layout::LayoutEngine`],
+    /// returning its per-phase charge report. (The forest's live
+    /// layout is host-maintained; this prices what building it on the
+    /// machine would cost — the E5 experiment as a service call.)
+    pub fn charged_layout_build<R: Rng>(&mut self, rng: &mut R) -> SpatialBuildReport {
+        self.ensure_structure();
+        let engine = self.pool.layout_engine_for(self.epoch, &self.tree);
+        engine.build_into(rng)
+    }
+
+    /// Executes a mixed request stream. Consecutive queries between
+    /// mutations form one *charge-batched session*: each query kind in
+    /// a session pays for a single engine run, however many queries
+    /// share it. Responses align with `requests` by index; machine
+    /// charges land in [`SpatialForest::last_report`].
+    pub fn execute<R: Rng>(&mut self, requests: &[Request], rng: &mut R) -> &[Response] {
+        self.machine.reset();
+        self.dart_machine.reset();
+        self.session = SessionReport::default();
+        self.in_execute = true;
+        self.responses.clear();
+        // Drop any queries a previous execute left behind (it can only
+        // happen if a caller caught a panic mid-flush and reused the
+        // forest — stale indices must not corrupt this batch).
+        self.lca_q.clear();
+        self.lca_idx.clear();
+        self.sum_v.clear();
+        self.sum_idx.clear();
+        self.rank_v.clear();
+        self.rank_idx.clear();
+
+        for (i, &req) in requests.iter().enumerate() {
+            match req {
+                Request::Lca(a, b) => {
+                    self.lca_q.push((a, b));
+                    self.lca_idx.push(i as u32);
+                    self.responses.push(Response::Lca(spatial_tree::NIL));
+                }
+                Request::SubtreeSum(v) => {
+                    self.sum_v.push(v);
+                    self.sum_idx.push(i as u32);
+                    self.responses.push(Response::SubtreeSum(0));
+                }
+                Request::Rank(v) => {
+                    self.rank_v.push(v);
+                    self.rank_idx.push(i as u32);
+                    self.responses.push(Response::Rank(0));
+                }
+                Request::InsertLeaf { parent, weight } => {
+                    self.flush_session(rng);
+                    let rebuilds_before = self.dynamic.stats().rebuilds;
+                    let v = self.dynamic.insert_leaf(parent);
+                    // An insert dirties the light-first order unless the
+                    // dynamic layout's quality threshold rebuilt it on
+                    // the spot (the rebuild runs after the append).
+                    self.layout_dirty = self.dynamic.stats().rebuilds == rebuilds_before;
+                    self.weights.push(weight);
+                    self.weights_add.push(Add(weight));
+                    self.epoch += 1;
+                    self.session.inserts += 1;
+                    self.responses.push(Response::InsertedLeaf(v));
+                }
+            }
+        }
+        self.flush_session(rng);
+
+        self.in_execute = false;
+        self.session.grid = self.session.grid + self.machine.report();
+        self.session.ranking = self.session.ranking + self.dart_machine.report();
+        &self.responses
+    }
+
+    /// Restores the light-first order after tail appends (the batched
+    /// LCA engine's correctness precondition) and bumps the epoch so
+    /// slot-dependent engine bindings refresh.
+    fn ensure_light_first(&mut self) {
+        if self.layout_dirty {
+            self.dynamic.rebuild();
+            self.layout_dirty = false;
+            self.epoch += 1;
+        }
+    }
+
+    fn ensure_structure(&mut self) {
+        if self.structure_epoch != self.epoch {
+            self.refresh_structure();
+        }
+    }
+
+    /// Rebuilds the materialized structure cache and both machines
+    /// from the dynamic layout (the mutation path — allocation is
+    /// allowed and amortized here, never on the query path).
+    fn refresh_structure(&mut self) {
+        // Fold the outgoing machines' charges into the in-flight
+        // report before replacing them mid-execute.
+        if self.in_execute {
+            self.session.grid = self.session.grid + self.machine.report();
+            self.session.ranking = self.session.ranking + self.dart_machine.report();
+        }
+        self.tree = self.dynamic.tree();
+        let n = self.tree.n();
+        self.parents.clear();
+        self.parents.extend_from_slice(self.tree.parents());
+        let layout = self.dynamic.layout();
+        self.slots.clear();
+        self.slots.extend((0..n).map(|v| layout.slot(v)));
+        self.csr_sizes.clear();
+        self.csr_sizes.extend_from_slice(&self.tree.subtree_sizes());
+        self.csr = ChildrenCsr::by_size(&self.tree, &self.csr_sizes);
+        if n == 1 {
+            self.tour_next.clear();
+            self.tour_next.extend_from_slice(&[END, END]);
+            self.tour_start = END;
+        } else {
+            let tour = EulerTour::light_first_from_csr(&self.tree, &self.csr);
+            self.tour_next.clear();
+            self.tour_next.extend_from_slice(tour.next_darts());
+            self.tour_start = tour.start();
+        }
+        // The grid machine mirrors the layout's actual curve cells.
+        self.point_scratch.clear();
+        self.point_scratch.resize(n as usize, GridPoint::default());
+        layout.curve().point_range_batch(0, &mut self.point_scratch);
+        self.machine = Machine::from_points(self.point_scratch.clone());
+        self.dart_machine = Machine::on_curve(self.opts.curve, 2 * n);
+        self.structure_epoch = self.epoch;
+    }
+
+    /// Flushes the buffered query session: one charged engine run per
+    /// kind present, in the fixed order LCA → subtree sums → ranks.
+    fn flush_session<R: Rng>(&mut self, rng: &mut R) {
+        if self.lca_q.is_empty() && self.sum_v.is_empty() && self.rank_v.is_empty() {
+            return;
+        }
+        if !self.lca_q.is_empty() {
+            self.ensure_light_first();
+        }
+        self.ensure_structure();
+        self.session.sessions += 1;
+
+        if !self.lca_q.is_empty() {
+            let engine = self
+                .pool
+                .lca_for(self.epoch, self.dynamic.layout(), &self.tree);
+            engine.run_into(&self.machine, &self.lca_q, &mut self.lca_answers, rng);
+            for (&idx, &w) in self.lca_idx.iter().zip(self.lca_answers.iter()) {
+                self.responses[idx as usize] = Response::Lca(w);
+            }
+            self.session.lca_queries += self.lca_q.len() as u32;
+            self.lca_q.clear();
+            self.lca_idx.clear();
+        }
+
+        if !self.sum_v.is_empty() {
+            self.pool.reserve_treefix(self.tree.n() as usize);
+            self.pool.treefix.bind_parts(
+                &self.parents,
+                &self.slots,
+                &self.csr,
+                &self.weights_add,
+                true,
+            );
+            self.pool.treefix.contract(&self.machine, rng);
+            let sums = self.pool.treefix.uncontract_bottom_up(&self.machine);
+            for (&idx, &v) in self.sum_idx.iter().zip(self.sum_v.iter()) {
+                self.responses[idx as usize] = Response::SubtreeSum(sums[v as usize].0);
+            }
+            self.session.sum_queries += self.sum_v.len() as u32;
+
+            if self.opts.crossover {
+                let (pram, treefix) = self.pool.pram_for(self.epoch, &self.tree);
+                pram.reset();
+                treefix.subtree_sums(pram, &self.weights, rng);
+                let shadow = pram.report();
+                self.session.pram = Some(self.session.pram.unwrap_or_default() + shadow);
+            }
+            self.sum_v.clear();
+            self.sum_idx.clear();
+        }
+
+        if !self.rank_v.is_empty() {
+            let engine = self
+                .pool
+                .ranking_for(self.epoch, &self.tour_next, self.tour_start);
+            engine.rank(&self.dart_machine, rng);
+            let root = self.tree.root();
+            for (&idx, &v) in self.rank_idx.iter().zip(self.rank_v.iter()) {
+                assert!(v < self.tree.n(), "rank query {v} out of range");
+                let rank = if v == root {
+                    0
+                } else {
+                    let r = engine.ranks()[down(v) as usize];
+                    debug_assert_ne!(r, UNRANKED, "non-root vertex off the tour");
+                    r + 1
+                };
+                self.responses[idx as usize] = Response::Rank(rank);
+            }
+            self.session.rank_queries += self.rank_v.len() as u32;
+            self.rank_v.clear();
+            self.rank_idx.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use spatial_euler::ranking::rank_sequential;
+    use spatial_tree::generators;
+
+    fn naive_lca(tree: &Tree, mut a: NodeId, mut b: NodeId) -> NodeId {
+        let depth = |mut v: NodeId| {
+            let mut d = 0u32;
+            while let Some(p) = tree.parent(v) {
+                v = p;
+                d += 1;
+            }
+            d
+        };
+        let (mut da, mut db) = (depth(a), depth(b));
+        while da > db {
+            a = tree.parent(a).unwrap();
+            da -= 1;
+        }
+        while db > da {
+            b = tree.parent(b).unwrap();
+            db -= 1;
+        }
+        while a != b {
+            a = tree.parent(a).unwrap();
+            b = tree.parent(b).unwrap();
+        }
+        a
+    }
+
+    fn naive_subtree_sum(tree: &Tree, weights: &[u64], v: NodeId) -> u64 {
+        let mut sum = weights[v as usize];
+        for c in tree.children(v) {
+            sum += naive_subtree_sum(tree, weights, *c);
+        }
+        sum
+    }
+
+    fn naive_rank(tree: &Tree, v: NodeId) -> u64 {
+        if v == tree.root() {
+            return 0;
+        }
+        let sizes = tree.subtree_sizes();
+        let csr = ChildrenCsr::by_size(tree, &sizes);
+        let tour = EulerTour::light_first_from_csr(tree, &csr);
+        rank_sequential(tour.next_darts(), tour.start())[down(v) as usize] + 1
+    }
+
+    #[test]
+    fn mixed_batch_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = generators::uniform_random(200, &mut rng);
+        let mut forest = SpatialForest::new(&tree);
+        let mut batch = crate::QueryBatch::new();
+        for i in 0..40u32 {
+            batch.lca(i * 3 % 200, i * 7 % 200);
+            batch.subtree_sum(i * 5 % 200);
+            batch.rank(i * 11 % 200);
+        }
+        let responses = forest.execute(batch.requests(), &mut rng).to_vec();
+        let weights = vec![1u64; 200];
+        for (req, resp) in batch.requests().iter().zip(&responses) {
+            match (*req, *resp) {
+                (Request::Lca(a, b), Response::Lca(w)) => {
+                    assert_eq!(w, naive_lca(&tree, a, b), "lca({a},{b})")
+                }
+                (Request::SubtreeSum(v), Response::SubtreeSum(s)) => {
+                    assert_eq!(s, naive_subtree_sum(&tree, &weights, v), "sum({v})")
+                }
+                (Request::Rank(v), Response::Rank(r)) => {
+                    assert_eq!(r, naive_rank(&tree, v), "rank({v})")
+                }
+                other => panic!("mismatched response kind: {other:?}"),
+            }
+        }
+        let report = forest.last_report();
+        assert_eq!(report.sessions, 1, "one mutation-free session");
+        assert_eq!(report.lca_queries, 40);
+        assert!(report.grid.energy > 0);
+        assert!(report.ranking.energy > 0);
+        assert!(report.pram.is_none());
+    }
+
+    #[test]
+    fn inserts_split_sessions_and_are_visible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = generators::random_binary(60, &mut rng);
+        let mut forest = SpatialForest::new(&tree);
+        let mut batch = crate::QueryBatch::new();
+        batch
+            .subtree_sum(tree.root())
+            .insert_leaf_weighted(5, 10)
+            .subtree_sum(tree.root())
+            .lca(60, 5) // the new leaf: its LCA with its parent is the parent
+            .rank(60);
+        let responses = forest.execute(batch.requests(), &mut rng).to_vec();
+        assert_eq!(responses[0], Response::SubtreeSum(60));
+        assert_eq!(responses[1], Response::InsertedLeaf(60));
+        assert_eq!(responses[2], Response::SubtreeSum(70), "weight 10 landed");
+        assert_eq!(responses[3], Response::Lca(5));
+        let report = forest.last_report();
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.inserts, 1);
+        assert_eq!(forest.n(), 61);
+        // The post-insert queries saw the rebuilt light-first layout.
+        let expected_rank = naive_rank(forest.tree(), 60);
+        assert_eq!(responses[4], Response::Rank(expected_rank));
+    }
+
+    #[test]
+    fn repeated_batches_reuse_engines_and_charge_identically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = generators::preferential_attachment(300, &mut rng);
+        let mut forest = SpatialForest::new(&tree);
+        let mut batch = crate::QueryBatch::new();
+        for i in 0..50u32 {
+            batch.lca(i, (i * 13 + 1) % 300);
+            batch.subtree_sum((i * 3) % 300);
+            batch.rank((i * 17) % 300);
+        }
+        let first: Vec<Response> = forest
+            .execute(batch.requests(), &mut StdRng::seed_from_u64(9))
+            .to_vec();
+        let first_report = forest.last_report();
+        let builds_after_first = forest.pool().stats().builds;
+        for _ in 0..3 {
+            let again = forest.execute(batch.requests(), &mut StdRng::seed_from_u64(9));
+            assert_eq!(again, &first[..], "answers drifted across reuse");
+            assert_eq!(forest.last_report(), first_report, "charges drifted");
+        }
+        assert_eq!(
+            forest.pool().stats().builds,
+            builds_after_first,
+            "reuse must not rebuild engines"
+        );
+        assert_eq!(forest.pool().stats().rebinds, 0, "no mutations, no rebinds");
+    }
+
+    #[test]
+    fn crossover_mode_prices_the_pram_shadow() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = generators::random_binary(256, &mut rng);
+        let mut forest = SpatialForest::with_options(
+            &tree,
+            ForestOptions {
+                crossover: true,
+                ..ForestOptions::default()
+            },
+        );
+        let mut batch = crate::QueryBatch::new();
+        batch.subtree_sum(0).subtree_sum(100);
+        forest.execute(batch.requests(), &mut rng);
+        let report = forest.last_report();
+        let pram = report.pram.expect("crossover mode prices the shadow");
+        assert!(
+            pram.energy > report.grid.energy,
+            "PRAM simulation must cost more: {} vs {}",
+            pram.energy,
+            report.grid.energy
+        );
+    }
+
+    #[test]
+    fn single_vertex_forest() {
+        let tree = Tree::from_parents(0, vec![spatial_tree::NIL]);
+        let mut forest = SpatialForest::new(&tree);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut batch = crate::QueryBatch::new();
+        batch
+            .lca(0, 0)
+            .subtree_sum(0)
+            .rank(0)
+            .insert_leaf(0)
+            .rank(1);
+        let responses = forest.execute(batch.requests(), &mut rng).to_vec();
+        assert_eq!(responses[0], Response::Lca(0));
+        assert_eq!(responses[1], Response::SubtreeSum(1));
+        assert_eq!(responses[2], Response::Rank(0));
+        assert_eq!(responses[3], Response::InsertedLeaf(1));
+        assert_eq!(responses[4], Response::Rank(1));
+    }
+
+    #[test]
+    fn set_weight_changes_sums_without_rebinding() {
+        let tree = generators::path(10);
+        let mut forest = SpatialForest::new(&tree);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut batch = crate::QueryBatch::new();
+        batch.subtree_sum(0);
+        assert_eq!(
+            forest.execute(batch.requests(), &mut rng)[0],
+            Response::SubtreeSum(10)
+        );
+        forest.set_weight(9, 100);
+        assert_eq!(
+            forest.execute(batch.requests(), &mut rng)[0],
+            Response::SubtreeSum(109)
+        );
+        assert_eq!(forest.pool().stats().rebinds, 0);
+    }
+
+    #[test]
+    fn charged_layout_build_reports_phases() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = generators::uniform_random(300, &mut rng);
+        let mut forest = SpatialForest::new(&tree);
+        let report = forest.charged_layout_build(&mut rng);
+        assert!(report.total().energy > 0);
+        assert!(forest.pool().has_layout_engine());
+        // A second call reuses the pooled engine.
+        let builds = forest.pool().stats().builds;
+        forest.charged_layout_build(&mut rng);
+        assert_eq!(forest.pool().stats().builds, builds);
+    }
+}

@@ -266,9 +266,13 @@ impl CurveKind {
 
     /// Smallest legal side length with `side² ≥ capacity` for this curve
     /// family (power of two for Hilbert/Z-order, power of three for
-    /// Peano, exact ceiling square root otherwise).
+    /// Peano, exact ceiling square root otherwise). Always at least 1,
+    /// so a zero-capacity request yields the 1-cell curve for every
+    /// family — the fractal families round up anyway; the simple
+    /// families would otherwise reject side 0 and make the degenerate
+    /// empty layout curve-dependent.
     pub fn side_for_capacity(self, capacity: u64) -> u32 {
-        let min_side = ceil_sqrt(capacity);
+        let min_side = ceil_sqrt(capacity).max(1);
         match self {
             CurveKind::Hilbert | CurveKind::Moore | CurveKind::ZOrder => {
                 min_side.next_power_of_two()

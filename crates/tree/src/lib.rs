@@ -18,6 +18,7 @@
 pub mod decomposition;
 pub mod generators;
 pub mod stats;
+pub mod strategies;
 pub mod traversal;
 pub mod tree;
 

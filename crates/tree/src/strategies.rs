@@ -1,0 +1,155 @@
+//! Shared proptest strategies over [`Tree`]: one canonical generator
+//! for every differential suite in the workspace.
+//!
+//! Before this module, each crate's property suite drew trees its own
+//! way (usually `uniform_random(n, seed)` for two integer strategies),
+//! which silently narrowed coverage to a single family and to whatever
+//! sizes the local range happened to include. [`arb_tree`] instead
+//! rotates deterministically through **every** [`TreeFamily`] variant
+//! and pins the degenerate and adversarial sizes up front:
+//!
+//! - case 0 draws the minimum size (1 by default — the single-vertex
+//!   tree every engine must survive),
+//! - case 1 draws the maximum,
+//! - case 2 draws size 2 (the smallest tree with an edge),
+//! - case 3 draws a non-power-of-two size near the maximum (curve-side
+//!   rounding boundaries),
+//! - later cases draw sizes uniformly at random;
+//! - the family is `TreeFamily::ALL[case % 12]`, so a suite with ≥ 12
+//!   cases exercises stars, paths, combs, and the Leonardo heavy-path
+//!   adversary alongside the random families.
+//!
+//! The strategies implement the offline proptest shim's
+//! [`proptest::Strategy`] trait, so they drop into `proptest! { ... a
+//! in arb_tree(300) ... }` blocks exactly like an integer range.
+
+use crate::generators::TreeFamily;
+use crate::tree::Tree;
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A strategy producing trees across families and sizes; build with
+/// [`arb_tree`] or [`arb_tree_sized`], restrict with
+/// [`TreeStrategy::families`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeStrategy {
+    min_n: u32,
+    max_n: u32,
+    families: &'static [TreeFamily],
+}
+
+/// Trees of every [`TreeFamily`], sizes `1..=max_n` (sizes are
+/// approximate for families that round, e.g. perfect binary trees).
+pub fn arb_tree(max_n: u32) -> TreeStrategy {
+    arb_tree_sized(1, max_n)
+}
+
+/// [`arb_tree`] with an inclusive size floor (some suites need at
+/// least one edge, i.e. `min_n = 2`).
+pub fn arb_tree_sized(min_n: u32, max_n: u32) -> TreeStrategy {
+    assert!(1 <= min_n && min_n <= max_n, "empty tree size range");
+    TreeStrategy {
+        min_n,
+        max_n,
+        families: &TreeFamily::ALL,
+    }
+}
+
+impl TreeStrategy {
+    /// Restricts the family rotation (e.g.
+    /// `TreeFamily::BOUNDED_DEGREE` for depth-bound suites).
+    pub fn families(mut self, families: &'static [TreeFamily]) -> Self {
+        assert!(!families.is_empty(), "no families");
+        self.families = families;
+        self
+    }
+}
+
+impl Strategy for TreeStrategy {
+    type Value = Tree;
+
+    fn sample(&self, rng: &mut StdRng, case: u32) -> Tree {
+        let family = self.families[case as usize % self.families.len()];
+        let n = match case {
+            0 => self.min_n,
+            1 => self.max_n,
+            2 => 2.clamp(self.min_n, self.max_n),
+            3 => {
+                // A non-power-of-two near the top of the range.
+                let n = (self.max_n.saturating_sub(self.max_n / 3)).max(self.min_n);
+                if n.is_power_of_two() && n < self.max_n {
+                    n + 1
+                } else {
+                    n
+                }
+            }
+            _ => rng.gen_range(self.min_n..=self.max_n),
+        };
+        family.generate(n, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn early_cases_pin_degenerate_sizes() {
+        let strat = arb_tree(300);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(strat.sample(&mut rng, 0).n(), 1, "case 0 is the 1-tree");
+        let t2 = strat.sample(&mut rng, 2);
+        assert!(t2.n() <= 2, "case 2 stays tiny, got {}", t2.n());
+        let t3 = strat.sample(&mut rng, 3);
+        assert!(!t3.n().is_power_of_two() || t3.n() < 4, "case 3 non-pow2");
+    }
+
+    #[test]
+    fn rotation_covers_every_family_and_respects_bounds() {
+        let strat = arb_tree_sized(2, 120);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut star_seen = false;
+        let mut path_seen = false;
+        for case in 0..24 {
+            let t = strat.sample(&mut rng, case);
+            assert!(t.n() >= 1 && t.n() <= 120, "case {case}: n={}", t.n());
+            // Identify the adversarial shapes structurally.
+            if t.n() > 2 && t.max_degree() == t.n() - 1 {
+                star_seen = true;
+            }
+            if t.n() > 2 && t.height() == t.n() - 1 {
+                path_seen = true;
+            }
+        }
+        assert!(star_seen, "24 cases must include a star");
+        assert!(path_seen, "24 cases must include a path");
+    }
+
+    #[test]
+    fn bounded_degree_restriction_holds() {
+        let strat = arb_tree(200).families(&TreeFamily::BOUNDED_DEGREE);
+        let mut rng = StdRng::seed_from_u64(3);
+        for case in 0..20 {
+            let t = strat.sample(&mut rng, case);
+            assert!(
+                t.max_degree() <= 3,
+                "case {case}: degree {}",
+                t.max_degree()
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The strategy drops into the proptest macro like any range.
+        #[test]
+        fn usable_inside_proptest_blocks(t in arb_tree(64)) {
+            prop_assert!(t.n() >= 1 && t.n() <= 64);
+            prop_assert_eq!(t.subtree_sizes()[t.root() as usize], t.n());
+        }
+    }
+}

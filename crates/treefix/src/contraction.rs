@@ -1,5 +1,5 @@
 //! The rake/compress contraction engine (§V-A, §V-B) — allocation-free
-//! after setup.
+//! after setup, rebindable across trees.
 //!
 //! Supervertices are identified with their representative `R(u)` — the
 //! vertex closest to the root, which is also the first vertex of the
@@ -11,31 +11,37 @@
 //! charges every message on the machine; unbounded fan-in/out goes
 //! through balanced relays (`spatial-messaging`).
 //!
-//! # Memory discipline
+//! # Memory discipline and lifecycle
 //!
 //! This is the hottest loop in the workspace, so all storage is laid
-//! out flat and allocated once in [`ContractionEngine::new`]:
+//! out flat and owned by the engine — there are no borrows, which is
+//! what lets the session layer's engine pool retain one engine across
+//! many trees. The uniform `reset/reserve/run` lifecycle
+//! ([`spatial_model::EngineLifecycle`]):
 //!
-//! - initial child lists come from a [`spatial_tree::ChildrenCsr`]
-//!   arena (one allocation instead of `n` nested `Vec`s);
-//! - the distributed contraction log is three flat arrays
-//!   (compressed-vertex log, raked-vertex log, rake-group spans) with
-//!   per-round end offsets — replacing the seed's per-round
-//!   `Vec<StepLog>` of `Vec`s;
-//! - message batches and relay groups reuse persistent scratch buffers
-//!   ([`spatial_messaging::relay::RelayScratch`] plus the engine's own
-//!   CSR group buffers);
-//! - every engine round charges through a
-//!   [`spatial_model::LocalCharge`] session (a non-atomic clock
-//!   snapshot committed in one batch — identical energy, messages,
-//!   work, and depth to per-message atomic charging).
+//! - [`ContractionEngine::with_capacity`] allocates every buffer once;
+//! - [`ContractionEngine::bind`] loads a concrete (tree, layout, CSR,
+//!   values) instance into the retained buffers — **zero heap
+//!   allocation** whenever the tree fits the current capacity;
+//! - [`ContractionEngine::contract`] and the `uncontract_*` methods
+//!   run the §V algorithm, charging the machine they are given, and
+//!   never allocate;
+//! - [`spatial_model::EngineLifecycle::reserve`] grows the capacity
+//!   (the only allocating step once the engine exists).
 //!
-//! After `new` returns, `contract`, `uncontract_bottom_up` and
-//! `uncontract_top_down` perform **zero heap allocation** (asserted by
-//! the counting-allocator test `tests/alloc_free.rs`). The seed
-//! implementation is retained as [`crate::reference::ReferenceEngine`];
-//! the `csr_vs_reference` suite asserts both engines produce identical
-//! results, statistics, and machine charges.
+//! Per-vertex storage details: initial child lists come from a
+//! [`spatial_tree::ChildrenCsr`] arena; the distributed contraction log
+//! is three flat arrays with per-round end offsets; message batches and
+//! relay groups reuse persistent scratch
+//! ([`spatial_messaging::relay::RelayScratch`] plus the engine's own
+//! CSR group buffers); every engine round charges through a
+//! [`spatial_model::LocalCharge`] session (a non-atomic clock snapshot
+//! committed in one batch — identical energy, messages, work, and depth
+//! to per-message atomic charging). Zero allocation is asserted by the
+//! counting-allocator test `tests/alloc_free.rs`; the seed
+//! implementation is retained as [`crate::reference::ReferenceEngine`]
+//! and the `csr_vs_reference` suite pins identical results, statistics,
+//! and machine charges.
 
 use crate::monoid::CommutativeMonoid;
 use rand::Rng;
@@ -43,7 +49,7 @@ use spatial_layout::Layout;
 use spatial_messaging::relay::{
     charge_broadcast_relays_csr_into, charge_reduce_relays_csr_into, RelayScratch,
 };
-use spatial_model::{LocalCharge, LocalChargeScratch, Machine, Slot};
+use spatial_model::{EngineLifecycle, LocalCharge, LocalChargeScratch, Machine, Slot};
 use spatial_tree::{ChildrenCsr, NodeId, Tree, NIL};
 
 /// Cost-relevant counters of one contraction run (Las Vegas evidence:
@@ -58,18 +64,41 @@ pub struct ContractionStats {
     pub rakes: u64,
 }
 
-/// The contraction engine. Create with [`ContractionEngine::new`], run
-/// [`ContractionEngine::contract`], then exactly one of the `uncontract`
-/// methods.
-pub struct ContractionEngine<'a, M: CommutativeMonoid> {
-    tree: &'a Tree,
-    layout: &'a Layout,
-    machine: &'a Machine,
+/// Where the engine currently is in its `bind → contract → uncontract`
+/// run cycle (misuse guard; rebinding restarts the cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No tree loaded (fresh, or after [`EngineLifecycle::reset`]).
+    Unbound,
+    /// A tree is loaded and ready to contract.
+    Bound,
+    /// [`ContractionEngine::contract`] has run; one `uncontract_*` may.
+    Contracted,
+    /// The run cycle finished; rebind before running again.
+    Done,
+}
+
+/// The contraction engine. Create with
+/// [`ContractionEngine::with_capacity`] (or the one-shot
+/// [`ContractionEngine::new`]), load a tree with
+/// [`ContractionEngine::bind`], run [`ContractionEngine::contract`],
+/// then exactly one of the `uncontract` methods. The engine owns every
+/// buffer, so one instance serves any number of trees.
+pub struct ContractionEngine<M: CommutativeMonoid> {
+    /// Vertex count of the current binding (0 when unbound).
+    n: usize,
+    /// Largest vertex count the retained buffers have ever served;
+    /// bindings at or below this never allocate.
+    cap: usize,
+    phase: Phase,
     /// Whether RAKE folds leaf sums into the parent's partial sum
     /// (bottom-up) or leaves it untouched (top-down, where `P` tracks
     /// the supervertex's path-segment values only).
     rake_adds_to_p: bool,
 
+    /// Machine slot of every vertex, copied from the layout at bind so
+    /// runs need no layout borrow.
+    slot: Vec<Slot>,
     parent: Vec<NodeId>,
     first_child: Vec<NodeId>,
     next_sib: Vec<NodeId>,
@@ -114,27 +143,62 @@ pub struct ContractionEngine<'a, M: CommutativeMonoid> {
     local: LocalChargeScratch,
     /// Uncontraction accumulator (`A_v` / `B_v`), preallocated.
     acc: Vec<M>,
-    /// Output buffer, preallocated and moved out by uncontraction.
+    /// Output buffer, retained across runs and returned by slice.
     out: Vec<M>,
 
     stats: ContractionStats,
     coin: Vec<bool>,
 }
 
-impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
-    /// Initializes supervertices (one per vertex) with the given values.
-    /// Children lists are in light-first sibling order, matching the
-    /// layout's placement.
-    pub fn new(
-        tree: &'a Tree,
-        layout: &'a Layout,
-        machine: &'a Machine,
-        values: &[M],
-        rake_adds_to_p: bool,
-    ) -> Self {
+impl<M: CommutativeMonoid> ContractionEngine<M> {
+    /// An unbound engine whose buffers are pre-sized for trees of up to
+    /// `cap` vertices; bindings within the capacity never allocate.
+    pub fn with_capacity(cap: usize) -> Self {
+        ContractionEngine {
+            n: 0,
+            cap,
+            phase: Phase::Unbound,
+            rake_adds_to_p: true,
+            slot: Vec::with_capacity(cap),
+            parent: Vec::with_capacity(cap),
+            first_child: Vec::with_capacity(cap),
+            next_sib: Vec::with_capacity(cap),
+            prev_sib: Vec::with_capacity(cap),
+            child_count: Vec::with_capacity(cap),
+            p: Vec::with_capacity(cap),
+            active: Vec::with_capacity(cap),
+            alive: Vec::with_capacity(cap),
+            saved_p: Vec::with_capacity(cap),
+            compress_log: Vec::with_capacity(cap),
+            compress_ends: Vec::with_capacity(cap + 1),
+            rake_log: Vec::with_capacity(cap),
+            rake_groups: Vec::with_capacity(cap),
+            rake_ends: Vec::with_capacity(cap + 1),
+            nodes_scratch: Vec::with_capacity(cap),
+            msgs_scratch: Vec::with_capacity(2 * cap + 2),
+            group_slots: Vec::with_capacity(cap),
+            group_parts: Vec::with_capacity(cap),
+            group_offsets: Vec::with_capacity(cap + 1),
+            relay: RelayScratch::with_capacity(cap, cap),
+            local: LocalChargeScratch::with_capacity(cap, 2 * cap + 2),
+            acc: Vec::with_capacity(cap),
+            out: Vec::with_capacity(cap),
+            stats: ContractionStats {
+                compact_rounds: 0,
+                compresses: 0,
+                rakes: 0,
+            },
+            coin: Vec::with_capacity(cap),
+        }
+    }
+
+    /// One-shot constructor: capacity for exactly this tree, bound to
+    /// it with children in light-first sibling order (matching the
+    /// layout's placement).
+    pub fn new(tree: &Tree, layout: &Layout, values: &[M], rake_adds_to_p: bool) -> Self {
         let sizes = tree.subtree_sizes();
         let sorted = ChildrenCsr::by_size(tree, &sizes);
-        Self::with_children_csr(tree, layout, machine, values, rake_adds_to_p, &sorted)
+        Self::with_children_csr(tree, layout, values, rake_adds_to_p, &sorted)
     }
 
     /// As [`ContractionEngine::new`], but consuming a prebuilt
@@ -142,65 +206,117 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// (e.g. after threading an Euler tour over the same child order)
     /// skip the re-sort.
     pub fn with_children_csr(
-        tree: &'a Tree,
-        layout: &'a Layout,
-        machine: &'a Machine,
+        tree: &Tree,
+        layout: &Layout,
         values: &[M],
         rake_adds_to_p: bool,
         sorted: &ChildrenCsr,
     ) -> Self {
+        let mut eng = Self::with_capacity(tree.n() as usize);
+        eng.bind(tree, layout, sorted, values, rake_adds_to_p);
+        eng
+    }
+
+    /// Loads a concrete (tree, layout, light-first CSR, values)
+    /// instance into the retained buffers, restarting the run cycle.
+    /// Performs **zero heap allocation** whenever `tree.n()` is within
+    /// the engine's capacity (grow first with
+    /// [`EngineLifecycle::reserve`]).
+    pub fn bind(
+        &mut self,
+        tree: &Tree,
+        layout: &Layout,
+        sorted: &ChildrenCsr,
+        values: &[M],
+        rake_adds_to_p: bool,
+    ) {
         let n = tree.n() as usize;
-        assert_eq!(values.len(), n, "one value per vertex");
         assert_eq!(layout.n() as usize, n, "layout size mismatch");
+        self.slot.clear();
+        self.slot.extend((0..n as u32).map(|v| layout.slot(v)));
+        self.bind_inner(tree.parents(), sorted, values, rake_adds_to_p);
+    }
+
+    /// [`ContractionEngine::bind`] from the flat pieces a retaining
+    /// caller (the batched-LCA engine, the session pool) already holds:
+    /// the parent array and the per-vertex machine slots, instead of
+    /// `Tree`/`Layout` borrows. Same zero-allocation contract.
+    pub fn bind_parts(
+        &mut self,
+        parents: &[NodeId],
+        slots: &[Slot],
+        sorted: &ChildrenCsr,
+        values: &[M],
+        rake_adds_to_p: bool,
+    ) {
+        assert_eq!(slots.len(), parents.len(), "one slot per vertex");
+        self.slot.clear();
+        self.slot.extend_from_slice(slots);
+        self.bind_inner(parents, sorted, values, rake_adds_to_p);
+    }
+
+    fn bind_inner(
+        &mut self,
+        parents: &[NodeId],
+        sorted: &ChildrenCsr,
+        values: &[M],
+        rake_adds_to_p: bool,
+    ) {
+        let n = parents.len();
+        assert_eq!(values.len(), n, "one value per vertex");
         assert_eq!(sorted.n() as usize, n, "children CSR size mismatch");
 
-        let mut eng = ContractionEngine {
-            tree,
-            layout,
-            machine,
-            rake_adds_to_p,
-            parent: tree.parents().to_vec(),
-            first_child: vec![NIL; n],
-            next_sib: vec![NIL; n],
-            prev_sib: vec![NIL; n],
-            child_count: vec![0; n],
-            p: values.to_vec(),
-            active: vec![true; n],
-            alive: (0..n as NodeId).collect(),
-            saved_p: vec![M::identity(); n],
-            compress_log: Vec::with_capacity(n),
-            compress_ends: Vec::with_capacity(n + 1),
-            rake_log: Vec::with_capacity(n),
-            rake_groups: Vec::with_capacity(n),
-            rake_ends: Vec::with_capacity(n + 1),
-            nodes_scratch: Vec::with_capacity(n),
-            msgs_scratch: Vec::with_capacity(2 * n + 2),
-            group_slots: Vec::with_capacity(n),
-            group_parts: Vec::with_capacity(n),
-            group_offsets: Vec::with_capacity(n + 1),
-            relay: RelayScratch::with_capacity(n, n),
-            local: LocalChargeScratch::with_capacity(n, 2 * n + 2),
-            acc: vec![M::identity(); n],
-            out: vec![M::identity(); n],
-            stats: ContractionStats {
-                compact_rounds: 0,
-                compresses: 0,
-                rakes: 0,
-            },
-            coin: vec![false; n],
+        self.n = n;
+        self.cap = self.cap.max(n);
+        self.phase = Phase::Bound;
+        self.rake_adds_to_p = rake_adds_to_p;
+
+        self.parent.clear();
+        self.parent.extend_from_slice(parents);
+        self.first_child.clear();
+        self.first_child.resize(n, NIL);
+        self.next_sib.clear();
+        self.next_sib.resize(n, NIL);
+        self.prev_sib.clear();
+        self.prev_sib.resize(n, NIL);
+        self.child_count.clear();
+        self.child_count.resize(n, 0);
+        self.p.clear();
+        self.p.extend_from_slice(values);
+        self.active.clear();
+        self.active.resize(n, true);
+        self.alive.clear();
+        self.alive.extend(0..n as NodeId);
+        self.saved_p.clear();
+        self.saved_p.resize(n, M::identity());
+        self.compress_log.clear();
+        self.compress_ends.clear();
+        self.rake_log.clear();
+        self.rake_groups.clear();
+        self.rake_ends.clear();
+        self.acc.clear();
+        self.acc.resize(n, M::identity());
+        self.out.clear();
+        self.out.resize(n, M::identity());
+        self.coin.clear();
+        self.coin.resize(n, false);
+        self.stats = ContractionStats {
+            compact_rounds: 0,
+            compresses: 0,
+            rakes: 0,
         };
-        for v in tree.vertices() {
+
+        for v in 0..n as NodeId {
             let cs = sorted.children(v);
-            eng.child_count[v as usize] = cs.len() as u32;
+            self.child_count[v as usize] = cs.len() as u32;
             if let Some(&first) = cs.first() {
-                eng.first_child[v as usize] = first;
+                self.first_child[v as usize] = first;
             }
             for w in cs.windows(2) {
-                eng.next_sib[w[0] as usize] = w[1];
-                eng.prev_sib[w[1] as usize] = w[0];
+                self.next_sib[w[0] as usize] = w[1];
+                self.prev_sib[w[1] as usize] = w[0];
             }
         }
-        eng
     }
 
     fn unlink_child(&mut self, u: NodeId, v: NodeId) {
@@ -223,7 +339,6 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// relays, one machine round per relay level): `O(n)` energy and
     /// `O(log Δ)` depth per COMPACT round.
     fn charge_children_broadcast(&mut self, lc: &mut LocalCharge) {
-        let layout = self.layout;
         self.group_slots.clear();
         self.group_parts.clear();
         self.group_offsets.clear();
@@ -232,10 +347,10 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             if self.child_count[u as usize] == 0 {
                 continue;
             }
-            self.group_slots.push(layout.slot(u));
+            self.group_slots.push(self.slot[u as usize]);
             let mut c = self.first_child[u as usize];
             while c != NIL {
-                self.group_parts.push(layout.slot(c));
+                self.group_parts.push(self.slot[c as usize]);
                 c = self.next_sib[c as usize];
             }
             self.group_offsets.push(self.group_parts.len() as u32);
@@ -257,8 +372,6 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// One COMPACT round: compress an independent random-mate set of
     /// viable supervertices, then rake leaf supervertices.
     fn compact_round<R: Rng>(&mut self, rng: &mut R, lc: &mut LocalCharge) {
-        let layout = self.layout;
-
         // Step 1: branching info.
         self.charge_children_broadcast(lc);
 
@@ -276,8 +389,10 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         }
         self.msgs_scratch.clear();
         for &v in &selected {
-            self.msgs_scratch
-                .push((layout.slot(self.parent[v as usize]), layout.slot(v)));
+            self.msgs_scratch.push((
+                self.slot[self.parent[v as usize] as usize],
+                self.slot[v as usize],
+            ));
         }
         lc.round(&self.msgs_scratch);
         selected.retain(|&v| self.coin[v as usize] && !self.coin[self.parent[v as usize] as usize]);
@@ -299,8 +414,10 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             self.prev_sib[c as usize] = NIL;
             self.next_sib[c as usize] = NIL;
             self.active[v as usize] = false;
-            self.msgs_scratch.push((layout.slot(v), layout.slot(u)));
-            self.msgs_scratch.push((layout.slot(v), layout.slot(c)));
+            self.msgs_scratch
+                .push((self.slot[v as usize], self.slot[u as usize]));
+            self.msgs_scratch
+                .push((self.slot[v as usize], self.slot[c as usize]));
             self.compress_log.push(v);
         }
         lc.round(&self.msgs_scratch);
@@ -342,10 +459,10 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             }
             // The reduce relay spans all children (the non-raked child w
             // contributes the identity, as in the paper).
-            self.group_slots.push(layout.slot(u));
+            self.group_slots.push(self.slot[u as usize]);
             let mut c = self.first_child[u as usize];
             while c != NIL {
-                self.group_parts.push(layout.slot(c));
+                self.group_parts.push(self.slot[c as usize]);
                 c = self.next_sib[c as usize];
             }
             self.group_offsets.push(self.group_parts.len() as u32);
@@ -388,17 +505,19 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         self.stats.compact_rounds += 1;
     }
 
-    /// Contracts the whole tree to a single supervertex. Returns the
-    /// stats; the random seed affects only costs, never results.
-    pub fn contract<R: Rng>(&mut self, rng: &mut R) -> ContractionStats {
-        let n = self.tree.n();
+    /// Contracts the whole tree to a single supervertex, charging every
+    /// round on `machine`. Returns the stats; the random seed affects
+    /// only costs, never results.
+    pub fn contract<R: Rng>(&mut self, machine: &Machine, rng: &mut R) -> ContractionStats {
+        assert_eq!(self.phase, Phase::Bound, "bind() a tree first");
+        self.phase = Phase::Contracted;
+        let n = self.n as u64;
         // Rake always removes the deepest leaves, so every round makes
         // progress; the bound below is a defensive cap, not a tuning
         // parameter.
-        let cap = 4 * n as u64 + 64;
+        let cap = 4 * n + 64;
         // All rounds of the contraction charge through one local
         // session (identical accounting, no per-message atomics).
-        let machine = self.machine;
         let mut scratch = std::mem::take(&mut self.local);
         let mut lc = machine.begin_local_charge(&mut scratch);
         while self.alive.len() > 1 {
@@ -422,15 +541,14 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
         group_range: std::ops::Range<usize>,
         lc: &mut LocalCharge,
     ) {
-        let layout = self.layout;
         self.group_slots.clear();
         self.group_parts.clear();
         self.group_offsets.clear();
         self.group_offsets.push(0);
         for &(u, start, end) in &self.rake_groups[group_range.clone()] {
-            self.group_slots.push(layout.slot(u));
+            self.group_slots.push(self.slot[u as usize]);
             for &v in &self.rake_log[start as usize..end as usize] {
-                self.group_parts.push(layout.slot(v));
+                self.group_parts.push(self.slot[v as usize]);
             }
             self.group_offsets.push(self.group_parts.len() as u32);
         }
@@ -446,21 +564,23 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// Charges the compress-undo messages (`u → v`) of one logged
     /// round.
     fn charge_compress_undo(&mut self, log_range: std::ops::Range<usize>, lc: &mut LocalCharge) {
-        let layout = self.layout;
         self.msgs_scratch.clear();
         for &v in &self.compress_log[log_range] {
             let u = self.parent_at_merge(v);
-            self.msgs_scratch.push((layout.slot(u), layout.slot(v)));
+            self.msgs_scratch
+                .push((self.slot[u as usize], self.slot[v as usize]));
         }
         lc.round(&self.msgs_scratch);
     }
 
     /// §V-B uncontraction for the bottom-up treefix: returns
-    /// `sum(v) = ⊕ values over v's subtree` for every vertex.
-    pub fn uncontract_bottom_up(mut self) -> Vec<M> {
-        assert!(self.alive.len() <= 1, "contract() must run first");
-        let n = self.tree.n() as usize;
-        let machine = self.machine;
+    /// `sum(v) = ⊕ values over v's subtree` for every vertex. The slice
+    /// lives in the engine's retained output buffer (valid until the
+    /// next run).
+    pub fn uncontract_bottom_up(&mut self, machine: &Machine) -> &[M] {
+        assert_eq!(self.phase, Phase::Contracted, "contract() must run first");
+        self.phase = Phase::Done;
+        let n = self.n;
         let mut scratch = std::mem::take(&mut self.local);
         let mut lc = machine.begin_local_charge(&mut scratch);
         // a[v]: combination of v's *outside descendants* — subtree
@@ -493,24 +613,27 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             }
         }
         lc.commit();
-        let mut out = std::mem::take(&mut self.out);
-        for (v, slot) in out.iter_mut().enumerate().take(n) {
-            *slot = self.p[v].combine(self.acc[v]);
+        self.local = scratch;
+        let (p, acc) = (&self.p, &self.acc);
+        for (v, out) in self.out[..n].iter_mut().enumerate() {
+            *out = p[v].combine(acc[v]);
         }
-        out
+        &self.out[..n]
     }
 
     /// §V-D uncontraction for the top-down treefix: returns
     /// `sum'(v) = ⊕ values along the root → v path` for every vertex.
-    /// The engine must have been built with `rake_adds_to_p = false`.
-    pub fn uncontract_top_down(mut self, values: &[M]) -> Vec<M> {
-        assert!(self.alive.len() <= 1, "contract() must run first");
+    /// The engine must have been bound with `rake_adds_to_p = false`.
+    /// The slice lives in the engine's retained output buffer (valid
+    /// until the next run).
+    pub fn uncontract_top_down(&mut self, machine: &Machine, values: &[M]) -> &[M] {
+        assert_eq!(self.phase, Phase::Contracted, "contract() must run first");
         assert!(
             !self.rake_adds_to_p,
             "top-down uncontraction needs a path-segment P (rake_adds_to_p = false)"
         );
-        let n = self.tree.n() as usize;
-        let machine = self.machine;
+        self.phase = Phase::Done;
+        let n = self.n;
         let mut scratch = std::mem::take(&mut self.local);
         let mut lc = machine.begin_local_charge(&mut scratch);
         // acc[v] plays b[v]: combination of values strictly above
@@ -537,11 +660,19 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
             }
         }
         lc.commit();
-        let mut out = std::mem::take(&mut self.out);
-        for (v, slot) in out.iter_mut().enumerate().take(n) {
-            *slot = self.acc[v].combine(values[v]);
+        self.local = scratch;
+        let acc = &self.acc;
+        for (v, out) in self.out[..n].iter_mut().enumerate() {
+            *out = acc[v].combine(values[v]);
         }
-        out
+        &self.out[..n]
+    }
+
+    /// The most recent uncontraction result, re-borrowed (valid after
+    /// an `uncontract_*` call, until the next bind).
+    pub fn output(&self) -> &[M] {
+        assert_eq!(self.phase, Phase::Done, "run an uncontraction first");
+        &self.out[..self.n]
     }
 
     /// The representative a compressed vertex merged into. The parent
@@ -554,6 +685,52 @@ impl<'a, M: CommutativeMonoid> ContractionEngine<'a, M> {
     /// Number of still-active supervertices.
     pub fn alive_count(&self) -> usize {
         self.alive.len()
+    }
+}
+
+impl<M: CommutativeMonoid> EngineLifecycle for ContractionEngine<M> {
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn reserve(&mut self, cap: usize) {
+        if cap <= self.cap {
+            return;
+        }
+        fn grow<T>(buf: &mut Vec<T>, cap: usize) {
+            buf.reserve(cap.saturating_sub(buf.len()));
+        }
+        grow(&mut self.slot, cap);
+        grow(&mut self.parent, cap);
+        grow(&mut self.first_child, cap);
+        grow(&mut self.next_sib, cap);
+        grow(&mut self.prev_sib, cap);
+        grow(&mut self.child_count, cap);
+        grow(&mut self.p, cap);
+        grow(&mut self.active, cap);
+        grow(&mut self.alive, cap);
+        grow(&mut self.saved_p, cap);
+        grow(&mut self.compress_log, cap);
+        grow(&mut self.compress_ends, cap + 1);
+        grow(&mut self.rake_log, cap);
+        grow(&mut self.rake_groups, cap);
+        grow(&mut self.rake_ends, cap + 1);
+        grow(&mut self.nodes_scratch, cap);
+        grow(&mut self.msgs_scratch, 2 * cap + 2);
+        grow(&mut self.group_slots, cap);
+        grow(&mut self.group_parts, cap);
+        grow(&mut self.group_offsets, cap + 1);
+        grow(&mut self.acc, cap);
+        grow(&mut self.out, cap);
+        grow(&mut self.coin, cap);
+        self.relay.reserve(cap, cap);
+        self.local.reserve(cap, 2 * cap + 2);
+        self.cap = cap;
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+        self.phase = Phase::Unbound;
     }
 }
 
@@ -584,17 +761,17 @@ mod tests {
     ) -> (Vec<M>, ContractionStats) {
         let layout = Layout::light_first(tree, CurveKind::Hilbert);
         let machine = layout.machine();
-        let mut eng = ContractionEngine::new(tree, &layout, &machine, values, true);
-        let stats = eng.contract(&mut StdRng::seed_from_u64(seed));
-        (eng.uncontract_bottom_up(), stats)
+        let mut eng = ContractionEngine::new(tree, &layout, values, true);
+        let stats = eng.contract(&machine, &mut StdRng::seed_from_u64(seed));
+        (eng.uncontract_bottom_up(&machine).to_vec(), stats)
     }
 
     fn run_top_down<M: CommutativeMonoid>(tree: &Tree, values: &[M], seed: u64) -> Vec<M> {
         let layout = Layout::light_first(tree, CurveKind::Hilbert);
         let machine = layout.machine();
-        let mut eng = ContractionEngine::new(tree, &layout, &machine, values, false);
-        eng.contract(&mut StdRng::seed_from_u64(seed));
-        eng.uncontract_top_down(values)
+        let mut eng = ContractionEngine::new(tree, &layout, values, false);
+        eng.contract(&machine, &mut StdRng::seed_from_u64(seed));
+        eng.uncontract_top_down(&machine, values).to_vec()
     }
 
     #[test]
@@ -718,12 +895,61 @@ mod tests {
         let layout = Layout::light_first(&t, CurveKind::Hilbert);
         let machine = layout.machine();
         let values: Vec<Add> = (0..300u64).map(Add).collect();
-        let mut eng =
-            ContractionEngine::with_children_csr(&t, &layout, &machine, &values, true, &csr);
-        eng.contract(&mut StdRng::seed_from_u64(19));
+        let mut eng = ContractionEngine::with_children_csr(&t, &layout, &values, true, &csr);
+        eng.contract(&machine, &mut StdRng::seed_from_u64(19));
         assert_eq!(
-            eng.uncontract_bottom_up(),
-            treefix_bottom_up_host(&t, &values)
+            eng.uncontract_bottom_up(&machine),
+            &treefix_bottom_up_host(&t, &values)[..]
         );
+    }
+
+    #[test]
+    fn rebinding_across_trees_matches_fresh_engines() {
+        // One pooled engine serving trees of sizes n, then 2n+3, then 5
+        // answers exactly like a fresh engine per tree, and the charges
+        // agree too (the capacity-growth contract of the session pool).
+        let n0 = 120u32;
+        let mut engine: ContractionEngine<Add> = ContractionEngine::with_capacity(n0 as usize);
+        for (i, n) in [n0, 2 * n0 + 3, 5, 2 * n0].into_iter().enumerate() {
+            let t = generators::uniform_random(n, &mut StdRng::seed_from_u64(20 + i as u64));
+            let layout = Layout::light_first(&t, CurveKind::Hilbert);
+            let sizes = t.subtree_sizes();
+            let csr = ChildrenCsr::by_size(&t, &sizes);
+            let values: Vec<Add> = (0..n as u64).map(|v| Add(v + 1)).collect();
+
+            engine.reserve(n as usize);
+            engine.bind(&t, &layout, &csr, &values, true);
+            let m_pooled = layout.machine();
+            let s_pooled = engine.contract(&m_pooled, &mut StdRng::seed_from_u64(30));
+            let got = engine.uncontract_bottom_up(&m_pooled).to_vec();
+
+            let mut fresh = ContractionEngine::new(&t, &layout, &values, true);
+            let m_fresh = layout.machine();
+            let s_fresh = fresh.contract(&m_fresh, &mut StdRng::seed_from_u64(30));
+            let expect = fresh.uncontract_bottom_up(&m_fresh);
+
+            assert_eq!(got, expect, "n={n}");
+            assert_eq!(s_pooled, s_fresh, "n={n}");
+            assert_eq!(m_pooled.report(), m_fresh.report(), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bind() a tree first")]
+    fn contract_requires_binding() {
+        let mut engine: ContractionEngine<Add> = ContractionEngine::with_capacity(8);
+        let machine = Machine::on_curve(CurveKind::Hilbert, 8);
+        engine.contract(&machine, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "contract() must run first")]
+    fn uncontract_requires_contract() {
+        let t = generators::path(4);
+        let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let machine = layout.machine();
+        let values = vec![Add(1); 4];
+        let mut engine = ContractionEngine::new(&t, &layout, &values, true);
+        engine.uncontract_bottom_up(&machine);
     }
 }

@@ -31,10 +31,10 @@ pub fn treefix_bottom_up<M: CommutativeMonoid, R: Rng>(
     values: &[M],
     rng: &mut R,
 ) -> TreefixResult<M> {
-    let mut engine = ContractionEngine::new(tree, layout, machine, values, true);
-    let stats = engine.contract(rng);
+    let mut engine = ContractionEngine::new(tree, layout, values, true);
+    let stats = engine.contract(machine, rng);
     TreefixResult {
-        values: engine.uncontract_bottom_up(),
+        values: engine.uncontract_bottom_up(machine).to_vec(),
         stats,
     }
 }
@@ -49,10 +49,10 @@ pub fn treefix_top_down<M: CommutativeMonoid, R: Rng>(
     values: &[M],
     rng: &mut R,
 ) -> TreefixResult<M> {
-    let mut engine = ContractionEngine::new(tree, layout, machine, values, false);
-    let stats = engine.contract(rng);
+    let mut engine = ContractionEngine::new(tree, layout, values, false);
+    let stats = engine.contract(machine, rng);
     TreefixResult {
-        values: engine.uncontract_top_down(values),
+        values: engine.uncontract_top_down(machine, values).to_vec(),
         stats,
     }
 }
@@ -204,12 +204,10 @@ mod proptests {
         /// treefixes, on any tree and seed.
         #[test]
         fn prop_product_monoid_fuses(
-            n in 2u32..200,
-            tree_seed in 0u64..10_000,
+            t in spatial_tree::strategies::arb_tree(200),
             algo_seed in 0u64..10_000,
         ) {
-            let mut rng = StdRng::seed_from_u64(tree_seed);
-            let t = generators::uniform_random(n, &mut rng);
+            let n = t.n();
             let layout = spatial_layout::Layout::light_first(&t, CurveKind::Hilbert);
             let machine = layout.machine();
             let values: Vec<(Add, Max, Min)> = (0..n as u64)
@@ -233,12 +231,11 @@ mod proptests {
         /// arbitrary bounded-degree trees.
         #[test]
         fn prop_binary_trees_both_directions(
-            n in 1u32..250,
-            tree_seed in 0u64..10_000,
+            t in spatial_tree::strategies::arb_tree(250)
+                .families(&generators::TreeFamily::BOUNDED_DEGREE),
             algo_seed in 0u64..10_000,
         ) {
-            let mut rng = StdRng::seed_from_u64(tree_seed);
-            let t = generators::random_binary(n, &mut rng);
+            let n = t.n();
             let layout = spatial_layout::Layout::light_first(&t, CurveKind::Hilbert);
             let machine = layout.machine();
             let values: Vec<Add> = (0..n as u64).map(|v| Add(v % 31)).collect();

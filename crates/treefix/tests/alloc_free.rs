@@ -10,6 +10,7 @@
 use rand::prelude::*;
 use spatial_layout::Layout;
 use spatial_model::CurveKind;
+use spatial_model::EngineLifecycle;
 use spatial_tree::generators::TreeFamily;
 use spatial_treefix::contraction::ContractionEngine;
 use spatial_treefix::{treefix_bottom_up_host, treefix_top_down_host, Add};
@@ -56,7 +57,14 @@ fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
 
 #[test]
 fn contract_and_uncontract_do_not_allocate() {
+    use spatial_tree::ChildrenCsr;
+
     let mut tree_rng = StdRng::seed_from_u64(42);
+    // One pooled engine serves every family below: after the first
+    // (largest) binding has grown the buffers, every later bind +
+    // contract + uncontract — the whole steady-state run cycle — must
+    // be allocation-free.
+    let mut pooled: ContractionEngine<Add> = ContractionEngine::with_capacity(4096);
     for (fam, n) in [
         (TreeFamily::UniformRandom, 2000u32),
         (TreeFamily::RandomBinary, 4096),
@@ -67,16 +75,21 @@ fn contract_and_uncontract_do_not_allocate() {
         let t = fam.generate(n, &mut tree_rng);
         let values: Vec<Add> = (0..n as u64).map(|v| Add(v % 101 + 1)).collect();
         let layout = Layout::light_first(&t, CurveKind::Hilbert);
+        let sizes = t.subtree_sizes();
+        let csr = ChildrenCsr::by_size(&t, &sizes);
         let expect_bu = treefix_bottom_up_host(&t, &values);
         let expect_td = treefix_top_down_host(&t, &values);
 
         // Bottom-up: setup allocates, the hot phases must not.
         let machine = layout.machine();
-        let mut engine = ContractionEngine::new(&t, &layout, &machine, &values, true);
+        let mut engine = ContractionEngine::new(&t, &layout, &values, true);
         let mut rng = StdRng::seed_from_u64(7);
-        let ((stats, got), allocs) =
-            count_allocations(|| (engine.contract(&mut rng), engine.uncontract_bottom_up()));
-        assert_eq!(got, expect_bu, "{fam}: wrong bottom-up result");
+        let (stats, allocs) = count_allocations(|| {
+            let stats = engine.contract(&machine, &mut rng);
+            engine.uncontract_bottom_up(&machine);
+            stats
+        });
+        assert_eq!(engine.output(), &expect_bu[..], "{fam}: wrong result");
         assert!(stats.compact_rounds > 0);
         assert_eq!(
             allocs, 0,
@@ -85,19 +98,37 @@ fn contract_and_uncontract_do_not_allocate() {
 
         // Top-down over the same tree.
         let machine = layout.machine();
-        let mut engine = ContractionEngine::new(&t, &layout, &machine, &values, false);
+        let mut engine = ContractionEngine::new(&t, &layout, &values, false);
         let mut rng = StdRng::seed_from_u64(8);
-        let ((_, got), allocs) = count_allocations(|| {
-            (
-                engine.contract(&mut rng),
-                engine.uncontract_top_down(&values),
-            )
+        let (_, allocs) = count_allocations(|| {
+            let stats = engine.contract(&machine, &mut rng);
+            engine.uncontract_top_down(&machine, &values);
+            stats
         });
-        assert_eq!(got, expect_td, "{fam}: wrong top-down result");
+        assert_eq!(engine.output(), &expect_td[..], "{fam}: wrong result");
         assert_eq!(
             allocs, 0,
             "{fam} (n = {n}): top-down contract/uncontract allocated {allocs} times"
         );
+
+        // The pooled engine: rebinding within capacity is part of the
+        // allocation-free contract (the session layer's steady state).
+        // Warm up once at the largest size before opening the gate.
+        if pooled.capacity() >= n as usize {
+            let machine = layout.machine();
+            let mut rng = StdRng::seed_from_u64(9);
+            let (_, allocs) = count_allocations(|| {
+                pooled.bind(&t, &layout, &csr, &values, true);
+                let stats = pooled.contract(&machine, &mut rng);
+                pooled.uncontract_bottom_up(&machine);
+                stats
+            });
+            assert_eq!(pooled.output(), &expect_bu[..], "{fam}: pooled result");
+            assert_eq!(
+                allocs, 0,
+                "{fam} (n = {n}): pooled bind/contract/uncontract allocated {allocs} times"
+            );
+        }
     }
 }
 

@@ -19,9 +19,9 @@ fn compare_bottom_up(t: &spatial_tree::Tree, algo_seed: u64) {
     let layout = Layout::light_first(t, CurveKind::Hilbert);
 
     let machine_new = layout.machine();
-    let mut eng = ContractionEngine::new(t, &layout, &machine_new, &values, true);
-    let stats_new = eng.contract(&mut StdRng::seed_from_u64(algo_seed));
-    let result_new = eng.uncontract_bottom_up();
+    let mut eng = ContractionEngine::new(t, &layout, &values, true);
+    let stats_new = eng.contract(&machine_new, &mut StdRng::seed_from_u64(algo_seed));
+    let result_new = eng.uncontract_bottom_up(&machine_new).to_vec();
 
     let machine_ref = layout.machine();
     let mut reference = ReferenceEngine::new(t, &layout, &machine_ref, &values, true);
@@ -43,9 +43,9 @@ fn compare_top_down(t: &spatial_tree::Tree, algo_seed: u64) {
     let layout = Layout::light_first(t, CurveKind::ZOrder);
 
     let machine_new = layout.machine();
-    let mut eng = ContractionEngine::new(t, &layout, &machine_new, &values, false);
-    let stats_new = eng.contract(&mut StdRng::seed_from_u64(algo_seed));
-    let result_new = eng.uncontract_top_down(&values);
+    let mut eng = ContractionEngine::new(t, &layout, &values, false);
+    let stats_new = eng.contract(&machine_new, &mut StdRng::seed_from_u64(algo_seed));
+    let result_new = eng.uncontract_top_down(&machine_new, &values).to_vec();
 
     let machine_ref = layout.machine();
     let mut reference = ReferenceEngine::new(t, &layout, &machine_ref, &values, false);
@@ -66,21 +66,17 @@ proptest! {
 
     #[test]
     fn bottom_up_identical_on_random_trees(
-        n in 2u32..400,
-        tree_seed in 0u64..10_000,
+        t in spatial_tree::strategies::arb_tree(400),
         algo_seed in 0u64..10_000,
     ) {
-        let t = generators::uniform_random(n, &mut StdRng::seed_from_u64(tree_seed));
         compare_bottom_up(&t, algo_seed);
     }
 
     #[test]
     fn top_down_identical_on_random_trees(
-        n in 2u32..400,
-        tree_seed in 0u64..10_000,
+        t in spatial_tree::strategies::arb_tree(400),
         algo_seed in 0u64..10_000,
     ) {
-        let t = generators::random_binary(n, &mut StdRng::seed_from_u64(tree_seed));
         compare_top_down(&t, algo_seed);
     }
 }

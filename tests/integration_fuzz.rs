@@ -1,0 +1,228 @@
+//! Workspace-wide differential fuzz harness: random mixed
+//! [`QueryBatch`] streams through [`SpatialForest`] versus naive
+//! sequential answers computed from the retained reference modules —
+//! pinning the **results** (LCA via [`HostLca`], subtree sums via a
+//! direct bottom-up accumulation, tour ranks via
+//! [`rank_sequential`]) *and* the **machine charge reports** (a
+//! second, independently constructed forest replays the identical
+//! stream and must report bit-identical [`SessionReport`]s, and a
+//! mutation-free batch replayed on a warm forest must re-report its
+//! own charges exactly — engine reuse never drifts).
+//!
+//! The stream generator is seeded through the (deterministic) proptest
+//! shim, so CI runs a fixed corpus; bump the case count locally to
+//! fuzz wider.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use spatial_trees::euler::ranking::rank_sequential;
+use spatial_trees::euler::tour::{down, EulerTour};
+use spatial_trees::lca::HostLca;
+use spatial_trees::session::{QueryBatch, Request, Response, SessionReport, SpatialForest};
+use spatial_trees::tree::{strategies, ChildrenCsr, NodeId, Tree, NIL};
+
+/// The naive model: a parent array + weights, answering every request
+/// kind sequentially from first principles / reference modules.
+struct NaiveModel {
+    parents: Vec<NodeId>,
+    weights: Vec<u64>,
+    /// Rebuilt lazily after mutations: tree, LCA oracle, reference
+    /// tour ranks, weighted subtree sums (reverse-BFS accumulation).
+    tree: Option<(Tree, HostLca, Vec<u64>, Vec<u64>)>,
+}
+
+impl NaiveModel {
+    fn new(tree: &Tree) -> Self {
+        NaiveModel {
+            parents: tree.parents().to_vec(),
+            weights: vec![1; tree.n() as usize],
+            tree: None,
+        }
+    }
+
+    fn n(&self) -> u32 {
+        self.parents.len() as u32
+    }
+
+    /// Materializes the tree, the host LCA oracle, the reference tour
+    /// ranks, and the weighted subtree sums for the current shape.
+    fn oracle(&mut self) -> &(Tree, HostLca, Vec<u64>, Vec<u64>) {
+        if self.tree.is_none() {
+            let tree = Tree::from_parents(0, self.parents.clone());
+            let host = HostLca::new(&tree);
+            let ranks = if tree.n() == 1 {
+                Vec::new()
+            } else {
+                let sizes = tree.subtree_sizes();
+                let csr = ChildrenCsr::by_size(&tree, &sizes);
+                let tour = EulerTour::light_first_from_csr(&tree, &csr);
+                rank_sequential(tour.next_darts(), tour.start())
+            };
+            // Sums accumulate bottom-up over the reverse BFS order
+            // (ids are arbitrary — reverse-id order would be wrong).
+            let mut sums = self.weights.clone();
+            for &v in spatial_trees::tree::traversal::bfs_order(&tree)
+                .iter()
+                .rev()
+            {
+                if let Some(p) = tree.parent(v) {
+                    sums[p as usize] += sums[v as usize];
+                }
+            }
+            self.tree = Some((tree, host, ranks, sums));
+        }
+        self.tree.as_ref().expect("just built")
+    }
+
+    fn answer(&mut self, req: Request) -> Response {
+        match req {
+            Request::Lca(a, b) => {
+                let (_, host, _, _) = self.oracle();
+                Response::Lca(host.query(a, b))
+            }
+            Request::SubtreeSum(v) => {
+                let (_, _, _, sums) = self.oracle();
+                Response::SubtreeSum(sums[v as usize])
+            }
+            Request::Rank(v) => {
+                let (tree, _, ranks, _) = self.oracle();
+                let r = if v == tree.root() {
+                    0
+                } else {
+                    ranks[down(v) as usize] + 1
+                };
+                Response::Rank(r)
+            }
+            Request::InsertLeaf { parent, weight } => {
+                let v = self.parents.len() as NodeId;
+                assert_ne!(parent, NIL);
+                self.parents.push(parent);
+                self.weights.push(weight);
+                self.tree = None;
+                Response::InsertedLeaf(v)
+            }
+        }
+    }
+}
+
+/// Draws a random mixed stream of `len` requests against a tree that
+/// starts with `n` vertices (ids stay valid as inserts grow it).
+fn random_stream(n0: u32, len: usize, insert_pct: u32, rng: &mut StdRng) -> QueryBatch {
+    let mut batch = QueryBatch::with_capacity(len);
+    let mut n = n0;
+    for _ in 0..len {
+        let kind = rng.gen_range(0..100);
+        if kind < insert_pct {
+            batch.insert_leaf_weighted(rng.gen_range(0..n), rng.gen_range(1..5));
+            n += 1;
+        } else if kind < insert_pct + 30 {
+            batch.lca(rng.gen_range(0..n), rng.gen_range(0..n));
+        } else if kind < insert_pct + 65 {
+            batch.subtree_sum(rng.gen_range(0..n));
+        } else {
+            batch.rank(rng.gen_range(0..n));
+        }
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random trees (every family via the shared strategy) × random
+    /// mixed streams: the forest answers exactly like the naive model,
+    /// and an independently constructed twin forest reports identical
+    /// charges for the identical stream.
+    #[test]
+    fn prop_forest_matches_naive_and_charges_are_pinned(
+        t in strategies::arb_tree(220),
+        stream_seed in 0u64..10_000,
+        algo_seed in 0u64..10_000,
+    ) {
+        let mut forest = SpatialForest::new(&t);
+        let mut twin = SpatialForest::new(&t);
+        let mut naive = NaiveModel::new(&t);
+
+        let mut stream_rng = StdRng::seed_from_u64(stream_seed);
+        let mut reports: Vec<SessionReport> = Vec::new();
+        for round in 0..3 {
+            let batch = random_stream(naive.n(), 40, 12, &mut stream_rng);
+
+            let responses = forest
+                .execute(batch.requests(), &mut StdRng::seed_from_u64(algo_seed + round))
+                .to_vec();
+            let expected: Vec<Response> = batch
+                .requests()
+                .iter()
+                .map(|&req| naive.answer(req))
+                .collect();
+            prop_assert_eq!(&responses, &expected, "round {}: answers diverged", round);
+            reports.push(forest.last_report());
+
+            // The twin runs the same stream with the same seeds: same
+            // answers, bit-identical charge reports.
+            let twin_responses = twin
+                .execute(batch.requests(), &mut StdRng::seed_from_u64(algo_seed + round))
+                .to_vec();
+            prop_assert_eq!(&twin_responses, &expected, "round {}: twin diverged", round);
+            prop_assert_eq!(
+                twin.last_report(), reports[round as usize],
+                "round {}: twin charges diverged", round
+            );
+        }
+
+        // Machine-charge sanity: queries were actually priced.
+        prop_assert!(reports.iter().any(|r| r.grid.energy > 0));
+    }
+
+    /// Replaying a mutation-free batch on a warm forest re-reports its
+    /// own charges exactly: reuse does not drift the meters.
+    #[test]
+    fn prop_warm_replay_reports_identical_charges(
+        t in strategies::arb_tree_sized(2, 300),
+        stream_seed in 0u64..10_000,
+    ) {
+        let mut forest = SpatialForest::new(&t);
+        let mut stream_rng = StdRng::seed_from_u64(stream_seed);
+        let batch = random_stream(t.n(), 60, 0, &mut stream_rng); // no inserts
+
+        let first = forest
+            .execute(batch.requests(), &mut StdRng::seed_from_u64(5))
+            .to_vec();
+        let first_report = forest.last_report();
+        for _ in 0..2 {
+            let again = forest.execute(batch.requests(), &mut StdRng::seed_from_u64(5));
+            prop_assert_eq!(again, &first[..]);
+            prop_assert_eq!(forest.last_report(), first_report);
+        }
+    }
+}
+
+/// A fixed-seed long-stream smoke test for the debug-assertions CI
+/// job: heavy insert mix, several hundred requests, every internal
+/// debug invariant armed.
+#[test]
+fn fixed_seed_long_mixed_stream() {
+    let t = spatial_trees::tree::generators::uniform_random(150, &mut StdRng::seed_from_u64(1234));
+    let mut forest = SpatialForest::new(&t);
+    let mut naive = NaiveModel::new(&t);
+    let mut stream_rng = StdRng::seed_from_u64(0xf22);
+    for round in 0..6u64 {
+        let batch = random_stream(naive.n(), 80, 25, &mut stream_rng);
+        let responses = forest
+            .execute(batch.requests(), &mut StdRng::seed_from_u64(round))
+            .to_vec();
+        let expected: Vec<Response> = batch
+            .requests()
+            .iter()
+            .map(|&req| naive.answer(req))
+            .collect();
+        assert_eq!(responses, expected, "round {round}");
+    }
+    assert_eq!(forest.n(), naive.n());
+    assert!(forest.dynamic_stats().insertions > 50);
+    assert!(
+        forest.pool().stats().rebinds > 0,
+        "mutations rebound engines"
+    );
+}
