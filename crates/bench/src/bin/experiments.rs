@@ -90,6 +90,12 @@ fn main() {
     if want("bench-json") || want("bench-json-service") {
         bench_json_service();
     }
+    // Sharded multi-tenant service throughput under sustained mixed
+    // load (the PR 6 acceptance bar); `bench-json-throughput` runs it
+    // solo.
+    if want("bench-json") || want("bench-json-throughput") {
+        bench_json_throughput();
+    }
 }
 
 /// `bench-json-service` — the session layer's mixed-workload
@@ -333,6 +339,389 @@ fn bench_json_service() {
     );
     let path = "BENCH_service.json";
     std::fs::write(path, &json).expect("write BENCH_service.json");
+    println!("\n  wrote {path}\n");
+}
+
+/// `bench-json-throughput` — sustained mixed-load throughput of the
+/// sharded [`spatial_trees::serve::ForestService`]: 8 tenants of
+/// n = 2^13 each, an open-loop arrival trace of 256 jobs × 32 mixed
+/// requests (≈6% inserts) with tenant skew 4:2:2:1:1:1:1:1, replayed
+/// against 1/2/4/8 worker threads. Reports measured wall-clock QPS,
+/// **modeled** aggregate QPS (total requests / busiest shard's busy
+/// time — the load-balance critical path, i.e. the throughput the
+/// sharding supports with one core per worker; on a machine with
+/// fewer cores, wall QPS is core-bound while this figure is not), and
+/// client-observed p50/p99 job latency. Also runs the dispatch
+/// granularity micro-sweep behind
+/// [`spatial_trees::serve::MIN_COALESCED_BATCH`]. Writes
+/// `BENCH_throughput.json` next to the workspace root.
+fn bench_json_throughput() {
+    use spatial_trees::serve::{ForestService, ServiceOptions, Ticket, MIN_COALESCED_BATCH};
+    use spatial_trees::session::{QueryBatch, SpatialForest};
+    use std::time::Instant;
+
+    println!(
+        "\n### bench-json-throughput — sharded ForestService sustained load → BENCH_throughput.json\n"
+    );
+
+    let log_n = 13u32;
+    let n = 1u32 << log_n;
+    let tenants = 8usize;
+    let family = TreeFamily::UniformRandom;
+    let trees: Vec<Tree> = (0..tenants)
+        .map(|t| workload(family, n, 31 + t as u64))
+        .collect();
+
+    // ---- Open-loop arrival trace, shared by every worker count. ----
+    // Tenant skew stresses load balance: the busiest tenant carries
+    // 4/13 of the requests, so perfect 8-way sharding models out at
+    // 13/4 = 3.25x over one worker — the ≥3x acceptance bar with
+    // margin, and an honest ceiling (per-tenant streams can't split).
+    const JOB_LEN: usize = 32;
+    const JOBS: usize = 256;
+    let skew = [4u32, 2, 2, 1, 1, 1, 1, 1];
+    let skew_total: u32 = skew.iter().sum();
+    let mut trace_rng = StdRng::seed_from_u64(32);
+    let mut sizes: Vec<u32> = vec![n; tenants];
+    let trace: Vec<(u32, QueryBatch)> = (0..JOBS)
+        .map(|_| {
+            let mut pick = trace_rng.gen_range(0..skew_total);
+            let tenant = skew
+                .iter()
+                .position(|&w| {
+                    if pick < w {
+                        true
+                    } else {
+                        pick -= w;
+                        false
+                    }
+                })
+                .expect("skew covers the draw") as u32;
+            let mut b = QueryBatch::with_capacity(JOB_LEN);
+            let sz = &mut sizes[tenant as usize];
+            for _ in 0..JOB_LEN {
+                let kind = trace_rng.gen_range(0..100);
+                if kind < 6 {
+                    b.insert_leaf_weighted(trace_rng.gen_range(0..*sz), trace_rng.gen_range(1..5));
+                    *sz += 1;
+                } else if kind < 40 {
+                    b.lca(trace_rng.gen_range(0..*sz), trace_rng.gen_range(0..*sz));
+                } else if kind < 72 {
+                    b.subtree_sum(trace_rng.gen_range(0..*sz));
+                } else {
+                    b.rank(trace_rng.gen_range(0..*sz));
+                }
+            }
+            (tenant, b)
+        })
+        .collect();
+    let total_requests = (JOBS * JOB_LEN) as u64;
+
+    // ---- Correctness cross-check before timing anything: the ----
+    // ---- 2-worker service answers exactly like direct forests. ----
+    let direct_answers: Vec<Vec<Response>> = {
+        let mut forests: Vec<SpatialForest> = trees.iter().map(SpatialForest::new).collect();
+        let mut rng = StdRng::seed_from_u64(40);
+        trace
+            .iter()
+            .map(|(tenant, b)| {
+                forests[*tenant as usize]
+                    .execute(b.requests(), &mut rng)
+                    .to_vec()
+            })
+            .collect()
+    };
+    {
+        let service = ForestService::start(&trees, ServiceOptions::new(2));
+        let tickets: Vec<Ticket> = trace
+            .iter()
+            .map(|(tenant, b)| service.submit(*tenant, b.requests()))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                ticket.wait(),
+                direct_answers[i],
+                "service diverged from direct forests on job {i}"
+            );
+        }
+        service.shutdown();
+    }
+
+    // ---- Direct single-thread baseline (per-job, no coalescing): ----
+    // ---- the PR 5 warm path the 1-worker service must stay       ----
+    // ---- within 10% of.                                          ----
+    let direct_ms_per_q = time_best_ms(2, || {
+        let mut forests: Vec<SpatialForest> = trees.iter().map(SpatialForest::new).collect();
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut acc = 0u64;
+        for (tenant, b) in &trace {
+            acc = acc.wrapping_add(
+                forests[*tenant as usize]
+                    .execute(b.requests(), &mut rng)
+                    .len() as u64,
+            );
+        }
+        acc
+    }) / total_requests as f64;
+
+    // ---- The sustained-load runs. ----
+    struct ConfigRun {
+        workers: usize,
+        wall_qps: f64,
+        modeled_qps: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        executes: u64,
+        busy_ms_per_q_busiest: f64,
+        total_busy_s: f64,
+        grid_total: CostReport,
+    }
+    let run_config = |workers: usize| -> ConfigRun {
+        let mut opts = ServiceOptions::new(workers);
+        opts.seed = 77;
+        opts.queue_capacity = 512;
+        let service = ForestService::start(&trees, opts);
+        // One collector thread per shard drains tickets in each
+        // shard's FIFO completion order, so a slow shard never
+        // inflates another shard's observed latency.
+        let (mut latencies, wall_s) = std::thread::scope(|s| {
+            let mut txs = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = std::sync::mpsc::channel::<(Instant, Ticket)>();
+                txs.push(tx);
+                handles.push(s.spawn(move || {
+                    let mut lats = Vec::new();
+                    while let Ok((t0, ticket)) = rx.recv() {
+                        std::hint::black_box(ticket.wait().len());
+                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                }));
+            }
+            let wall0 = Instant::now();
+            for (tenant, b) in &trace {
+                let t0 = Instant::now();
+                let ticket = service.submit(*tenant, b.requests());
+                txs[*tenant as usize % workers]
+                    .send((t0, ticket))
+                    .expect("collector alive");
+            }
+            drop(txs);
+            let mut lats: Vec<f64> = Vec::with_capacity(JOBS);
+            for h in handles {
+                lats.extend(h.join().expect("collector"));
+            }
+            (lats, wall0.elapsed().as_secs_f64())
+        });
+        let report = service.shutdown();
+        assert_eq!(report.total_requests(), total_requests);
+        latencies.sort_by(f64::total_cmp);
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let busiest = report
+            .shards
+            .iter()
+            .max_by_key(|s| s.busy)
+            .expect("nonempty");
+        let grid_total = report
+            .shards
+            .iter()
+            .flat_map(|s| s.tenants.iter())
+            .flat_map(|t| t.reports.iter())
+            .fold(CostReport::default(), |acc, r| acc + r.grid);
+        ConfigRun {
+            workers,
+            wall_qps: total_requests as f64 / wall_s,
+            modeled_qps: report.modeled_qps(),
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            executes: report.total_executes(),
+            busy_ms_per_q_busiest: busiest.busy.as_secs_f64() * 1e3
+                / busiest.requests.max(1) as f64,
+            total_busy_s: report.total_busy().as_secs_f64(),
+            grid_total,
+        }
+    };
+
+    let runs: Vec<ConfigRun> = [1usize, 2, 4, 8].into_iter().map(run_config).collect();
+
+    let mut table = Table::new([
+        "workers",
+        "wall q/s",
+        "modeled q/s",
+        "p50 ms",
+        "p99 ms",
+        "sessions",
+    ]);
+    for r in &runs {
+        table.row([
+            r.workers.to_string(),
+            f2(r.wall_qps),
+            f2(r.modeled_qps),
+            f3(r.p50_ms),
+            f3(r.p99_ms),
+            r.executes.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Acceptance: modeled aggregate QPS must scale ≥3x from 1 to 8
+    // workers (the load-balance critical path; wall QPS on this
+    // machine is bounded by its core count), and the single-shard
+    // warm path must stay within 10% of the direct forest path.
+    let speedup_modeled = runs[3].modeled_qps / runs[0].modeled_qps;
+    assert!(
+        speedup_modeled >= 3.0,
+        "acceptance bar: modeled QPS must scale >= 3x from 1 to 8 workers, got {speedup_modeled:.2}x"
+    );
+    let single_shard_overhead = runs[0].busy_ms_per_q_busiest / direct_ms_per_q;
+    assert!(
+        single_shard_overhead <= 1.10,
+        "acceptance bar: 1-worker service path must stay within 10% of the direct forest \
+         ({:.4} ms/q vs {direct_ms_per_q:.4} ms/q = {single_shard_overhead:.3}x)",
+        runs[0].busy_ms_per_q_busiest
+    );
+    println!(
+        "  modeled scaling 1->8 workers: {speedup_modeled:.2}x; single-shard overhead vs direct: {:.1}%",
+        (single_shard_overhead - 1.0) * 100.0
+    );
+
+    // ---- Dispatch granularity micro-sweep: per-query cost vs   ----
+    // ---- requests-per-cycle, coalescing disabled so every job  ----
+    // ---- is its own session. The curve fits F/b + c: a fixed   ----
+    // ---- per-cycle cost F (session setup + hand-off) amortized ----
+    // ---- over b requests plus a marginal per-query cost c.     ----
+    const SWEEP_REQUESTS: usize = 1024;
+    let sweep_sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let mut sweep_rows = Vec::new();
+    let mut sweep_ms_per_q = Vec::new();
+    let mut sweep_table = Table::new(["batch", "ms/query", "vs b=1024"]);
+    let mut sweep_rng = StdRng::seed_from_u64(50);
+    let sweep_jobs: Vec<QueryBatch> = {
+        // One read-only request pool, re-chunked per batch size below.
+        let mut b = QueryBatch::with_capacity(SWEEP_REQUESTS);
+        for _ in 0..SWEEP_REQUESTS {
+            match sweep_rng.gen_range(0..3) {
+                0 => b.lca(sweep_rng.gen_range(0..n), sweep_rng.gen_range(0..n)),
+                1 => b.subtree_sum(sweep_rng.gen_range(0..n)),
+                _ => b.rank(sweep_rng.gen_range(0..n)),
+            };
+        }
+        vec![b]
+    };
+    let pool = sweep_jobs[0].requests();
+    let sweep_opts = || {
+        let mut opts = ServiceOptions::new(1);
+        opts.seed = 77;
+        opts.queue_capacity = 512;
+        opts.coalesce_target = 1; // one session per job: expose the hand-off
+        opts
+    };
+    // Every sweep config starts with the identical warm job (engine
+    // builds + one big session); measure that prefix once so the
+    // per-batch-size figures cover only the chunked timed pass.
+    let warm_busy_s = {
+        let service = ForestService::start(&trees[..1], sweep_opts());
+        service.submit(0, pool).wait();
+        service.shutdown().shards[0].busy.as_secs_f64()
+    };
+    for &bsz in &sweep_sizes {
+        let service = ForestService::start(&trees[..1], sweep_opts());
+        service.submit(0, pool).wait();
+        let tickets: Vec<Ticket> = pool
+            .chunks(bsz)
+            .map(|chunk| service.submit(0, chunk))
+            .collect();
+        for t in tickets {
+            std::hint::black_box(t.wait().len());
+        }
+        let report = service.shutdown();
+        let timed_s = (report.shards[0].busy.as_secs_f64() - warm_busy_s).max(1e-9);
+        let ms_per_q = timed_s * 1e3 / SWEEP_REQUESTS as f64;
+        sweep_ms_per_q.push(ms_per_q);
+        sweep_rows.push(format!(
+            "    {{\"batch\": {bsz}, \"ms_per_query\": {ms_per_q:.5}}}"
+        ));
+    }
+    let asymptote = *sweep_ms_per_q.last().expect("sweep ran");
+    for (i, &bsz) in sweep_sizes.iter().enumerate() {
+        sweep_table.row([
+            bsz.to_string(),
+            format!("{:.5}", sweep_ms_per_q[i]),
+            format!("{:.2}x", sweep_ms_per_q[i] / asymptote),
+        ]);
+    }
+    sweep_table.print();
+    // Two-point fit of ms/q = F/b + c from the largest sizes (where
+    // measurement noise per cycle is best amortized).
+    let k = sweep_sizes.len();
+    let (b1, b2) = (sweep_sizes[k - 2] as f64, sweep_sizes[k - 1] as f64);
+    let (ms1, ms2) = (sweep_ms_per_q[k - 2], sweep_ms_per_q[k - 1]);
+    let fixed_ms_per_cycle = (ms1 - ms2) / (1.0 / b1 - 1.0 / b2);
+    let marginal_ms_per_q = (ms2 - fixed_ms_per_cycle / b2).max(0.0);
+    println!(
+        "  fit: per-cycle fixed cost {fixed_ms_per_cycle:.2} ms, marginal {marginal_ms_per_q:.4} ms/query \
+         => the cycle cost is ~all fixed; per-query cost falls as 1/batch"
+    );
+    // The knee criterion is self-relative: the smallest cycle size
+    // whose per-query cost is within 2x of the batch-everything bound
+    // (b = the whole pool). Below it, fixed-cost amortization still
+    // dominates; above it, doubling the cycle buys < 2x.
+    let measured_min = sweep_sizes
+        .iter()
+        .zip(&sweep_ms_per_q)
+        .find(|(_, &ms)| ms <= 2.0 * asymptote)
+        .map(|(&b, _)| b)
+        .unwrap_or(*sweep_sizes.last().expect("nonempty"));
+    println!(
+        "  measured minimum coalesced batch (within 2x of the b=1024 bound): {measured_min}; baked-in MIN_COALESCED_BATCH = {MIN_COALESCED_BATCH}"
+    );
+    // Noise-aware regression gate on the baked constant: it must stay
+    // within 2.5x of the batch-everything bound even on a loaded CI
+    // box (expected ~1.75x from the fit).
+    let at_constant = sweep_sizes
+        .iter()
+        .position(|&b| b >= MIN_COALESCED_BATCH)
+        .map(|i| sweep_ms_per_q[i])
+        .expect("constant within sweep range");
+    assert!(
+        at_constant <= 2.5 * asymptote,
+        "MIN_COALESCED_BATCH={MIN_COALESCED_BATCH} no longer amortizes the cycle cost: {at_constant:.5} ms/q vs bound {asymptote:.5}"
+    );
+
+    // ---- JSON. ----
+    let result_rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"wall_qps\": {:.1}, \"modeled_qps\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"jobs\": {JOBS}, \"sessions\": {}, \"total_busy_s\": {:.4}}}",
+                r.workers, r.wall_qps, r.modeled_qps, r.p50_ms, r.p99_ms, r.executes, r.total_busy_s
+            )
+        })
+        .collect();
+    let scenario_rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            scenario_row(
+                "service_throughput_grid_total",
+                &format!("sharded-{}w", r.workers),
+                family.name(),
+                n as u64,
+                CurveKind::Hilbert.name(),
+                r.grid_total,
+                None,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"8 tenants x uniform_random n=2^{log_n}, open-loop trace of {JOBS} jobs x {JOB_LEN} mixed requests (~6% inserts), tenant skew 4:2:2:1:1:1:1:1\",\n  \"metrics\": \"modeled_qps = total_requests / busiest shard busy time (load-balance critical path, one core per worker); wall_qps is measured on this machine and bounded by its core count; latency is client-observed per job\",\n  \"total_requests\": {total_requests},\n  \"speedup_modeled_8w_vs_1w\": {speedup_modeled:.3},\n  \"single_shard_busy_ms_per_query\": {:.4},\n  \"direct_forest_ms_per_query\": {direct_ms_per_q:.4},\n  \"single_shard_overhead_vs_direct\": {single_shard_overhead:.3},\n  \"min_coalesced_batch\": {MIN_COALESCED_BATCH},\n  \"measured_min_coalesced_batch\": {measured_min},\n  \"granularity_fit\": {{\"fixed_ms_per_cycle\": {fixed_ms_per_cycle:.3}, \"marginal_ms_per_query\": {marginal_ms_per_q:.4}}},\n  \"results\": [\n{}\n  ],\n  \"granularity_sweep\": [\n{}\n  ],\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        runs[0].busy_ms_per_q_busiest,
+        result_rows.join(",\n"),
+        sweep_rows.join(",\n"),
+        scenario_rows.join(",\n")
+    );
+    let path = "BENCH_throughput.json";
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
     println!("\n  wrote {path}\n");
 }
 

@@ -4,19 +4,20 @@
 //! Every baseline file carries a `scenarios` array whose rows share one
 //! machine-cost schema — `scenario`, `n`, `curve`, `energy`, `depth`,
 //! `messages` (plus `impl`/`family`/`work`, and `steps` on PRAM rows) —
-//! so downstream tooling can join the four files on the shared keys.
+//! so downstream tooling can join the baseline files on the shared keys.
 //! The writers emit one row object per line; this suite validates the
 //! shared keys and the numeric fields without a JSON dependency (the
 //! offline workspace has none).
 
 use std::path::PathBuf;
 
-const FILES: [&str; 5] = [
+const FILES: [&str; 6] = [
     "BENCH_sfc_treefix.json",
     "BENCH_lca_mincut.json",
     "BENCH_layout.json",
     "BENCH_pram.json",
     "BENCH_service.json",
+    "BENCH_throughput.json",
 ];
 
 /// Keys every scenarios row must carry, in every file.
@@ -123,6 +124,60 @@ fn service_file_shows_the_session_reuse_win() {
     assert!(
         crossover[1] > crossover[0],
         "PRAM shadow must cost more energy: {crossover:?}"
+    );
+}
+
+#[test]
+fn throughput_file_shows_the_sharding_win() {
+    // The PR 6 acceptance bar, checked noise-aware against the
+    // committed data: modeled aggregate QPS (total requests / busiest
+    // shard CPU-busy time — the load-balance critical path with one
+    // core per worker) must scale at least 2x from 1 to 8 workers
+    // (the bench runner itself asserts the full 3x at generation
+    // time; the committed-data gate leaves headroom for rerun noise).
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_throughput.json"))
+        .expect("BENCH_throughput.json checked in");
+    let needle = "\"speedup_modeled_8w_vs_1w\": ";
+    let at = text.find(needle).expect("modeled speedup field");
+    let speedup: f64 = text[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect::<String>()
+        .parse()
+        .expect("numeric modeled speedup");
+    assert!(
+        speedup >= 2.0,
+        "sharding must scale modeled QPS >= 2x from 1 to 8 workers, committed {speedup}"
+    );
+
+    // Every worker-count row reports both throughput figures and the
+    // client-observed latency tail.
+    for workers in [1, 2, 4, 8] {
+        let row = text
+            .lines()
+            .find(|l| l.contains(&format!("\"workers\": {workers},")))
+            .unwrap_or_else(|| panic!("missing results row for {workers} workers"));
+        for key in [
+            "\"wall_qps\"",
+            "\"modeled_qps\"",
+            "\"p50_ms\"",
+            "\"p99_ms\"",
+        ] {
+            assert!(
+                row.contains(&format!("{key}: ")),
+                "{workers}-worker row missing {key}: {row}"
+            );
+        }
+    }
+
+    // The dispatch-granularity sweep backs the baked-in constant.
+    assert!(
+        text.contains("\"granularity_sweep\": ["),
+        "missing granularity sweep section"
+    );
+    assert!(
+        text.contains("\"min_coalesced_batch\": "),
+        "missing baked-in coalesce constant"
     );
 }
 

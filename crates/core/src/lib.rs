@@ -20,6 +20,7 @@
 //! | §VI batched LCA | [`lca`] | [`lca::batched_lca`] |
 //! | §I-C PRAM baseline | [`pram`] | [`pram::pram_subtree_sums`] |
 //! | session layer (serving) | [`session`] | [`session::SpatialForest`], [`session::QueryBatch`] |
+//! | service layer (sharded, multi-threaded) | [`serve`] | [`serve::ForestService`] |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use spatial_messaging as messaging;
 pub use spatial_mincut as mincut;
 pub use spatial_model as model;
 pub use spatial_pram as pram;
+pub use spatial_serve as serve;
 pub use spatial_session as session;
 pub use spatial_sfc as sfc;
 pub use spatial_tree as tree;

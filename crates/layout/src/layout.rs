@@ -235,8 +235,17 @@ impl Layout {
 
     /// Instantiates the machine whose slot `i` is curve position `i`;
     /// vertex `v` lives at machine slot [`Layout::slot`]`(v)`.
+    ///
+    /// The slots are transformed through **this layout's own curve**,
+    /// not a freshly-built compact curve for `n` cells: a layout built
+    /// with [`Layout::from_order_with_capacity`] sits on a curve sized
+    /// for the capacity, whose geometry (side length, cell positions)
+    /// differs from the compact curve — pricing reserved-tail
+    /// placements through a compact grid undercharges them.
     pub fn machine(&self) -> Machine {
-        Machine::on_curve(self.curve.kind(), self.n())
+        let mut points = vec![GridPoint::default(); self.vertex_at.len()];
+        self.curve.point_range_batch(0, &mut points);
+        Machine::from_points(points)
     }
 
     /// Grid coordinate of every vertex, indexed by vertex id — one
@@ -436,6 +445,52 @@ mod tests {
         let m = l.machine();
         for v in 0..20u32 {
             assert_eq!(m.point_of(l.slot(v)), l.point(v));
+        }
+    }
+
+    #[test]
+    fn machine_prices_reserved_tail_placements() {
+        // A capacity-64 layout holding 3 vertices sits on an 8×8 curve;
+        // the compact 3-cell curve is 2×2. Pricing through the compact
+        // grid (the old `Machine::on_curve(kind, n)` construction)
+        // collapses every placement into the small grid and
+        // undercharges messages that cross the real geometry — the bug
+        // PR 5 worked around by rebuilding the grid from the dynamic
+        // curve's true points in `session/forest.rs`.
+        let mut l = Layout::from_order_with_capacity(CurveKind::Hilbert, vec![2, 0, 1], 64);
+        l.append_tail(3);
+        l.append_tail(4);
+        let m = l.machine();
+        assert_eq!(m.n_slots(), 5);
+        // Machine geometry is the layout's own: every vertex (including
+        // the tail appends) sits at its true curve point.
+        for v in 0..5u32 {
+            assert_eq!(m.point_of(l.slot(v)), l.point(v), "vertex {v}");
+        }
+        // The charge for a tail-to-head message is the true Manhattan
+        // distance on the 8×8 curve…
+        m.send(l.slot(4), l.slot(0));
+        assert_eq!(m.energy(), l.dist(4, 0));
+        // …which the compact grid cannot even represent: slot 4 is out
+        // of range for a 2×2 machine, and the true distance exceeds the
+        // compact grid's diameter.
+        let compact = Machine::on_curve(CurveKind::Hilbert, 3);
+        assert!(l.slot(4) >= compact.n_slots());
+        assert!(l.dist(4, 0) > (2 * (compact.side().max(1) as u64 - 1)));
+    }
+
+    #[test]
+    fn machine_unchanged_for_compact_layouts() {
+        // For layouts without reserved tails the fix is geometry-
+        // neutral: the batch-transformed points equal the compact
+        // curve construction, so all existing charge baselines hold.
+        let t = generators::uniform_random(100, &mut StdRng::seed_from_u64(3));
+        let l = Layout::light_first(&t, CurveKind::Hilbert);
+        let m = l.machine();
+        let compact = Machine::on_curve(CurveKind::Hilbert, 100);
+        assert_eq!(m.n_slots(), compact.n_slots());
+        for s in 0..100u32 {
+            assert_eq!(m.point_of(s), compact.point_of(s), "slot {s}");
         }
     }
 

@@ -1,0 +1,605 @@
+//! [`ForestService`]: shard-owned forests behind coalescing bounded
+//! queues.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use rand::prelude::*;
+use spatial_session::{ForestOptions, Request, Response, SessionReport, SpatialForest};
+use spatial_tree::Tree;
+use std::time::Duration;
+
+/// The clock a worker charges its busy time on: per-thread CPU time,
+/// so a shard's `busy` means "compute this shard performed", not "wall
+/// time during which it happened to hold the core". On hosts with
+/// fewer cores than workers (CI containers are single-core) wall-clock
+/// deltas would silently include the time a worker sat preempted while
+/// its siblings ran, inflating every shard's busy toward the total and
+/// erasing the sharding signal the modeled-QPS metric exists to
+/// measure.
+#[cfg(target_os = "linux")]
+mod thread_clock {
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    /// CPU time consumed by the calling thread so far.
+    pub fn now() -> Duration {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        debug_assert_eq!(rc, 0, "CLOCK_THREAD_CPUTIME_ID unavailable");
+        Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+    }
+}
+
+/// Wall-clock fallback where no per-thread CPU clock is exposed; busy
+/// figures are then only meaningful with one core per worker.
+#[cfg(not(target_os = "linux"))]
+mod thread_clock {
+    use std::time::{Duration, Instant};
+
+    pub fn now() -> Duration {
+        thread_local! {
+            static ANCHOR: Instant = Instant::now();
+        }
+        ANCHOR.with(|a| a.elapsed())
+    }
+}
+
+/// Minimum number of requests a worker tries to coalesce into one
+/// charge-batched session before executing.
+///
+/// Measured by the dispatch-granularity sweep in
+/// `experiments -- bench-json-throughput` (recorded in `DESIGN.md`):
+/// a dispatch cycle's cost fits `F/b + c` per query, and at n = 2^13
+/// the fixed per-cycle cost F (~15 ms: session setup, structure
+/// refresh, and — a distant third — the channel hand-off itself)
+/// dwarfs the marginal per-query cost c (~6 µs), so per-query cost
+/// falls like `1/b` with cycle size. This constant is the measured
+/// smallest cycle within 2× of the batch-everything bound — past it,
+/// doubling the cycle (and with it the latency coupling between
+/// coalesced jobs) buys less than 2×. Coalescing is opportunistic — a
+/// worker never *waits* for this many requests (latency is bounded by
+/// work in flight, not by a timer); it just keeps draining its queue
+/// without executing while fewer than this many requests are pending
+/// and more jobs are available.
+pub const MIN_COALESCED_BATCH: usize = 512;
+
+/// Construction options for [`ForestService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceOptions {
+    /// Number of worker threads; tenant `t` is owned by shard
+    /// `t % workers`.
+    pub workers: usize,
+    /// Bounded capacity of each shard's submission queue, in **jobs**;
+    /// a full queue blocks [`ForestService::submit`] (backpressure).
+    pub queue_capacity: usize,
+    /// A worker keeps draining pending jobs (without blocking) until
+    /// it holds at least this many requests, then executes the lot as
+    /// per-tenant charge-batched sessions. See [`MIN_COALESCED_BATCH`].
+    pub coalesce_target: usize,
+    /// Options for every tenant's [`SpatialForest`].
+    pub forest: ForestOptions,
+    /// Root seed; each tenant derives its private session RNG from it
+    /// (see [`tenant_seed`]), independent of sharding.
+    pub seed: u64,
+    /// Record every executed per-tenant request stream in the shard
+    /// report — the hook the differential fuzz harness uses to replay
+    /// the service's exact coalescing on a single-threaded twin.
+    pub record_streams: bool,
+}
+
+impl ServiceOptions {
+    /// Defaults with an explicit worker count.
+    pub fn new(workers: usize) -> Self {
+        ServiceOptions {
+            workers,
+            queue_capacity: 256,
+            coalesce_target: MIN_COALESCED_BATCH,
+            forest: ForestOptions::default(),
+            seed: 0x5eed,
+            record_streams: false,
+        }
+    }
+}
+
+/// The RNG seed of a tenant's forest sessions: a fixed mix of the
+/// service seed and the tenant id. Shard-independent, so a
+/// single-threaded twin replaying a tenant's recorded streams with
+/// this seed reproduces the service's answers and charges bit for bit.
+pub fn tenant_seed(seed: u64, tenant: u32) -> u64 {
+    seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tenant as u64 + 1))
+}
+
+/// One submitted unit of work: a tenant plus a request stream, with
+/// the reply channel the owning worker answers on.
+struct Job {
+    tenant: u32,
+    requests: Vec<Request>,
+    reply: Sender<Vec<Response>>,
+}
+
+/// A handle to one submitted job's pending responses.
+#[must_use = "wait() retrieves the responses"]
+pub struct Ticket {
+    rx: Receiver<Vec<Response>>,
+}
+
+impl Ticket {
+    /// Blocks until the owning worker has executed the job; responses
+    /// align with the submitted requests by index.
+    ///
+    /// # Panics
+    /// Panics if the service shut down before answering (cannot happen
+    /// through the public API: [`ForestService::shutdown`] drains every
+    /// queue before the workers exit).
+    pub fn wait(self) -> Vec<Response> {
+        self.rx.recv().expect("service answered before shutdown")
+    }
+}
+
+/// Everything one worker accumulated for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantLog {
+    /// The tenant id.
+    pub tenant: u32,
+    /// One [`SessionReport`] per executed coalesced session, in
+    /// execution order.
+    pub reports: Vec<SessionReport>,
+    /// The executed request streams (one per session, concatenated in
+    /// coalescing order) when `record_streams` was set; empty
+    /// otherwise.
+    pub streams: Vec<Vec<Request>>,
+}
+
+/// Shutdown summary of one shard (= one worker thread).
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index (`0..workers`).
+    pub shard: usize,
+    /// Jobs the worker answered.
+    pub jobs: u64,
+    /// Requests across those jobs.
+    pub requests: u64,
+    /// Coalesced sessions executed (`≤ jobs`; the coalescing win is
+    /// `jobs / executes`).
+    pub executes: u64,
+    /// CPU time this worker spent executing (drain + execute + reply),
+    /// excluding idle blocking on the queue, measured on the
+    /// per-thread CPU clock so co-scheduled workers on an
+    /// oversubscribed host don't leak into each other's figure. The
+    /// critical-path denominator of the modeled aggregate throughput.
+    pub busy: Duration,
+    /// Per-tenant logs for the tenants this shard owns.
+    pub tenants: Vec<TenantLog>,
+}
+
+/// Shutdown summary of the whole service.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// One report per shard, indexed by shard.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServiceReport {
+    /// Total requests answered across all shards.
+    pub fn total_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total jobs answered across all shards.
+    pub fn total_jobs(&self) -> u64 {
+        self.shards.iter().map(|s| s.jobs).sum()
+    }
+
+    /// Total coalesced sessions executed across all shards.
+    pub fn total_executes(&self) -> u64 {
+        self.shards.iter().map(|s| s.executes).sum()
+    }
+
+    /// The busiest shard's busy time — the critical path of the run if
+    /// every worker had its own core.
+    pub fn max_shard_busy(&self) -> Duration {
+        self.shards.iter().map(|s| s.busy).max().unwrap_or_default()
+    }
+
+    /// Summed busy time across shards (the single-core wall-clock
+    /// lower bound).
+    pub fn total_busy(&self) -> Duration {
+        self.shards.iter().map(|s| s.busy).sum()
+    }
+
+    /// **Modeled** aggregate queries/sec: total requests divided by
+    /// the busiest shard's busy time. This is the throughput the run's
+    /// *load balance* supports when each worker has a dedicated core —
+    /// on a machine with fewer cores than workers (CI containers), the
+    /// measured wall-clock QPS is lower while this figure isolates the
+    /// sharding quality. Both are reported side by side in
+    /// `BENCH_throughput.json`.
+    pub fn modeled_qps(&self) -> f64 {
+        let crit = self.max_shard_busy().as_secs_f64();
+        if crit == 0.0 {
+            return 0.0;
+        }
+        self.total_requests() as f64 / crit
+    }
+
+    /// The log of one tenant (wherever it was sharded).
+    pub fn tenant_log(&self, tenant: u32) -> Option<&TenantLog> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.tenants.iter())
+            .find(|t| t.tenant == tenant)
+    }
+}
+
+/// Per-tenant worker-side state: the forest, its session RNG, and the
+/// accumulated logs.
+struct TenantState {
+    tenant: u32,
+    forest: SpatialForest,
+    rng: StdRng,
+    reports: Vec<SessionReport>,
+    streams: Vec<Vec<Request>>,
+}
+
+/// A fixed pool of worker threads serving many tenants' forests.
+///
+/// Tenant `t` is owned by shard `t % workers`: all of a tenant's
+/// requests execute on one thread, in submission order, against
+/// thread-exclusive state — the hot path takes **no locks** and shares
+/// **no cache lines** across shards. Cross-thread communication is
+/// confined to the bounded job queue in front of each shard and the
+/// per-job reply channel, both carrying whole batches.
+pub struct ForestService {
+    txs: Vec<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<ShardReport>>,
+    workers: usize,
+    tenants: usize,
+}
+
+impl ForestService {
+    /// Spawns the worker pool and builds one [`SpatialForest`] per
+    /// tenant tree, sharded round-robin across workers.
+    ///
+    /// # Panics
+    /// Panics when `opts.workers == 0` or any option is degenerate.
+    pub fn start(trees: &[Tree], opts: ServiceOptions) -> Self {
+        assert!(opts.workers >= 1, "need at least one worker");
+        assert!(opts.queue_capacity >= 1, "need a non-empty queue");
+        let mut per_shard: Vec<Vec<TenantState>> = (0..opts.workers).map(|_| Vec::new()).collect();
+        for (t, tree) in trees.iter().enumerate() {
+            let tenant = t as u32;
+            per_shard[t % opts.workers].push(TenantState {
+                tenant,
+                forest: SpatialForest::with_options(tree, opts.forest),
+                rng: StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)),
+                reports: Vec::new(),
+                streams: Vec::new(),
+            });
+        }
+        let mut txs = Vec::with_capacity(opts.workers);
+        let mut handles = Vec::with_capacity(opts.workers);
+        for (shard, states) in per_shard.into_iter().enumerate() {
+            let (tx, rx) = bounded::<Job>(opts.queue_capacity);
+            let coalesce_target = opts.coalesce_target;
+            let record = opts.record_streams;
+            handles.push(std::thread::spawn(move || {
+                worker_loop(shard, rx, states, coalesce_target, record)
+            }));
+            txs.push(tx);
+        }
+        ForestService {
+            txs,
+            handles,
+            workers: opts.workers,
+            tenants: trees.len(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// Enqueues a request stream for a tenant and returns a [`Ticket`]
+    /// for its responses. Blocks while the owning shard's queue is
+    /// full (backpressure).
+    ///
+    /// A tenant's requests execute in submission order as long as each
+    /// tenant is driven from one thread at a time.
+    ///
+    /// # Panics
+    /// Panics when the tenant id is out of range.
+    pub fn submit(&self, tenant: u32, requests: &[Request]) -> Ticket {
+        assert!((tenant as usize) < self.tenants, "unknown tenant {tenant}");
+        let (reply, rx) = bounded::<Vec<Response>>(1);
+        let job = Job {
+            tenant,
+            requests: requests.to_vec(),
+            reply,
+        };
+        if self.txs[tenant as usize % self.workers].send(job).is_err() {
+            unreachable!("shard worker alive until shutdown");
+        }
+        Ticket { rx }
+    }
+
+    /// Disconnects the queues, waits for every worker to drain and
+    /// exit, and returns the per-shard reports. Every ticket submitted
+    /// before this call is answered first.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.txs.clear();
+        let shards = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("worker exited cleanly"))
+            .collect();
+        ServiceReport { shards }
+    }
+}
+
+impl Drop for ForestService {
+    fn drop(&mut self) {
+        // A dropped (not shut down) service still drains and joins so
+        // no worker outlives the handle; reports are discarded.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The shard worker: blockingly pops one job, opportunistically drains
+/// more up to the coalesce target, executes one charge-batched session
+/// per tenant present, then replies per job.
+fn worker_loop(
+    shard: usize,
+    rx: Receiver<Job>,
+    mut states: Vec<TenantState>,
+    coalesce_target: usize,
+    record: bool,
+) -> ShardReport {
+    let mut jobs_total = 0u64;
+    let mut requests_total = 0u64;
+    let mut executes = 0u64;
+    let mut busy = Duration::ZERO;
+    // Retained cycle scratch: the drained jobs, the distinct tenants
+    // of the cycle, and the concatenated per-tenant request stream.
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut cycle_tenants: Vec<u32> = Vec::new();
+    let mut stream: Vec<Request> = Vec::new();
+    let mut responses: Vec<Response> = Vec::new();
+
+    while let Ok(first) = rx.recv() {
+        let t0 = thread_clock::now();
+        jobs.clear();
+        let mut pending = first.requests.len();
+        jobs.push(first);
+        // Coalesce: drain without blocking while below the target.
+        while pending < coalesce_target {
+            match rx.try_recv() {
+                Ok(job) => {
+                    pending += job.requests.len();
+                    jobs.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        // One charged session per distinct tenant, preserving each
+        // tenant's arrival order (the drain above is FIFO).
+        cycle_tenants.clear();
+        for job in &jobs {
+            if !cycle_tenants.contains(&job.tenant) {
+                cycle_tenants.push(job.tenant);
+            }
+        }
+        for &tenant in &cycle_tenants {
+            stream.clear();
+            for job in jobs.iter().filter(|j| j.tenant == tenant) {
+                stream.extend_from_slice(&job.requests);
+            }
+            let state = states
+                .iter_mut()
+                .find(|s| s.tenant == tenant)
+                .expect("tenant sharded to this worker");
+            responses.clear();
+            responses.extend_from_slice(state.forest.execute(&stream, &mut state.rng));
+            state.reports.push(state.forest.last_report());
+            if record {
+                state.streams.push(stream.clone());
+            }
+            // Slice the session's responses back out per job.
+            let mut off = 0usize;
+            for job in jobs.iter().filter(|j| j.tenant == tenant) {
+                let len = job.requests.len();
+                // A dropped ticket is fine — the work is already done.
+                let _ = job.reply.send(responses[off..off + len].to_vec());
+                off += len;
+            }
+            executes += 1;
+        }
+        jobs_total += jobs.len() as u64;
+        requests_total += pending as u64;
+        busy += thread_clock::now().saturating_sub(t0);
+    }
+
+    ShardReport {
+        shard,
+        jobs: jobs_total,
+        requests: requests_total,
+        executes,
+        busy,
+        tenants: states
+            .into_iter()
+            .map(|s| TenantLog {
+                tenant: s.tenant,
+                reports: s.reports,
+                streams: s.streams,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_session::QueryBatch;
+    use spatial_tree::generators;
+
+    fn trees(n_tenants: usize, n: u32, seed: u64) -> Vec<Tree> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_tenants)
+            .map(|_| generators::uniform_random(n, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn answers_match_a_direct_forest() {
+        let ts = trees(3, 150, 11);
+        let opts = ServiceOptions::new(2);
+        let service = ForestService::start(&ts, opts);
+        let mut batch = QueryBatch::new();
+        batch.lca(3, 77).subtree_sum(0).rank(42).insert_leaf(5);
+        let tickets: Vec<_> = (0..3u32)
+            .map(|t| service.submit(t, batch.requests()))
+            .collect();
+        let answers: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let report = service.shutdown();
+
+        for (t, tree) in ts.iter().enumerate() {
+            let mut forest = SpatialForest::with_options(tree, opts.forest);
+            let mut rng = StdRng::seed_from_u64(tenant_seed(opts.seed, t as u32));
+            let want = forest.execute(batch.requests(), &mut rng).to_vec();
+            assert_eq!(answers[t], want, "tenant {t}");
+            let log = report.tenant_log(t as u32).expect("tenant served");
+            assert_eq!(log.reports, vec![forest.last_report()], "tenant {t}");
+        }
+        assert_eq!(report.total_jobs(), 3);
+        assert_eq!(report.total_requests(), 12);
+    }
+
+    #[test]
+    fn coalesces_queued_jobs_into_fewer_sessions() {
+        let ts = trees(1, 200, 5);
+        let mut opts = ServiceOptions::new(1);
+        opts.queue_capacity = 64;
+        opts.coalesce_target = 1_000;
+        let service = ForestService::start(&ts, opts);
+        // A bulky first job keeps the worker busy while the pile of
+        // small jobs below queues up behind it.
+        let mut big = QueryBatch::new();
+        for v in 0..180u32 {
+            big.lca(v, (v * 7) % 200).subtree_sum(v).rank(v);
+        }
+        let head = service.submit(0, big.requests());
+        let mut batch = QueryBatch::new();
+        batch.lca(1, 2).subtree_sum(3);
+        // The worker picks up whatever has accumulated by the time it
+        // wakes and sessions it together.
+        let tickets: Vec<_> = (0..32)
+            .map(|_| service.submit(0, batch.requests()))
+            .collect();
+        assert_eq!(head.wait().len(), 540);
+        for t in tickets {
+            assert_eq!(t.wait().len(), 2);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.total_jobs(), 33);
+        assert!(
+            report.total_executes() < 32,
+            "expected coalescing, got {} sessions for 32 jobs",
+            report.total_executes()
+        );
+    }
+
+    #[test]
+    fn per_tenant_order_is_preserved_across_inserts() {
+        let ts = trees(2, 100, 9);
+        let service = ForestService::start(&ts, ServiceOptions::new(2));
+        // Two inserts then a query that can only see both.
+        let mut b1 = QueryBatch::new();
+        b1.insert_leaf(0).insert_leaf(0);
+        let mut b2 = QueryBatch::new();
+        b2.subtree_sum(0);
+        let t1 = service.submit(1, b1.requests());
+        let t2 = service.submit(1, b2.requests());
+        assert_eq!(
+            t1.wait(),
+            vec![Response::InsertedLeaf(100), Response::InsertedLeaf(101)]
+        );
+        assert_eq!(t2.wait(), vec![Response::SubtreeSum(102)]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn backpressure_blocks_then_completes() {
+        let ts = trees(1, 64, 3);
+        let mut opts = ServiceOptions::new(1);
+        opts.queue_capacity = 2;
+        let service = ForestService::start(&ts, opts);
+        let mut batch = QueryBatch::new();
+        batch.lca(0, 1);
+        // More jobs than queue slots: submit blocks transiently but
+        // every job completes.
+        let tickets: Vec<_> = (0..16)
+            .map(|_| service.submit(0, batch.requests()))
+            .collect();
+        assert_eq!(tickets.len(), 16);
+        for t in tickets {
+            assert_eq!(t.wait().len(), 1);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn record_streams_reproduce_the_run() {
+        let ts = trees(2, 120, 21);
+        let mut opts = ServiceOptions::new(2);
+        opts.record_streams = true;
+        let service = ForestService::start(&ts, opts);
+        let mut batch = QueryBatch::new();
+        batch.insert_leaf(3).lca(2, 9).subtree_sum(1);
+        let tickets: Vec<_> = (0..2u32)
+            .flat_map(|t| (0..3).map(move |_| t))
+            .map(|t| service.submit(t, batch.requests()))
+            .collect();
+        let answers: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let report = service.shutdown();
+
+        for tenant in 0..2u32 {
+            let log = report.tenant_log(tenant).expect("served");
+            // Twin: replay the recorded streams on a fresh forest.
+            let mut twin = SpatialForest::with_options(&ts[tenant as usize], opts.forest);
+            let mut rng = StdRng::seed_from_u64(tenant_seed(opts.seed, tenant));
+            let mut twin_answers = Vec::new();
+            let mut twin_reports = Vec::new();
+            for stream in &log.streams {
+                twin_answers.extend_from_slice(twin.execute(stream, &mut rng));
+                twin_reports.push(twin.last_report());
+            }
+            let service_answers: Vec<Response> = answers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i as u32) / 3 == tenant)
+                .flat_map(|(_, a)| a.iter().copied())
+                .collect();
+            assert_eq!(twin_answers, service_answers, "tenant {tenant}");
+            assert_eq!(twin_reports, log.reports, "tenant {tenant}");
+        }
+    }
+}

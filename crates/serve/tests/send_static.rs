@@ -1,0 +1,44 @@
+//! Static `Send` coverage for every type the sharded service moves
+//! into worker threads. Compile-time only: if any engine, the pool, or
+//! the forest regresses to `!Send` (an `Rc`, a raw pointer without an
+//! explicit `unsafe impl`, a thread-bound guard held across fields),
+//! this file stops compiling — the service's whole-crate
+//! `thread::spawn` would too, but here the offending *type* is named.
+
+use spatial_euler::RankingEngine;
+use spatial_layout::LayoutEngine;
+use spatial_lca::LcaEngine;
+use spatial_model::Machine;
+use spatial_pram::PramEngine;
+use spatial_serve::{ForestService, ServiceReport, Ticket};
+use spatial_session::{EnginePool, SpatialForest};
+use spatial_treefix::contraction::ContractionEngine;
+use spatial_treefix::{Add, Max, Min, Xor};
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn session_layer_is_send() {
+    assert_send::<SpatialForest>();
+    assert_send::<EnginePool>();
+}
+
+#[test]
+fn every_engine_lifecycle_engine_is_send() {
+    assert_send::<ContractionEngine<Add>>();
+    assert_send::<ContractionEngine<Max>>();
+    assert_send::<ContractionEngine<Min>>();
+    assert_send::<ContractionEngine<Xor>>();
+    assert_send::<LcaEngine>();
+    assert_send::<RankingEngine>();
+    assert_send::<LayoutEngine>();
+    assert_send::<PramEngine>();
+}
+
+#[test]
+fn machine_and_service_handles_are_send() {
+    assert_send::<Machine>();
+    assert_send::<ForestService>();
+    assert_send::<Ticket>();
+    assert_send::<ServiceReport>();
+}

@@ -7,8 +7,7 @@ use rand::Rng;
 use spatial_euler::ranking::{END, UNRANKED};
 use spatial_euler::tour::{down, EulerTour};
 use spatial_layout::{DynamicLayout, DynamicStats, Layout, SpatialBuildReport};
-use spatial_model::{CurveKind, GridPoint, Machine, Slot};
-use spatial_sfc::Curve;
+use spatial_model::{CurveKind, Machine, Slot};
 use spatial_tree::{ChildrenCsr, NodeId, Tree};
 use spatial_treefix::Add;
 
@@ -64,13 +63,10 @@ pub struct SpatialForest {
     csr: ChildrenCsr,
     tour_next: Vec<u32>,
     tour_start: u32,
-    /// Grid machine over the layout's true curve geometry (the dynamic
-    /// curve is capacity-reserved, so `Layout::machine()`'s compact
-    /// grid would mis-price tail placements).
+    /// Grid machine over the layout's true curve geometry.
     machine: Machine,
     /// 2-slots-per-vertex machine for the Euler-tour ranking sessions.
     dart_machine: Machine,
-    point_scratch: Vec<GridPoint>,
 
     // ---- Per-vertex query values. ----
     weights: Vec<u64>,
@@ -130,7 +126,6 @@ impl SpatialForest {
             tour_start: END,
             machine: Machine::on_curve(opts.curve, 1),
             dart_machine: Machine::on_curve(opts.curve, 1),
-            point_scratch: Vec::with_capacity(n),
             weights: vec![1; n],
             weights_add: vec![Add(1); n],
             pool: EnginePool::new(opts.curve, n, opts.pram_seed),
@@ -313,11 +308,9 @@ impl SpatialForest {
             self.tour_next.extend_from_slice(tour.next_darts());
             self.tour_start = tour.start();
         }
-        // The grid machine mirrors the layout's actual curve cells.
-        self.point_scratch.clear();
-        self.point_scratch.resize(n as usize, GridPoint::default());
-        layout.curve().point_range_batch(0, &mut self.point_scratch);
-        self.machine = Machine::from_points(self.point_scratch.clone());
+        // The grid machine mirrors the layout's actual curve cells
+        // (`Layout::machine` prices capacity-reserved tails correctly).
+        self.machine = layout.machine();
         self.dart_machine = Machine::on_curve(self.opts.curve, 2 * n);
         self.structure_epoch = self.epoch;
     }

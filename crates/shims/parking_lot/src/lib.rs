@@ -1,29 +1,43 @@
-//! Offline stand-in for the `parking_lot` crate: a [`Mutex`] backed by
-//! [`std::sync::Mutex`] whose `lock()` needs no `unwrap()` (poisoning
-//! is cleared, matching parking_lot semantics).
+//! Offline stand-in for the `parking_lot` crate: [`Mutex`], [`RwLock`],
+//! and [`Condvar`] backed by their `std::sync` counterparts, with
+//! parking_lot's panic-free signatures (`lock()` needs no `unwrap()`;
+//! poisoning is cleared, matching parking_lot semantics).
 
 /// Mutual exclusion wrapper with parking_lot's `lock()` signature.
 #[derive(Debug, Default)]
-pub struct Mutex<T> {
+pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+///
+/// A newtype over [`std::sync::MutexGuard`] so [`Condvar::wait`] can
+/// take parking_lot's `&mut` guard signature (the inner guard is moved
+/// through the std condvar and restored in place).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard present")
+    }
+}
 
 impl<T> Mutex<T> {
     /// Creates the mutex.
     pub const fn new(value: T) -> Self {
         Mutex {
             inner: std::sync::Mutex::new(value),
-        }
-    }
-
-    /// Acquires the lock, ignoring poisoning (parking_lot has none).
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
@@ -36,9 +50,106 @@ impl<T> Mutex<T> {
     }
 }
 
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning (parking_lot has none).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard { inner: Some(guard) }
+    }
+}
+
+/// Reader-writer lock with parking_lot's panic-free `read()`/`write()`
+/// signatures.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates the lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive access, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Condition variable with parking_lot's `wait(&mut guard)` signature —
+/// the blocking primitive under the crossbeam shim's bounded channel.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates the condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guarded mutex and blocks until notified;
+    /// the lock is re-acquired (in place) before returning. Spurious
+    /// wakeups are possible — always wait in a predicate loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        guard.inner = Some(match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        });
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex, RwLock};
+    use std::sync::Arc;
 
     #[test]
     fn lock_and_mutate() {
@@ -46,5 +157,37 @@ mod tests {
         m.lock().push(2);
         assert_eq!(*m.lock(), vec![1, 2]);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = RwLock::new(7u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 8);
+    }
+
+    #[test]
+    fn condvar_handoff_across_threads() {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let peer = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*peer;
+            let mut guard = m.lock();
+            while *guard == 0 {
+                cv.wait(&mut guard);
+            }
+            *guard + 1
+        });
+        {
+            let (m, cv) = &*state;
+            *m.lock() = 41;
+            cv.notify_one();
+        }
+        assert_eq!(handle.join().expect("waiter"), 42);
     }
 }

@@ -37,13 +37,39 @@ thread_local! {
     /// Current fork-join recursion depth on this thread (propagated
     /// into spawned halves so nested [`join`]s see their true depth).
     static JOIN_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+
+    /// Spawns attributed to the fork-join computation rooted on this
+    /// thread. Each [`join`] adds its own spawn here *plus* every spawn
+    /// its spawned half performed (the child's count rides back with
+    /// the result), so after a top-level call returns, this counter
+    /// holds the computation's **whole-tree** spawn total — unpolluted
+    /// by joins running concurrently on unrelated threads.
+    static LOCAL_SPAWNS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
-/// Total OS threads ever spawned by [`join`] — the regression meter
-/// for the spawn cutoff.
+/// Total OS threads ever spawned by [`join`] **process-wide** — a
+/// diagnostics meter. Under concurrent test execution other threads'
+/// joins land in the same counter, so regression *assertions* must use
+/// [`count_join_spawns`], which scopes counting to one computation.
 #[doc(hidden)]
 pub fn join_spawned_threads() -> u64 {
     JOIN_SPAWNS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Runs `f` and returns its result together with the exact number of
+/// OS threads [`join`] spawned **for that computation alone**,
+/// including spawns made by nested joins on spawned threads.
+///
+/// Spawn counts propagate from each spawned half back to its parent at
+/// the join point, so the calling thread's counter sees the whole
+/// fork-join tree; concurrent computations on other threads never leak
+/// into the count. This is the race-free meter the spawn-cutoff
+/// regression tests pin their bounds on.
+pub fn count_join_spawns<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = LOCAL_SPAWNS.with(|c| c.get());
+    let result = f();
+    let after = LOCAL_SPAWNS.with(|c| c.get());
+    (result, after - before)
 }
 
 static JOIN_SPAWNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -87,6 +113,7 @@ where
         return (ra, rb);
     }
     JOIN_SPAWNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    LOCAL_SPAWNS.with(|c| c.set(c.get() + 1));
     // Restore the caller's depth even when a half panics and the
     // unwind escapes through `thread::scope` — otherwise a caught
     // panic would leave the thread-local inflated and every later
@@ -98,18 +125,24 @@ where
         }
     }
     let _guard = DepthGuard(depth);
-    std::thread::scope(|s| {
+    let (ra, child_spawns, rb) = std::thread::scope(|s| {
         let ha = s.spawn(move || {
             // The spawned thread starts at depth 0 in its own
-            // thread-local; inherit the caller's depth so nested joins
-            // stay bounded.
+            // thread-locals; inherit the caller's depth so nested
+            // joins stay bounded, and report the subtree's spawn count
+            // back with the result so the parent's scoped counter sees
+            // the whole computation.
             JOIN_DEPTH.with(|d| d.set(depth + 1));
-            oper_a()
+            let ra = oper_a();
+            (ra, LOCAL_SPAWNS.with(|c| c.get()))
         });
         JOIN_DEPTH.with(|d| d.set(depth + 1));
         let rb = oper_b();
-        (ha.join().expect("joined task panicked"), rb)
-    })
+        let (ra, child_spawns) = ha.join().expect("joined task panicked");
+        (ra, child_spawns, rb)
+    });
+    LOCAL_SPAWNS.with(|c| c.set(c.get() + child_spawns));
+    (ra, rb)
 }
 
 /// A fork-join scope handle (see [`scope`]).
@@ -225,16 +258,16 @@ mod tests {
             let (a, b) = super::join(|| count(depth - 1), || count(depth - 1));
             a + b
         }
-        let before = super::join_spawned_threads();
-        assert_eq!(count(12), 4096, "results must be unaffected");
-        let spawned = super::join_spawned_threads() - before;
-        // At most one spawn per internal node of the truncated
-        // recursion tree, plus slack for concurrent tests in this
-        // binary that also call join.
-        let bound = (1u64 << super::join_spawn_depth_limit()) + 16;
-        assert!(
-            spawned <= bound,
-            "balanced recursion spawned {spawned} threads (bound {bound})"
+        let (total, spawned) = super::count_join_spawns(|| count(12));
+        assert_eq!(total, 4096, "results must be unaffected");
+        // Exactly one spawn per internal node of the truncated
+        // recursion tree: 2^limit - 1 for a full binary tree cut at
+        // the depth limit. The scoped counter is race-free, so the
+        // bound is tight — no slack for concurrent tests.
+        let bound = (1u64 << super::join_spawn_depth_limit()) - 1;
+        assert_eq!(
+            spawned, bound,
+            "balanced recursion spawned {spawned} threads (expected {bound})"
         );
     }
 
@@ -250,14 +283,35 @@ mod tests {
             let (a, _) = super::join(|| chain(depth - 1), || ());
             a + 1
         }
-        let before = super::join_spawned_threads();
-        assert_eq!(chain(500), 500, "results must be unaffected");
-        let spawned = super::join_spawned_threads() - before;
-        let bound = super::join_spawn_depth_limit() as u64 + 16;
-        assert!(
-            spawned <= bound,
-            "chain recursion spawned {spawned} threads (bound {bound})"
+        let (total, spawned) = super::count_join_spawns(|| chain(500));
+        assert_eq!(total, 500, "results must be unaffected");
+        // One spawn per level until the cutoff — exact, race-free.
+        let bound = super::join_spawn_depth_limit() as u64;
+        assert_eq!(
+            spawned, bound,
+            "chain recursion spawned {spawned} threads (expected {bound})"
         );
+    }
+
+    #[test]
+    fn count_join_spawns_isolated_from_concurrent_joins() {
+        // A background thread hammers `join` the whole time; the scoped
+        // counter on this thread must still report exactly its own
+        // computation's spawns (the global meter would race here).
+        let stop = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let _ = super::join(|| 1u64, || 2u64);
+                }
+            });
+            for _ in 0..50 {
+                let ((a, b), spawned) = super::count_join_spawns(|| super::join(|| 3u64, || 4u64));
+                assert_eq!((a, b), (3, 4));
+                assert_eq!(spawned, 1, "exactly this computation's spawn");
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
     }
 
     #[test]
