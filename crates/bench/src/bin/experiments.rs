@@ -96,6 +96,11 @@ fn main() {
     if want("bench-json") || want("bench-json-throughput") {
         bench_json_throughput();
     }
+    // Snapshot + journal recovery vs full history replay (the PR 7
+    // acceptance bar); `bench-json-durability` runs it solo.
+    if want("bench-json") || want("bench-json-durability") {
+        bench_json_durability();
+    }
 }
 
 /// `bench-json-service` — the session layer's mixed-workload
@@ -338,7 +343,7 @@ fn bench_json_service() {
         scenario_rows.join(",\n")
     );
     let path = "BENCH_service.json";
-    std::fs::write(path, &json).expect("write BENCH_service.json");
+    spatial_trees::store::atomic_write(path, json.as_bytes()).expect("write BENCH_service.json");
     println!("\n  wrote {path}\n");
 }
 
@@ -439,7 +444,7 @@ fn bench_json_throughput() {
             .collect();
         for (i, ticket) in tickets.into_iter().enumerate() {
             assert_eq!(
-                ticket.wait(),
+                ticket.wait().expect("worker alive"),
                 direct_answers[i],
                 "service diverged from direct forests on job {i}"
             );
@@ -493,7 +498,7 @@ fn bench_json_throughput() {
                 handles.push(s.spawn(move || {
                     let mut lats = Vec::new();
                     while let Ok((t0, ticket)) = rx.recv() {
-                        std::hint::black_box(ticket.wait().len());
+                        std::hint::black_box(ticket.wait().expect("worker alive").len());
                         lats.push(t0.elapsed().as_secs_f64() * 1e3);
                     }
                     lats
@@ -622,18 +627,18 @@ fn bench_json_throughput() {
     // per-batch-size figures cover only the chunked timed pass.
     let warm_busy_s = {
         let service = ForestService::start(&trees[..1], sweep_opts());
-        service.submit(0, pool).wait();
+        service.submit(0, pool).wait().expect("worker alive");
         service.shutdown().shards[0].busy.as_secs_f64()
     };
     for &bsz in &sweep_sizes {
         let service = ForestService::start(&trees[..1], sweep_opts());
-        service.submit(0, pool).wait();
+        service.submit(0, pool).wait().expect("worker alive");
         let tickets: Vec<Ticket> = pool
             .chunks(bsz)
             .map(|chunk| service.submit(0, chunk))
             .collect();
         for t in tickets {
-            std::hint::black_box(t.wait().len());
+            std::hint::black_box(t.wait().expect("worker alive").len());
         }
         let report = service.shutdown();
         let timed_s = (report.shards[0].busy.as_secs_f64() - warm_busy_s).max(1e-9);
@@ -721,8 +726,180 @@ fn bench_json_throughput() {
         scenario_rows.join(",\n")
     );
     let path = "BENCH_throughput.json";
-    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    spatial_trees::store::atomic_write(path, json.as_bytes()).expect("write BENCH_throughput.json");
     println!("\n  wrote {path}\n");
+}
+
+/// `bench-json-durability` — crash-recovery cost of the snapshot +
+/// journal store: a [`spatial_trees::session::SpatialForest`] lives
+/// through a long journaled mutation history (weighted inserts,
+/// weight updates, query-triggered light-first rebuilds) with a
+/// checkpoint snapshot taken near the end, leaving a short journal
+/// tail. The bar compares restarting from the checkpoint (snapshot
+/// read + tail replay — the crash-recovery path) against rebuilding by
+/// replaying the entire history from the seed snapshot, and
+/// cross-checks both against the never-stopped forest (answers *and*
+/// `SessionReport` charges). Writes `BENCH_durability.json` next to
+/// the workspace root.
+fn bench_json_durability() {
+    use spatial_trees::session::{ForestOptions, QueryBatch, SpatialForest};
+    use spatial_trees::store::{read_journal, ForestSnapshot, JournalWriter};
+
+    println!(
+        "\n### bench-json-durability — snapshot + journal recovery vs full replay → BENCH_durability.json\n"
+    );
+
+    let log_n = 12u32;
+    let n = 1u32 << log_n;
+    let family = TreeFamily::UniformRandom;
+    let t = workload(family, n, 41);
+    let opts = ForestOptions::default();
+
+    let dir = std::env::temp_dir().join(format!("spatial-bench-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let seed_snap_path = dir.join("seed.snapshot");
+    let history_path = dir.join("history.journal");
+    let ckpt_snap_path = dir.join("checkpoint.snapshot");
+    let tail_path = dir.join("tail.journal");
+
+    // ---- The live forest: long journaled history, checkpoint near ----
+    // ---- the end, then a short tail of post-checkpoint mutations.  ----
+    let mut live = SpatialForest::with_options(&t, opts);
+    live.snapshot_to(&seed_snap_path, 0).expect("seed snapshot");
+    live.attach_journal(JournalWriter::create(&history_path).expect("history journal"));
+
+    let mut wl = StdRng::seed_from_u64(42);
+    let round = |forest: &mut SpatialForest, inserts: u32, rng: &mut StdRng| {
+        let mut b = QueryBatch::new();
+        for _ in 0..inserts {
+            b.insert_leaf_weighted(rng.gen_range(0..forest.n()), rng.gen_range(1..100u64));
+        }
+        let nn = forest.n();
+        // The queries force a journaled light-first rebuild per round —
+        // the expensive part of replaying history.
+        b.lca(rng.gen_range(0..nn), rng.gen_range(0..nn))
+            .subtree_sum(rng.gen_range(0..nn));
+        forest.execute(b.requests(), &mut StdRng::seed_from_u64(43));
+        forest.set_weight(rng.gen_range(0..forest.n()), rng.gen_range(1..1000u64));
+    };
+    for _ in 0..24 {
+        round(&mut live, 64, &mut wl);
+    }
+    live.journal_mut().expect("attached").sync().expect("sync");
+    live.detach_journal();
+
+    live.snapshot_to(&ckpt_snap_path, 1)
+        .expect("checkpoint snapshot");
+    live.attach_journal(JournalWriter::create(&tail_path).expect("tail journal"));
+    for _ in 0..2 {
+        round(&mut live, 30, &mut wl);
+    }
+    live.journal_mut().expect("attached").sync().expect("sync");
+    live.detach_journal();
+
+    let history_records = read_journal(&history_path).expect("history records").len();
+    let tail_records = read_journal(&tail_path).expect("tail records").len();
+
+    // ---- Both restart paths, verified against the live forest ----
+    // ---- before anything is timed.                             ----
+    let recover = || {
+        SpatialForest::recover_from(&ckpt_snap_path, &tail_path, opts)
+            .expect("recover from checkpoint")
+    };
+    let rebuild = || {
+        let snap = ForestSnapshot::read_from(&seed_snap_path).expect("seed snapshot");
+        let mut f = SpatialForest::from_snapshot(&snap, opts);
+        f.apply_journal(&read_journal(&history_path).expect("history records"));
+        f.apply_journal(&read_journal(&tail_path).expect("tail records"));
+        f
+    };
+    let verify = |candidate: &mut SpatialForest, live: &mut SpatialForest, what: &str| {
+        assert_eq!(candidate.n(), live.n(), "{what}: vertex count");
+        assert_eq!(
+            candidate.dynamic_stats(),
+            live.dynamic_stats(),
+            "{what}: dynamic stats"
+        );
+        let nn = live.n();
+        let mut probe = QueryBatch::new();
+        for i in 0..24u32 {
+            probe
+                .lca(i % nn, (i * 131 + 7) % nn)
+                .subtree_sum((i * 17) % nn)
+                .rank((i * 5 + 3) % nn);
+        }
+        let got = candidate
+            .execute(probe.requests(), &mut StdRng::seed_from_u64(44))
+            .to_vec();
+        let expect = live
+            .execute(probe.requests(), &mut StdRng::seed_from_u64(44))
+            .to_vec();
+        assert_eq!(got, expect, "{what}: answers diverged from live forest");
+        assert_eq!(
+            candidate.last_report(),
+            live.last_report(),
+            "{what}: charges diverged from live forest"
+        );
+    };
+    let mut recovered = recover();
+    verify(&mut recovered, &mut live, "recover");
+    let mut rebuilt = rebuild();
+    verify(&mut rebuilt, &mut live, "rebuild");
+    let report = recovered.last_report();
+
+    // ---- Timings (ms per restart, files read inside the loop). ----
+    let recover_ms = time_best_ms(5, || recover().dynamic_stats().insertions);
+    let rebuild_ms = time_best_ms(3, || rebuild().dynamic_stats().insertions);
+    let speedup = rebuild_ms / recover_ms;
+    assert!(
+        speedup >= 2.0,
+        "acceptance bar: checkpoint recovery must beat full-history replay by ≥ 2x, got {speedup:.2}x"
+    );
+
+    let mut table = Table::new(["restart path", "ms", "journal records", "speedup"]);
+    table.row([
+        "recover (checkpoint + tail)".to_string(),
+        f3(recover_ms),
+        tail_records.to_string(),
+        format!("{speedup:.2}x"),
+    ]);
+    table.row([
+        "rebuild (seed + full history)".to_string(),
+        f3(rebuild_ms),
+        (history_records + tail_records).to_string(),
+        "1.00x".to_string(),
+    ]);
+    table.print();
+
+    let scenario_rows = [
+        scenario_row(
+            "durability_recovered_mixed",
+            "forest",
+            family.name(),
+            live.n() as u64,
+            CurveKind::Hilbert.name(),
+            report.grid,
+            None,
+        ),
+        scenario_row(
+            "durability_recovered_mixed_ranking",
+            "forest-dart",
+            family.name(),
+            live.n() as u64,
+            CurveKind::Hilbert.name(),
+            report.ranking,
+            None,
+        ),
+    ];
+    let json = format!(
+        "{{\n  \"workload\": \"uniform_random n=2^{log_n}, 24 journaled rounds x (64 weighted inserts + mixed queries + set_weight), checkpoint snapshot before a 2-round tail\",\n  \"metrics\": \"recover = checkpoint snapshot read + tail journal replay; rebuild = seed snapshot read + full history replay; both paths verified bit-identical (answers and charges) against the never-stopped forest before timing\",\n  \"history_records\": {history_records},\n  \"tail_records\": {tail_records},\n  \"recover_ms\": {recover_ms:.3},\n  \"rebuild_ms\": {rebuild_ms:.3},\n  \"speedup_recover_vs_rebuild\": {speedup:.3},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        scenario_rows.join(",\n")
+    );
+    let path = "BENCH_durability.json";
+    spatial_trees::store::atomic_write(path, json.as_bytes()).expect("write BENCH_durability.json");
+    println!("\n  wrote {path}\n");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// One `scenarios` row of the shared `BENCH_*.json` schema: every
@@ -948,7 +1125,7 @@ fn bench_json_layout() {
         sweep_rows.join(",\n")
     );
     let path = "BENCH_layout.json";
-    std::fs::write(path, &json).expect("write BENCH_layout.json");
+    spatial_trees::store::atomic_write(path, json.as_bytes()).expect("write BENCH_layout.json");
     println!("\n  wrote {path}\n");
 }
 
@@ -1273,7 +1450,7 @@ fn bench_json_pram() {
         rows.join(",\n")
     );
     let path = "BENCH_pram.json";
-    std::fs::write(path, &json).expect("write BENCH_pram.json");
+    spatial_trees::store::atomic_write(path, json.as_bytes()).expect("write BENCH_pram.json");
     println!("\n  wrote {path}\n");
 }
 
@@ -1467,7 +1644,7 @@ fn bench_json_lca() {
         scenario_rows.join(",\n")
     );
     let path = "BENCH_lca_mincut.json";
-    std::fs::write(path, &json).expect("write BENCH_lca_mincut.json");
+    spatial_trees::store::atomic_write(path, json.as_bytes()).expect("write BENCH_lca_mincut.json");
     println!("\n  wrote {path}\n");
 }
 
@@ -1620,7 +1797,8 @@ fn bench_json() {
         scenario_rows.join(",\n")
     );
     let path = "BENCH_sfc_treefix.json";
-    std::fs::write(path, &json).expect("write BENCH_sfc_treefix.json");
+    spatial_trees::store::atomic_write(path, json.as_bytes())
+        .expect("write BENCH_sfc_treefix.json");
     println!("\n  wrote {path}\n");
 }
 

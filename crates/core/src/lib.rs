@@ -21,6 +21,7 @@
 //! | §I-C PRAM baseline | [`pram`] | [`pram::pram_subtree_sums`] |
 //! | session layer (serving) | [`session`] | [`session::SpatialForest`], [`session::QueryBatch`] |
 //! | service layer (sharded, multi-threaded) | [`serve`] | [`serve::ForestService`] |
+//! | durability (snapshot + journal) | [`store`] | [`store::ForestSnapshot`], [`session::SpatialForest::recover_from`] |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use spatial_pram as pram;
 pub use spatial_serve as serve;
 pub use spatial_session as session;
 pub use spatial_sfc as sfc;
+pub use spatial_store as store;
 pub use spatial_tree as tree;
 pub use spatial_treefix as treefix;
 

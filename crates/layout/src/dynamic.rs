@@ -153,9 +153,84 @@ impl DynamicLayout {
         dl
     }
 
+    /// Rebuilds a dynamic layout from persisted state: the parent
+    /// array, the layout's linear order, the reserved capacity, and the
+    /// lifetime statistics captured from a live instance (see
+    /// `spatial_store::ForestSnapshot`). Coordinates and the
+    /// incremental energy counter are recomputed from the restored
+    /// geometry — the live instance maintains them incrementally, and
+    /// the two agree exactly (`incremental_energy_matches_recomputation`)
+    /// — so the result is **bit-identical** to the snapshotted layout:
+    /// same placement, same quality threshold state, same future
+    /// rebuild/growth schedule for any continuation stream.
+    ///
+    /// # Panics
+    /// Panics when the inputs are inconsistent (`order` not a
+    /// permutation of the vertices, `reserved` below the vertex count,
+    /// `rebuild_factor < 1`).
+    pub fn restore(
+        root: NodeId,
+        parents: Vec<NodeId>,
+        curve: CurveKind,
+        order: Vec<NodeId>,
+        reserved: u64,
+        rebuild_factor: f64,
+        stats: DynamicStats,
+    ) -> Self {
+        assert!(rebuild_factor >= 1.0, "rebuild factor must be ≥ 1");
+        let n = parents.len();
+        assert_eq!(order.len(), n, "order must place every vertex");
+        assert!(reserved >= n as u64, "reserved capacity below vertex count");
+        let layout = Layout::from_order_with_capacity(curve, order, reserved);
+        let mut dl = DynamicLayout {
+            parents,
+            root,
+            curve,
+            layout,
+            points: Vec::new(),
+            energy: 0,
+            reserved,
+            rebuild_factor,
+            stats,
+            scratch: RebuildScratch::default(),
+        };
+        dl.parents.reserve(reserved as usize - n);
+        dl.points.reserve(reserved as usize);
+        dl.scratch.reserve(reserved as usize);
+        dl.refresh_points_and_energy();
+        dl
+    }
+
     /// Current number of vertices.
     pub fn n(&self) -> u32 {
         self.parents.len() as u32
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of every vertex ([`NIL`] for the root) — the snapshot
+    /// slab, borrowed instead of materialized through
+    /// [`DynamicLayout::tree`].
+    pub fn parents(&self) -> &[NodeId] {
+        &self.parents
+    }
+
+    /// The curve family the layout lives on.
+    pub fn curve_kind(&self) -> CurveKind {
+        self.curve
+    }
+
+    /// Vertex count at which the next capacity doubling happens.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// The allowed kernel-energy degradation factor.
+    pub fn rebuild_factor(&self) -> f64 {
+        self.rebuild_factor
     }
 
     /// The current layout (valid until the next insertion).

@@ -99,3 +99,190 @@ proptest! {
         );
     }
 }
+
+/// Asserts two dynamic layouts are observably identical: same
+/// placement, same incremental energy, same lifetime statistics (and
+/// hence the same future rebuild/growth schedule).
+fn assert_same_state(a: &DynamicLayout, b: &DynamicLayout, ctx: &str) {
+    assert_eq!(a.n(), b.n(), "{ctx}: vertex count");
+    assert_eq!(a.layout().order(), b.layout().order(), "{ctx}: order");
+    assert_eq!(
+        a.layout().capacity(),
+        b.layout().capacity(),
+        "{ctx}: capacity"
+    );
+    assert_eq!(a.reserved(), b.reserved(), "{ctx}: reserved");
+    assert_eq!(a.current_energy(), b.current_energy(), "{ctx}: energy");
+    assert_eq!(a.stats(), b.stats(), "{ctx}: stats");
+}
+
+/// Captures the persisted fields of a live layout and restores a twin
+/// from them (the snapshot slab set, without the file format).
+fn restore_twin(dl: &DynamicLayout) -> DynamicLayout {
+    DynamicLayout::restore(
+        dl.root(),
+        dl.parents().to_vec(),
+        dl.curve_kind(),
+        dl.layout().order().to_vec(),
+        dl.reserved(),
+        dl.rebuild_factor(),
+        dl.stats(),
+    )
+}
+
+/// The capacity-doubling boundary: an append landing exactly on
+/// `reserved` is what triggers the growth — the slot `reserved - 1` is
+/// still a plain O(1) tail placement.
+#[test]
+fn append_exactly_on_reserved_boundary_grows_once() {
+    // n = 2 seeds the minimum reserve of 4.
+    let base = spatial_tree::generators::path(2);
+    let mut dl = DynamicLayout::new(&base, CurveKind::Hilbert, f64::INFINITY);
+    assert_eq!(dl.reserved(), 4);
+    // Two appends fill the curve to exactly `reserved` vertices
+    // without growing.
+    dl.insert_leaf(0);
+    dl.insert_leaf(1);
+    assert_eq!(dl.n() as u64, dl.reserved());
+    assert_eq!(dl.stats().grows, 0, "filling the reserve must not grow");
+    assert_eq!(dl.current_energy(), dl.recomputed_energy());
+    // The next append lands on the boundary: one doubling, then the
+    // placement proceeds as usual.
+    dl.insert_leaf(3);
+    assert_eq!(dl.stats().grows, 1, "the boundary append grows once");
+    assert_eq!(dl.n(), 5);
+    assert_eq!(
+        dl.reserved(),
+        8,
+        "reserve doubles from the pre-append count"
+    );
+    assert_eq!(dl.current_energy(), dl.recomputed_energy());
+    // Every vertex still occupies a unique slot on the doubled curve.
+    let seen: std::collections::BTreeSet<u32> = (0..dl.n()).map(|v| dl.layout().slot(v)).collect();
+    assert_eq!(seen.len(), dl.n() as usize);
+}
+
+/// The minimal n = 1 seed: the degenerate single-vertex tree reserves
+/// the floor of 4 slots and grows through the same boundary logic.
+#[test]
+fn single_vertex_seed_grows_through_boundaries() {
+    let base = spatial_tree::Tree::from_parents(0, vec![spatial_tree::NIL]);
+    let mut dl = DynamicLayout::new(&base, CurveKind::Hilbert, 2.0);
+    assert_eq!(dl.reserved(), 4);
+    for i in 0..20 {
+        let v = dl.insert_leaf(i % dl.n());
+        assert_eq!(v, i + 1);
+    }
+    assert_eq!(dl.n(), 21);
+    // 4 → 8 → 16 → 32: three boundary crossings.
+    assert_eq!(dl.stats().grows, 3);
+    assert_eq!(dl.current_energy(), dl.recomputed_energy());
+    assert_eq!(dl.stats().insertions, 20);
+}
+
+/// Restore from captured slabs is bit-identical — including the future
+/// schedule: a shared continuation stream drives the live instance and
+/// its restored twin through the same rebuilds and growths.
+#[test]
+fn restore_roundtrip_pins_the_future_schedule() {
+    let base = spatial_tree::generators::uniform_random(20, &mut StdRng::seed_from_u64(40));
+    let mut dl = DynamicLayout::new(&base, CurveKind::Hilbert, 2.0);
+    let mut rng = StdRng::seed_from_u64(41);
+    // Drive past at least one growth so the captured state is
+    // mid-lifetime, not pristine.
+    for _ in 0..60 {
+        let p = rng.gen_range(0..dl.n());
+        dl.insert_leaf(p);
+    }
+    assert!(dl.stats().grows >= 1, "stream must cross a growth");
+    let mut twin = restore_twin(&dl);
+    assert_same_state(&dl, &twin, "immediately after restore");
+    // The continuation stream (crossing another growth) stays locked.
+    for i in 0..120 {
+        let p = rng.gen_range(0..dl.n());
+        dl.insert_leaf(p);
+        twin.insert_leaf(p);
+        assert_same_state(&dl, &twin, &format!("continuation insert {i}"));
+    }
+    assert!(dl.stats().grows >= 2, "continuation must cross a growth");
+}
+
+/// The journaled path: the insert stream is recorded in a store
+/// journal while the live layout applies it; replaying the journal
+/// into a restored twin — including with a torn tail cut mid-record —
+/// recovers bit-identical state across a capacity growth event.
+#[test]
+fn journaled_replay_across_growth_is_bit_identical() {
+    use spatial_store::{parse_journal, read_journal, JournalWriter, Record, RECORD_BYTES};
+
+    let base = spatial_tree::generators::uniform_random(12, &mut StdRng::seed_from_u64(7));
+    let mut live = DynamicLayout::new(&base, CurveKind::Hilbert, 2.0);
+    // Snapshot slabs at time zero (before any journaled insert).
+    let snap = (
+        live.root(),
+        live.parents().to_vec(),
+        live.curve_kind(),
+        live.layout().order().to_vec(),
+        live.reserved(),
+        live.rebuild_factor(),
+        live.stats(),
+    );
+    let path = std::env::temp_dir().join(format!(
+        "spatial-layout-journal-growth-{}",
+        std::process::id()
+    ));
+    let mut journal = JournalWriter::create(&path).expect("create journal");
+    let mut rng = StdRng::seed_from_u64(8);
+    // 48 inserts from n = 12 (reserved 24) cross the doubling at least
+    // once; write-ahead, then apply.
+    for _ in 0..48 {
+        let p = rng.gen_range(0..live.n());
+        journal
+            .append(Record::InsertLeaf {
+                parent: p,
+                weight: 1,
+            })
+            .expect("append");
+        live.insert_leaf(p);
+    }
+    journal.sync().expect("sync");
+    assert!(live.stats().grows >= 1, "stream must cross a growth");
+
+    let restore = |records: &[Record]| {
+        let (root, parents, curve, order, reserved, factor, stats) = snap.clone();
+        let mut twin = DynamicLayout::restore(root, parents, curve, order, reserved, factor, stats);
+        for rec in records {
+            match *rec {
+                Record::InsertLeaf { parent, .. } => {
+                    twin.insert_leaf(parent);
+                }
+                _ => panic!("unexpected record {rec:?}"),
+            }
+        }
+        twin
+    };
+
+    // Full replay lands exactly on the live state.
+    let full = read_journal(&path).expect("read journal");
+    assert_eq!(full.len(), 48);
+    assert_same_state(&live, &restore(&full), "full replay");
+
+    // Torn tails: cut the journal bytes mid-record at several offsets
+    // (including mid-growth territory); the replayed prefix must match
+    // a live twin that applied exactly the surviving records.
+    let bytes = std::fs::read(&path).expect("journal bytes");
+    for cut in [
+        0,
+        RECORD_BYTES - 1,
+        10 * RECORD_BYTES + 13,
+        30 * RECORD_BYTES + 1,
+        bytes.len() - 1,
+    ] {
+        let prefix = parse_journal(&bytes[..cut]);
+        assert_eq!(prefix.len(), cut / RECORD_BYTES, "cut {cut}");
+        let replayed = restore(&prefix);
+        let straight = restore(&full[..prefix.len()]);
+        assert_same_state(&straight, &replayed, &format!("torn cut {cut}"));
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -26,7 +26,8 @@
 //! let mut batch = QueryBatch::new();
 //! batch.lca(3, 77).subtree_sum(0);
 //! let ticket = service.submit(1, batch.requests());
-//! assert_eq!(ticket.wait()[1], Response::SubtreeSum(200)); // unit weights
+//! let answers = ticket.wait().expect("worker alive");
+//! assert_eq!(answers[1], Response::SubtreeSum(200)); // unit weights
 //! let report = service.shutdown();
 //! assert_eq!(report.total_requests(), 2);
 //! ```
@@ -38,6 +39,6 @@
 mod service;
 
 pub use service::{
-    tenant_seed, ForestService, ServiceOptions, ServiceReport, ShardReport, TenantLog, Ticket,
-    MIN_COALESCED_BATCH,
+    tenant_seed, DurabilityOptions, ForestService, ServeError, ServiceOptions, ServiceReport,
+    ShardReport, TenantLog, Ticket, MIN_COALESCED_BATCH,
 };

@@ -4,7 +4,9 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::prelude::*;
 use spatial_session::{ForestOptions, Request, Response, SessionReport, SpatialForest};
+use spatial_store::{read_journal, ForestSnapshot, JournalWriter, Record, StoreError};
 use spatial_tree::Tree;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// The clock a worker charges its busy time on: per-thread CPU time,
@@ -120,6 +122,31 @@ pub fn tenant_seed(seed: u64, tenant: u32) -> u64 {
     seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tenant as u64 + 1))
 }
 
+/// What went wrong serving a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The shard's worker thread died (panicked) before answering this
+    /// job. The tenant's shard is permanently out of service for the
+    /// lifetime of this [`ForestService`]; [`ForestService::shutdown`]
+    /// reports it as poisoned.
+    WorkerLost {
+        /// The dead shard's index.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WorkerLost { shard } => {
+                write!(f, "shard {shard} worker died before answering")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// One submitted unit of work: a tenant plus a request stream, with
 /// the reply channel the owning worker answers on.
 struct Job {
@@ -132,18 +159,22 @@ struct Job {
 #[must_use = "wait() retrieves the responses"]
 pub struct Ticket {
     rx: Receiver<Vec<Response>>,
+    shard: usize,
 }
 
 impl Ticket {
     /// Blocks until the owning worker has executed the job; responses
     /// align with the submitted requests by index.
     ///
-    /// # Panics
-    /// Panics if the service shut down before answering (cannot happen
-    /// through the public API: [`ForestService::shutdown`] drains every
-    /// queue before the workers exit).
-    pub fn wait(self) -> Vec<Response> {
-        self.rx.recv().expect("service answered before shutdown")
+    /// Returns [`ServeError::WorkerLost`] when the shard's worker died
+    /// before answering — whether it panicked executing this very job,
+    /// crashed with the job still queued behind it, or was already dead
+    /// at submission. Never hangs on a dead worker: the reply channel
+    /// disconnects when the job is dropped, queued or in flight.
+    pub fn wait(self) -> Result<Vec<Response>, ServeError> {
+        self.rx
+            .recv()
+            .map_err(|_| ServeError::WorkerLost { shard: self.shard })
     }
 }
 
@@ -179,8 +210,29 @@ pub struct ShardReport {
     /// oversubscribed host don't leak into each other's figure. The
     /// critical-path denominator of the modeled aggregate throughput.
     pub busy: Duration,
+    /// Whether the shard's worker died (panicked) instead of exiting
+    /// cleanly. A poisoned shard's counters and logs cover only what
+    /// the unwind left recoverable — nothing, with the current
+    /// thread-owned state — so they read as zero/empty.
+    pub poisoned: bool,
     /// Per-tenant logs for the tenants this shard owns.
     pub tenants: Vec<TenantLog>,
+}
+
+impl ShardReport {
+    /// The placeholder report of a shard whose worker panicked: zeroed
+    /// counters, no tenant logs, `poisoned` set.
+    fn lost(shard: usize) -> Self {
+        ShardReport {
+            shard,
+            jobs: 0,
+            requests: 0,
+            executes: 0,
+            busy: Duration::ZERO,
+            poisoned: true,
+            tenants: Vec::new(),
+        }
+    }
 }
 
 /// Shutdown summary of the whole service.
@@ -233,6 +285,16 @@ impl ServiceReport {
         self.total_requests() as f64 / crit
     }
 
+    /// Indices of shards whose workers died instead of exiting cleanly
+    /// (empty on a healthy run).
+    pub fn poisoned_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter(|s| s.poisoned)
+            .map(|s| s.shard)
+            .collect()
+    }
+
     /// The log of one tenant (wherever it was sharded).
     pub fn tenant_log(&self, tenant: u32) -> Option<&TenantLog> {
         self.shards
@@ -240,6 +302,41 @@ impl ServiceReport {
             .flat_map(|s| s.tenants.iter())
             .find(|t| t.tenant == tenant)
     }
+}
+
+/// Durability settings of a [`ForestService::start_durable`] service.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding every tenant's snapshot + journal files
+    /// (created if absent). One snapshot `tenant-<t>.snapshot` and one
+    /// live journal `tenant-<t>.<generation>.journal` per tenant.
+    pub dir: PathBuf,
+    /// Number of committed sessions between checkpoints: after this
+    /// many, the tenant's forest is re-snapshotted and the journal
+    /// restarts at the next generation (bounding recovery replay).
+    pub checkpoint_interval: u64,
+}
+
+impl DurabilityOptions {
+    /// Durability under `dir` with a checkpoint every 8 sessions.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityOptions {
+            dir: dir.into(),
+            checkpoint_interval: 8,
+        }
+    }
+}
+
+/// Per-tenant durability bookkeeping (worker-side).
+struct TenantDurability {
+    dir: PathBuf,
+    /// Current journal generation — also written into the snapshot's
+    /// `tag`, which is what makes the checkpoint's snapshot/journal
+    /// switch crash-safe: whichever snapshot survives names the one
+    /// journal file that goes with it.
+    generation: u64,
+    sessions_since_checkpoint: u64,
+    interval: u64,
 }
 
 /// Per-tenant worker-side state: the forest, its session RNG, and the
@@ -250,6 +347,134 @@ struct TenantState {
     rng: StdRng,
     reports: Vec<SessionReport>,
     streams: Vec<Vec<Request>>,
+    durable: Option<TenantDurability>,
+}
+
+fn snapshot_path(dir: &Path, tenant: u32) -> PathBuf {
+    dir.join(format!("tenant-{tenant}.snapshot"))
+}
+
+fn journal_path(dir: &Path, tenant: u32, generation: u64) -> PathBuf {
+    dir.join(format!("tenant-{tenant}.{generation}.journal"))
+}
+
+/// Builds one tenant's state from its durable files: recover from the
+/// snapshot + committed journal prefix when a snapshot exists, start
+/// fresh otherwise. Either way the tenant ends on a brand-new
+/// checkpoint generation with its journal attached.
+fn start_tenant_durable(
+    tenant: u32,
+    tree: &Tree,
+    opts: &ServiceOptions,
+    dur: &DurabilityOptions,
+) -> TenantState {
+    let (forest, rng, generation) = match ForestSnapshot::read_from(snapshot_path(&dur.dir, tenant))
+    {
+        Ok(snap) => {
+            let generation = snap.tag;
+            let mut forest = SpatialForest::from_snapshot(&snap, opts.forest);
+            let records = read_journal(journal_path(&dur.dir, tenant, generation))
+                .expect("tenant journal unreadable");
+            // Session-atomic replay: the RngState marker appended after
+            // each executed session is the commit point. Everything
+            // past the last marker is a session the crash interrupted
+            // mid-write — drop it wholesale rather than replay half of
+            // it.
+            let committed = records
+                .iter()
+                .rposition(|r| matches!(r, Record::RngState(_)))
+                .map_or(0, |i| i + 1);
+            forest.apply_journal(&records[..committed]);
+            let rng = records[..committed]
+                .iter()
+                .rev()
+                .find_map(|r| match r {
+                    Record::RngState(s) => Some(StdRng::from_state(*s)),
+                    _ => None,
+                })
+                .unwrap_or_else(|| StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)));
+            (forest, rng, generation)
+        }
+        Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => (
+            SpatialForest::with_options(tree, opts.forest),
+            StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)),
+            0,
+        ),
+        Err(e) => panic!("tenant {tenant} snapshot unreadable: {e}"),
+    };
+    let mut state = TenantState {
+        tenant,
+        forest,
+        rng,
+        reports: Vec::new(),
+        streams: Vec::new(),
+        durable: Some(TenantDurability {
+            dir: dur.dir.clone(),
+            generation,
+            sessions_since_checkpoint: 0,
+            interval: dur.checkpoint_interval.max(1),
+        }),
+    };
+    // Checkpoint immediately: a fresh tenant gets its first snapshot,
+    // a recovered one compacts its replayed journal — and both come
+    // out with the new generation's journal attached.
+    checkpoint_tenant(&mut state);
+    state
+}
+
+/// Re-snapshots the tenant and switches to the next journal
+/// generation. Crash-safe at every step: the next generation's journal
+/// is created *before* the snapshot that names it is atomically
+/// published, and the old journal is only removed after — a crash
+/// anywhere leaves exactly one (snapshot, journal) pair that recovery
+/// will agree on.
+fn checkpoint_tenant(state: &mut TenantState) {
+    let d = state
+        .durable
+        .as_ref()
+        .expect("checkpoint of durable tenant");
+    let (dir, generation) = (d.dir.clone(), d.generation);
+    let next = generation + 1;
+    let writer = JournalWriter::create(journal_path(&dir, state.tenant, next))
+        .expect("create next journal generation");
+    state
+        .forest
+        .snapshot_to(snapshot_path(&dir, state.tenant), next)
+        .expect("write checkpoint snapshot");
+    state.forest.detach_journal();
+    state.forest.attach_journal(writer);
+    let _ = std::fs::remove_file(journal_path(&dir, state.tenant, generation));
+    let d = state
+        .durable
+        .as_mut()
+        .expect("checkpoint of durable tenant");
+    d.generation = next;
+    d.sessions_since_checkpoint = 0;
+}
+
+/// Commits one executed session to the tenant's journal (the RngState
+/// marker + fsync), checkpointing when the interval is due. A no-op
+/// for non-durable tenants.
+fn commit_session(state: &mut TenantState) {
+    if state.durable.is_none() {
+        return;
+    }
+    let marker = Record::RngState(state.rng.state());
+    {
+        let journal = state
+            .forest
+            .journal_mut()
+            .expect("durable tenant has a journal attached");
+        journal
+            .append(marker)
+            .expect("journal append failed (fail-stop)");
+        journal.sync().expect("journal sync failed (fail-stop)");
+    }
+    let d = state.durable.as_mut().expect("checked above");
+    d.sessions_since_checkpoint += 1;
+    if d.sessions_since_checkpoint >= d.interval {
+        checkpoint_tenant(state);
+    }
 }
 
 /// A fixed pool of worker threads serving many tenants' forests.
@@ -274,17 +499,38 @@ impl ForestService {
     /// # Panics
     /// Panics when `opts.workers == 0` or any option is degenerate.
     pub fn start(trees: &[Tree], opts: ServiceOptions) -> Self {
+        Self::start_inner(trees, opts, None)
+    }
+
+    /// [`ForestService::start`] with durable tenants: each tenant whose
+    /// snapshot exists under `dur.dir` is **recovered** from it (plus
+    /// the committed prefix of its journal) instead of built from its
+    /// tree; every tenant then journals its mutations session by
+    /// session and re-checkpoints every `dur.checkpoint_interval`
+    /// committed sessions. Pass the same `trees`, `opts.forest`, and
+    /// `opts.seed` across restarts — they are the non-persisted half of
+    /// the tenant identity.
+    pub fn start_durable(trees: &[Tree], opts: ServiceOptions, dur: DurabilityOptions) -> Self {
+        std::fs::create_dir_all(&dur.dir).expect("create durability directory");
+        Self::start_inner(trees, opts, Some(dur))
+    }
+
+    fn start_inner(trees: &[Tree], opts: ServiceOptions, dur: Option<DurabilityOptions>) -> Self {
         assert!(opts.workers >= 1, "need at least one worker");
         assert!(opts.queue_capacity >= 1, "need a non-empty queue");
         let mut per_shard: Vec<Vec<TenantState>> = (0..opts.workers).map(|_| Vec::new()).collect();
         for (t, tree) in trees.iter().enumerate() {
             let tenant = t as u32;
-            per_shard[t % opts.workers].push(TenantState {
-                tenant,
-                forest: SpatialForest::with_options(tree, opts.forest),
-                rng: StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)),
-                reports: Vec::new(),
-                streams: Vec::new(),
+            per_shard[t % opts.workers].push(match &dur {
+                Some(dur) => start_tenant_durable(tenant, tree, &opts, dur),
+                None => TenantState {
+                    tenant,
+                    forest: SpatialForest::with_options(tree, opts.forest),
+                    rng: StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)),
+                    reports: Vec::new(),
+                    streams: Vec::new(),
+                    durable: None,
+                },
             });
         }
         let mut txs = Vec::with_capacity(opts.workers);
@@ -323,31 +569,41 @@ impl ForestService {
     /// A tenant's requests execute in submission order as long as each
     /// tenant is driven from one thread at a time.
     ///
+    /// Submitting to a shard whose worker has died does not block and
+    /// does not panic: the returned ticket reports
+    /// [`ServeError::WorkerLost`] from [`Ticket::wait`].
+    ///
     /// # Panics
     /// Panics when the tenant id is out of range.
     pub fn submit(&self, tenant: u32, requests: &[Request]) -> Ticket {
         assert!((tenant as usize) < self.tenants, "unknown tenant {tenant}");
+        let shard = tenant as usize % self.workers;
         let (reply, rx) = bounded::<Vec<Response>>(1);
         let job = Job {
             tenant,
             requests: requests.to_vec(),
             reply,
         };
-        if self.txs[tenant as usize % self.workers].send(job).is_err() {
-            unreachable!("shard worker alive until shutdown");
-        }
-        Ticket { rx }
+        // A dead worker's queue is disconnected; the failed send drops
+        // `job` — and with it the only reply sender — right here, so
+        // the ticket's recv disconnects instead of hanging.
+        let _ = self.txs[shard].send(job);
+        Ticket { rx, shard }
     }
 
     /// Disconnects the queues, waits for every worker to drain and
     /// exit, and returns the per-shard reports. Every ticket submitted
-    /// before this call is answered first.
+    /// before this call is answered first (or, on a shard whose worker
+    /// died, reports [`ServeError::WorkerLost`]). A dead worker does
+    /// not panic the shutdown: its shard comes back as a poisoned
+    /// placeholder report ([`ShardReport::poisoned`]).
     pub fn shutdown(mut self) -> ServiceReport {
         self.txs.clear();
         let shards = self
             .handles
             .drain(..)
-            .map(|h| h.join().expect("worker exited cleanly"))
+            .enumerate()
+            .map(|(shard, h)| h.join().unwrap_or_else(|_| ShardReport::lost(shard)))
             .collect();
         ServiceReport { shards }
     }
@@ -423,6 +679,10 @@ fn worker_loop(
             if record {
                 state.streams.push(stream.clone());
             }
+            // Durable tenants commit (marker + fsync, maybe a
+            // checkpoint) *before* replying: an answered ticket is
+            // always a recoverable session.
+            commit_session(state);
             // Slice the session's responses back out per job.
             let mut off = 0usize;
             for job in jobs.iter().filter(|j| j.tenant == tenant) {
@@ -444,6 +704,7 @@ fn worker_loop(
         requests: requests_total,
         executes,
         busy,
+        poisoned: false,
         tenants: states
             .into_iter()
             .map(|s| TenantLog {
@@ -478,8 +739,12 @@ mod tests {
         let tickets: Vec<_> = (0..3u32)
             .map(|t| service.submit(t, batch.requests()))
             .collect();
-        let answers: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let answers: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("answered"))
+            .collect();
         let report = service.shutdown();
+        assert!(report.poisoned_shards().is_empty());
 
         for (t, tree) in ts.iter().enumerate() {
             let mut forest = SpatialForest::with_options(tree, opts.forest);
@@ -514,9 +779,9 @@ mod tests {
         let tickets: Vec<_> = (0..32)
             .map(|_| service.submit(0, batch.requests()))
             .collect();
-        assert_eq!(head.wait().len(), 540);
+        assert_eq!(head.wait().expect("answered").len(), 540);
         for t in tickets {
-            assert_eq!(t.wait().len(), 2);
+            assert_eq!(t.wait().expect("answered").len(), 2);
         }
         let report = service.shutdown();
         assert_eq!(report.total_jobs(), 33);
@@ -539,10 +804,13 @@ mod tests {
         let t1 = service.submit(1, b1.requests());
         let t2 = service.submit(1, b2.requests());
         assert_eq!(
-            t1.wait(),
+            t1.wait().expect("answered"),
             vec![Response::InsertedLeaf(100), Response::InsertedLeaf(101)]
         );
-        assert_eq!(t2.wait(), vec![Response::SubtreeSum(102)]);
+        assert_eq!(
+            t2.wait().expect("answered"),
+            vec![Response::SubtreeSum(102)]
+        );
         service.shutdown();
     }
 
@@ -561,7 +829,7 @@ mod tests {
             .collect();
         assert_eq!(tickets.len(), 16);
         for t in tickets {
-            assert_eq!(t.wait().len(), 1);
+            assert_eq!(t.wait().expect("answered").len(), 1);
         }
         service.shutdown();
     }
@@ -578,7 +846,10 @@ mod tests {
             .flat_map(|t| (0..3).map(move |_| t))
             .map(|t| service.submit(t, batch.requests()))
             .collect();
-        let answers: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let answers: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("answered"))
+            .collect();
         let report = service.shutdown();
 
         for tenant in 0..2u32 {

@@ -69,7 +69,7 @@ fn differential_run(workers: usize, tenants: u32, rounds: usize, seed: u64) {
     }
     let mut service_answers: Vec<Vec<Response>> = vec![Vec::new(); tenants as usize];
     for (tenant, ticket) in tickets {
-        service_answers[tenant as usize].extend(ticket.wait());
+        service_answers[tenant as usize].extend(ticket.wait().expect("answered"));
     }
     let report = service.shutdown();
     assert_eq!(report.shards.len(), workers);
@@ -142,8 +142,8 @@ fn fixed_seed_two_worker_smoke() {
     batch.lca(5, 190).subtree_sum(0).rank(17).insert_leaf(3);
     let t0 = service.submit(0, batch.requests());
     let t1 = service.submit(1, batch.requests());
-    assert_eq!(t0.wait().len(), 4);
-    let answers1 = t1.wait();
+    assert_eq!(t0.wait().expect("answered").len(), 4);
+    let answers1 = t1.wait().expect("answered");
     assert_eq!(answers1[1], Response::SubtreeSum(200), "unit weights");
     assert_eq!(answers1[3], Response::InsertedLeaf(200));
     let report = service.shutdown();

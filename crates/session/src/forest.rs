@@ -8,8 +8,10 @@ use spatial_euler::ranking::{END, UNRANKED};
 use spatial_euler::tour::{down, EulerTour};
 use spatial_layout::{DynamicLayout, DynamicStats, Layout, SpatialBuildReport};
 use spatial_model::{CurveKind, Machine, Slot};
+use spatial_store::{ForestSnapshot, JournalWriter, Record, StoreError};
 use spatial_tree::{ChildrenCsr, NodeId, Tree};
 use spatial_treefix::Add;
+use std::path::Path;
 
 /// Construction options for [`SpatialForest`].
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +74,13 @@ pub struct SpatialForest {
     weights: Vec<u64>,
     weights_add: Vec<Add>,
 
+    /// When attached, every durable mutation (insert, weight change,
+    /// query-triggered rebuild) is appended here **before** it is
+    /// applied in memory, so the journaled history is never behind the
+    /// live state. Journal IO failure is fail-stop (panic): continuing
+    /// would silently diverge the durable history from the forest.
+    journal: Option<JournalWriter>,
+
     pool: EnginePool,
 
     // ---- Retained batch scratch (zero steady-state allocation). ----
@@ -110,24 +119,40 @@ impl SpatialForest {
     pub fn with_options(tree: &Tree, opts: ForestOptions) -> Self {
         let n = tree.n() as usize;
         let dynamic = DynamicLayout::new(tree, opts.curve, opts.rebuild_factor);
+        Self::from_dynamic(dynamic, vec![1; n], false, opts)
+    }
+
+    /// The shared constructor: wraps an already-built dynamic layout
+    /// (fresh from [`DynamicLayout::new`] or restored from a snapshot)
+    /// with the forest's caches, machines, and engine pool.
+    fn from_dynamic(
+        dynamic: DynamicLayout,
+        weights: Vec<u64>,
+        layout_dirty: bool,
+        opts: ForestOptions,
+    ) -> Self {
+        let n = dynamic.n() as usize;
+        assert_eq!(weights.len(), n, "one weight per vertex");
+        let tree = dynamic.tree();
         let mut forest = SpatialForest {
             opts,
             dynamic,
             epoch: 0,
-            layout_dirty: false,
+            layout_dirty,
             in_execute: false,
             structure_epoch: u64::MAX,
             tree: Tree::from_parents(0, vec![spatial_tree::NIL]),
             parents: Vec::with_capacity(n),
             slots: Vec::with_capacity(n),
             csr_sizes: Vec::with_capacity(n),
-            csr: ChildrenCsr::by_size(tree, &tree.subtree_sizes()),
+            csr: ChildrenCsr::by_size(&tree, &tree.subtree_sizes()),
             tour_next: Vec::with_capacity(2 * n),
             tour_start: END,
             machine: Machine::on_curve(opts.curve, 1),
             dart_machine: Machine::on_curve(opts.curve, 1),
-            weights: vec![1; n],
-            weights_add: vec![Add(1); n],
+            weights_add: weights.iter().map(|&w| Add(w)).collect(),
+            weights,
+            journal: None,
             pool: EnginePool::new(opts.curve, n, opts.pram_seed),
             responses: Vec::new(),
             lca_q: Vec::new(),
@@ -184,8 +209,152 @@ impl SpatialForest {
     /// Sets the subtree-sum weight of a vertex (no relayout — weights
     /// are per-session treefix inputs, not structure).
     pub fn set_weight(&mut self, v: NodeId, weight: u64) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .append(Record::SetWeight { vertex: v, weight })
+                .expect("journal append failed (fail-stop)");
+        }
         self.weights[v as usize] = weight;
         self.weights_add[v as usize] = Add(weight);
+    }
+
+    // ---- Durability: snapshot + journal + recovery. ----
+
+    /// Captures the forest's durable state (tree structure, layout
+    /// order and reserve, weights, rebuild-threshold anchor) as a
+    /// [`ForestSnapshot`]. `tag` is stored verbatim for the caller —
+    /// the serve layer keeps its journal generation there.
+    ///
+    /// Restoring the snapshot ([`SpatialForest::from_snapshot`]) and
+    /// replaying any later journal ([`SpatialForest::apply_journal`])
+    /// yields a forest that is *bit-identical going forward*: the same
+    /// answers **and** the same [`SessionReport`] charges for every
+    /// future batch, including the same rebuild/growth schedule.
+    pub fn snapshot(&self, tag: u64) -> ForestSnapshot {
+        let stats = self.dynamic.stats();
+        let curve = CurveKind::ALL
+            .iter()
+            .position(|&c| c == self.opts.curve)
+            .expect("every curve kind is in CurveKind::ALL") as u32;
+        ForestSnapshot {
+            curve,
+            root: self.dynamic.root(),
+            layout_dirty: self.layout_dirty,
+            rebuilds: stats.rebuilds,
+            grows: stats.grows,
+            reserved: self.dynamic.reserved(),
+            baseline_energy: stats.baseline_energy,
+            insertions: stats.insertions,
+            tag,
+            parents: self.dynamic.parents().to_vec(),
+            order: self.dynamic.layout().order().to_vec(),
+            weights: self.weights.clone(),
+        }
+    }
+
+    /// [`SpatialForest::snapshot`] written to `path` via temp-file +
+    /// atomic rename (readers never observe a partial snapshot).
+    pub fn snapshot_to(&self, path: impl AsRef<Path>, tag: u64) -> std::io::Result<()> {
+        self.snapshot(tag).write_to(path)
+    }
+
+    /// Restores a forest from a snapshot. The curve family comes from
+    /// the snapshot (overriding `opts.curve`); `rebuild_factor`,
+    /// `crossover`, and `pram_seed` are not persisted and must be
+    /// passed unchanged for charge-identical recovery.
+    pub fn from_snapshot(snap: &ForestSnapshot, opts: ForestOptions) -> Self {
+        let curve = *CurveKind::ALL
+            .get(snap.curve as usize)
+            .expect("snapshot curve index out of range");
+        let opts = ForestOptions { curve, ..opts };
+        let dynamic = DynamicLayout::restore(
+            snap.root,
+            snap.parents.clone(),
+            curve,
+            snap.order.clone(),
+            snap.reserved,
+            opts.rebuild_factor,
+            DynamicStats {
+                insertions: snap.insertions,
+                rebuilds: snap.rebuilds,
+                grows: snap.grows,
+                baseline_energy: snap.baseline_energy,
+            },
+        );
+        Self::from_dynamic(dynamic, snap.weights.clone(), snap.layout_dirty, opts)
+    }
+
+    /// Full crash recovery: load the snapshot at `snapshot_path`, then
+    /// replay every intact record of the journal at `journal_path` (a
+    /// missing journal file is an empty history). The journal's torn
+    /// tail, if any, is silently dropped — see `spatial_store`.
+    pub fn recover_from(
+        snapshot_path: impl AsRef<Path>,
+        journal_path: impl AsRef<Path>,
+        opts: ForestOptions,
+    ) -> Result<Self, StoreError> {
+        let snap = ForestSnapshot::read_from(snapshot_path)?;
+        let mut forest = Self::from_snapshot(&snap, opts);
+        let records = spatial_store::read_journal(journal_path)?;
+        forest.apply_journal(&records);
+        Ok(forest)
+    }
+
+    /// Replays journal records against the restored forest, in order.
+    /// [`Record::RngState`] markers are skipped — session RNG recovery
+    /// belongs to the serve layer, which owns the RNG.
+    pub fn apply_journal(&mut self, records: &[Record]) {
+        for rec in records {
+            match *rec {
+                Record::InsertLeaf { parent, weight } => {
+                    self.insert_leaf_inner(parent, weight);
+                }
+                Record::SetWeight { vertex, weight } => {
+                    self.weights[vertex as usize] = weight;
+                    self.weights_add[vertex as usize] = Add(weight);
+                }
+                Record::Rebuild => {
+                    self.dynamic.rebuild();
+                    self.layout_dirty = false;
+                    self.epoch += 1;
+                }
+                Record::RngState(_) => {}
+            }
+        }
+    }
+
+    /// Starts journaling: every subsequent durable mutation is appended
+    /// to `writer` before being applied (write-ahead).
+    pub fn attach_journal(&mut self, writer: JournalWriter) {
+        self.journal = Some(writer);
+    }
+
+    /// Stops journaling and hands the writer back (the checkpoint path:
+    /// snapshot, then switch to a fresh journal generation).
+    pub fn detach_journal(&mut self) -> Option<JournalWriter> {
+        self.journal.take()
+    }
+
+    /// The attached journal, if any — the serve layer appends its
+    /// [`Record::RngState`] session commit markers through this.
+    pub fn journal_mut(&mut self) -> Option<&mut JournalWriter> {
+        self.journal.as_mut()
+    }
+
+    /// The insert-leaf mutation shared by the execute path and journal
+    /// replay: extends the dynamic layout and the weight arrays, and
+    /// tracks whether the append left the layout non-light-first.
+    fn insert_leaf_inner(&mut self, parent: NodeId, weight: u64) -> NodeId {
+        let rebuilds_before = self.dynamic.stats().rebuilds;
+        let v = self.dynamic.insert_leaf(parent);
+        // An insert dirties the light-first order unless the dynamic
+        // layout's quality threshold rebuilt it on the spot (the
+        // rebuild runs after the append).
+        self.layout_dirty = self.dynamic.stats().rebuilds == rebuilds_before;
+        self.weights.push(weight);
+        self.weights_add.push(Add(weight));
+        self.epoch += 1;
+        v
     }
 
     /// Runs the §IV on-machine layout construction for the current
@@ -239,15 +408,12 @@ impl SpatialForest {
                 }
                 Request::InsertLeaf { parent, weight } => {
                     self.flush_session(rng);
-                    let rebuilds_before = self.dynamic.stats().rebuilds;
-                    let v = self.dynamic.insert_leaf(parent);
-                    // An insert dirties the light-first order unless the
-                    // dynamic layout's quality threshold rebuilt it on
-                    // the spot (the rebuild runs after the append).
-                    self.layout_dirty = self.dynamic.stats().rebuilds == rebuilds_before;
-                    self.weights.push(weight);
-                    self.weights_add.push(Add(weight));
-                    self.epoch += 1;
+                    if let Some(journal) = self.journal.as_mut() {
+                        journal
+                            .append(Record::InsertLeaf { parent, weight })
+                            .expect("journal append failed (fail-stop)");
+                    }
+                    let v = self.insert_leaf_inner(parent, weight);
                     self.session.inserts += 1;
                     self.responses.push(Response::InsertedLeaf(v));
                 }
@@ -266,6 +432,15 @@ impl SpatialForest {
     /// slot-dependent engine bindings refresh.
     fn ensure_light_first(&mut self) {
         if self.layout_dirty {
+            // Query-triggered rebuilds depend on which queries arrived,
+            // not just the insert stream — they must be journaled or
+            // replay would diverge. (Threshold rebuilds inside an
+            // insert are deterministic and are not.)
+            if let Some(journal) = self.journal.as_mut() {
+                journal
+                    .append(Record::Rebuild)
+                    .expect("journal append failed (fail-stop)");
+            }
             self.dynamic.rebuild();
             self.layout_dirty = false;
             self.epoch += 1;
@@ -592,6 +767,72 @@ mod tests {
             Response::SubtreeSum(109)
         );
         assert_eq!(forest.pool().stats().rebinds, 0);
+    }
+
+    #[test]
+    fn snapshot_and_journal_recovery_is_charge_identical() {
+        let dir = std::env::temp_dir();
+        let snap_path = dir.join(format!("spatial-session-snap-{}", std::process::id()));
+        let journal_path = dir.join(format!("spatial-session-journal-{}", std::process::id()));
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let tree = generators::uniform_random(80, &mut rng);
+        let opts = ForestOptions::default();
+        let mut live = SpatialForest::with_options(&tree, opts);
+
+        // Mutate pre-snapshot so the captured state is mid-lifetime.
+        let mut warm = crate::QueryBatch::new();
+        for i in 0..30u32 {
+            warm.insert_leaf(i % 80).lca(i, (i * 7 + 1) % 80);
+        }
+        live.execute(warm.requests(), &mut StdRng::seed_from_u64(12));
+        live.set_weight(3, 41);
+
+        // Checkpoint, then journal a continuation that crosses inserts,
+        // weight changes, and a query-triggered rebuild.
+        live.snapshot_to(&snap_path, 7).expect("snapshot");
+        live.attach_journal(JournalWriter::create(&journal_path).expect("journal"));
+        let mut cont = crate::QueryBatch::new();
+        for i in 0..40u32 {
+            cont.insert_leaf(i % live.n()).subtree_sum(i % 50).rank(i);
+        }
+        live.execute(cont.requests(), &mut StdRng::seed_from_u64(13));
+        live.set_weight(9, 1000);
+        live.detach_journal();
+
+        let mut recovered =
+            SpatialForest::recover_from(&snap_path, &journal_path, opts).expect("recover");
+        assert_eq!(recovered.n(), live.n());
+        assert_eq!(recovered.dynamic_stats(), live.dynamic_stats());
+        assert_eq!(recovered.layout().order(), live.layout().order());
+
+        // The future is pinned: identical answers AND identical charges.
+        let mut probe = crate::QueryBatch::new();
+        for i in 0..25u32 {
+            probe
+                .lca(i, (i * 13 + 2) % 100)
+                .subtree_sum(i * 4)
+                .rank(i * 3);
+        }
+        let a = live
+            .execute(probe.requests(), &mut StdRng::seed_from_u64(14))
+            .to_vec();
+        let b = recovered
+            .execute(probe.requests(), &mut StdRng::seed_from_u64(14))
+            .to_vec();
+        assert_eq!(a, b, "answers diverged after recovery");
+        assert_eq!(
+            live.last_report(),
+            recovered.last_report(),
+            "charges diverged after recovery"
+        );
+
+        // The snapshot preserved the caller's tag verbatim.
+        let snap = spatial_store::ForestSnapshot::read_from(&snap_path).expect("reread");
+        assert_eq!(snap.tag, 7);
+
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(&journal_path).ok();
     }
 
     #[test]

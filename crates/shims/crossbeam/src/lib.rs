@@ -242,9 +242,19 @@ pub mod channel {
             let mut state = self.chan.state.lock();
             state.receivers -= 1;
             if state.receivers == 0 {
+                // Undeliverable messages are dropped NOW, not when the
+                // channel itself dies: a buffered message can hold
+                // resources whose release other threads are blocked on
+                // (the serve layer's in-flight jobs carry reply
+                // senders — a dead worker's queued jobs must disconnect
+                // their tickets promptly, or `Ticket::wait` hangs until
+                // service teardown). Moved out under the lock, dropped
+                // after releasing it, in case a payload Drop re-enters.
+                let orphaned = std::mem::take(&mut state.buf);
                 drop(state);
                 // Blocked senders must observe the disconnect.
                 self.chan.not_full.notify_all();
+                drop(orphaned);
             }
         }
     }
@@ -308,6 +318,22 @@ mod tests {
         let (tx, rx) = bounded::<u32>(2);
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn last_receiver_drop_releases_buffered_messages() {
+        // A message sitting in a dead channel's buffer must not keep
+        // its payload alive: here the payload is itself a sender whose
+        // receiver can only disconnect once the payload drops.
+        let (tx, rx) = bounded::<super::channel::Sender<u8>>(2);
+        let (reply_tx, reply_rx) = bounded::<u8>(1);
+        assert!(tx.send(reply_tx).is_ok(), "receiver alive");
+        drop(rx);
+        assert_eq!(
+            reply_rx.recv(),
+            Err(RecvError),
+            "buffered payload must drop with the last receiver"
+        );
     }
 
     #[test]

@@ -194,6 +194,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The four xoshiro256++ state words — the checkpoint hook the
+        /// durable serve layer journals so a recovered session RNG
+        /// resumes the exact value stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds the generator from a [`StdRng::state`] checkpoint.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -249,6 +263,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

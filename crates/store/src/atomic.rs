@@ -1,0 +1,78 @@
+//! Temp-file + atomic-rename writes.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the bytes land in a temp file
+/// in the same directory (same filesystem, so the rename is atomic),
+/// are synced to disk, and the temp file is renamed over `path`. A
+/// reader — or a crash — at any point sees either the old complete
+/// file or the new complete file, never a torn mix; an interrupted
+/// write can no longer truncate a committed artifact in place.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best effort: don't leave the temp file behind on failure.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic_write;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spatial-store-atomic-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = temp_dir("rw");
+        let path = dir.join("artifact.json");
+        atomic_write(&path, b"first").expect("write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"first");
+        atomic_write(&path, b"second, longer content").expect("overwrite");
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            b"second, longer content"
+        );
+        // No temp file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files remain: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bare_file_name_works() {
+        // Paths without a directory component write into the cwd.
+        let name = format!("spatial-store-bare-{}.tmp-artifact", std::process::id());
+        atomic_write(&name, b"x").expect("write");
+        assert_eq!(std::fs::read(&name).expect("read"), b"x");
+        std::fs::remove_file(&name).ok();
+    }
+}

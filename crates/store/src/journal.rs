@@ -1,0 +1,291 @@
+//! The append-only mutation journal.
+//!
+//! Every record is **fixed width** ([`RECORD_BYTES`] = 44 bytes):
+//!
+//! ```text
+//! [len: u32][kind: u32][a: u64][b: u64][c: u64][d: u64][crc: u32]
+//! ```
+//!
+//! `len` is the byte count of the `kind + payload` section (always 36 —
+//! the length prefix makes the framing self-describing so a future
+//! version can grow records without breaking old readers), and `crc` is
+//! the CRC-32 of that section. Replay ([`read_journal`]) parses records
+//! front to back and **stops at the first incomplete or corrupt
+//! record**: a crash mid-append tears at most the final record, and the
+//! torn tail simply isn't part of the durable history. Unused payload
+//! words of short records are zero.
+
+use crate::crc32;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// On-disk width of one journal record.
+pub const RECORD_BYTES: usize = 44;
+
+/// Width of the `kind + payload` section covered by `len` and `crc`.
+const BODY_BYTES: usize = 36;
+
+/// One durable forest mutation (or marker), in application order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Record {
+    /// A leaf insert under `parent` with the given subtree-sum weight.
+    InsertLeaf {
+        /// Parent of the new leaf.
+        parent: u32,
+        /// Weight of the new leaf.
+        weight: u64,
+    },
+    /// A weight overwrite on an existing vertex.
+    SetWeight {
+        /// The vertex whose weight changed.
+        vertex: u32,
+        /// The new weight.
+        weight: u64,
+    },
+    /// A query-triggered light-first rebuild. Threshold rebuilds inside
+    /// an insert are deterministic replays of the insert stream and are
+    /// **not** journaled; rebuilds forced by the query path depend on
+    /// which queries arrived and must be.
+    Rebuild,
+    /// A session RNG checkpoint (the four xoshiro256++ state words),
+    /// appended by the serve layer after each executed session — it
+    /// doubles as the session **commit marker** for session-atomic
+    /// replay.
+    RngState([u64; 4]),
+}
+
+impl Record {
+    fn kind(&self) -> u32 {
+        match self {
+            Record::InsertLeaf { .. } => 1,
+            Record::SetWeight { .. } => 2,
+            Record::Rebuild => 3,
+            Record::RngState(_) => 4,
+        }
+    }
+
+    fn payload(&self) -> [u64; 4] {
+        match *self {
+            Record::InsertLeaf { parent, weight } => [parent as u64, weight, 0, 0],
+            Record::SetWeight { vertex, weight } => [vertex as u64, weight, 0, 0],
+            Record::Rebuild => [0; 4],
+            Record::RngState(s) => s,
+        }
+    }
+
+    /// Serializes the record into its fixed-width frame.
+    pub fn encode(&self) -> [u8; RECORD_BYTES] {
+        let mut frame = [0u8; RECORD_BYTES];
+        frame[0..4].copy_from_slice(&(BODY_BYTES as u32).to_le_bytes());
+        frame[4..8].copy_from_slice(&self.kind().to_le_bytes());
+        for (i, w) in self.payload().iter().enumerate() {
+            frame[8 + 8 * i..16 + 8 * i].copy_from_slice(&w.to_le_bytes());
+        }
+        let crc = crc32(&frame[4..4 + BODY_BYTES]);
+        frame[4 + BODY_BYTES..].copy_from_slice(&crc.to_le_bytes());
+        frame
+    }
+
+    /// Parses one frame; `None` when the frame is torn or corrupt (the
+    /// replay stop condition, not an error).
+    pub fn decode(frame: &[u8]) -> Option<Record> {
+        if frame.len() < RECORD_BYTES {
+            return None;
+        }
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        if len != BODY_BYTES {
+            return None;
+        }
+        let stored = u32::from_le_bytes(frame[4 + BODY_BYTES..RECORD_BYTES].try_into().unwrap());
+        if crc32(&frame[4..4 + BODY_BYTES]) != stored {
+            return None;
+        }
+        let kind = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let mut w = [0u64; 4];
+        for (i, word) in w.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(frame[8 + 8 * i..16 + 8 * i].try_into().unwrap());
+        }
+        match kind {
+            1 => Some(Record::InsertLeaf {
+                parent: w[0] as u32,
+                weight: w[1],
+            }),
+            2 => Some(Record::SetWeight {
+                vertex: w[0] as u32,
+                weight: w[1],
+            }),
+            3 => Some(Record::Rebuild),
+            4 => Some(Record::RngState(w)),
+            _ => None,
+        }
+    }
+}
+
+/// An open journal file accepting appends.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) the journal at `path` — the checkpoint
+    /// path: a fresh snapshot makes the old history redundant.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JournalWriter {
+            file: std::fs::File::create(path)?,
+        })
+    }
+
+    /// Opens the journal at `path` for appending, creating it empty if
+    /// absent.
+    pub fn open_append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JournalWriter {
+            file: std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        })
+    }
+
+    /// Appends one record (write-ahead: call before applying the
+    /// mutation in memory, so the durable history is never behind the
+    /// live state).
+    pub fn append(&mut self, record: Record) -> std::io::Result<()> {
+        self.file.write_all(&record.encode())
+    }
+
+    /// Forces appended records to disk (fsync).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Reads every intact record of the journal at `path`, in order,
+/// stopping silently at a torn or corrupt tail (see the module docs).
+/// A missing file is an empty journal — the state right after a
+/// checkpoint truncation.
+pub fn read_journal(path: impl AsRef<Path>) -> std::io::Result<Vec<Record>> {
+    let mut bytes = Vec::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    Ok(parse_journal(&bytes))
+}
+
+/// [`read_journal`] over in-memory bytes (the crash-injection hook:
+/// truncate the byte prefix, parse what survives).
+pub fn parse_journal(bytes: &[u8]) -> Vec<Record> {
+    let mut records = Vec::with_capacity(bytes.len() / RECORD_BYTES);
+    let mut off = 0;
+    while let Some(rec) = Record::decode(&bytes[off..]) {
+        records.push(rec);
+        off += RECORD_BYTES;
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "spatial-store-journal-{tag}-{}",
+            std::process::id()
+        ))
+    }
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::InsertLeaf {
+                parent: 7,
+                weight: 3,
+            },
+            Record::SetWeight {
+                vertex: 2,
+                weight: 100,
+            },
+            Record::Rebuild,
+            Record::RngState([1, u64::MAX, 0xDEAD_BEEF, 42]),
+            Record::InsertLeaf {
+                parent: 8,
+                weight: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_a_file() {
+        let path = temp_path("roundtrip");
+        let mut w = JournalWriter::create(&path).expect("create");
+        for r in sample() {
+            w.append(r).expect("append");
+        }
+        w.sync().expect("sync");
+        assert_eq!(read_journal(&path).expect("read"), sample());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        assert_eq!(
+            read_journal(temp_path("never-written")).expect("read"),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn open_append_continues_the_history() {
+        let path = temp_path("append");
+        let mut w = JournalWriter::create(&path).expect("create");
+        w.append(sample()[0]).expect("append");
+        drop(w);
+        let mut w = JournalWriter::open_append(&path).expect("reopen");
+        w.append(sample()[1]).expect("append");
+        drop(w);
+        assert_eq!(read_journal(&path).expect("read"), sample()[..2].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_last_record() {
+        let mut bytes = Vec::new();
+        for r in sample() {
+            bytes.extend_from_slice(&r.encode());
+        }
+        // Every truncation point keeps exactly the complete records.
+        for cut in 0..=bytes.len() {
+            let records = parse_journal(&bytes[..cut]);
+            assert_eq!(
+                records,
+                sample()[..cut / RECORD_BYTES].to_vec(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let mut bytes = Vec::new();
+        for r in sample() {
+            bytes.extend_from_slice(&r.encode());
+        }
+        // Flip a payload byte of the third record: replay keeps the
+        // first two and refuses everything from the corruption on.
+        bytes[2 * RECORD_BYTES + 10] ^= 0x40;
+        assert_eq!(parse_journal(&bytes), sample()[..2].to_vec());
+    }
+
+    #[test]
+    fn unknown_kind_stops_replay() {
+        let mut frame = Record::Rebuild.encode();
+        frame[4] = 99; // kind no current reader understands
+        let crc = crc32(&frame[4..40]);
+        frame[40..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(Record::decode(&frame), None);
+    }
+}

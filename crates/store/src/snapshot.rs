@@ -1,0 +1,291 @@
+//! The versioned, checksummed forest snapshot.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [magic "SFSN"][version: u32][crc: u32]   // 12-byte prologue
+//! [curve: u32][root: u32][layout_dirty: u32][rebuilds: u32][grows: u32]
+//! [n: u32][reserved: u64][baseline_energy: u64][insertions: u64][tag: u64]
+//! [parents: n × u32][order: n × u32][weights: n × u64]
+//! ```
+//!
+//! `crc` is the CRC-32 of everything after the prologue, so a torn or
+//! bit-rotted snapshot is rejected as a whole — snapshots are only ever
+//! produced through [`crate::atomic_write`], which already rules out
+//! torn files from this writer; the checksum guards against every other
+//! producer and against storage corruption. The slabs mirror the
+//! in-memory arrays of the dynamic layout (`parents`, the layout's
+//! slot → vertex `order`) and the forest (`weights`) verbatim: encoding
+//! is a copy, not a traversal.
+
+use crate::{atomic_write, crc32, StoreError};
+use std::path::Path;
+
+/// The four magic bytes every snapshot starts with.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SFSN";
+
+/// The format version this build writes (and the newest it reads).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The durable image of one forest's structure: everything needed to
+/// restore a `DynamicLayout` (and the forest's weights) bit-identical
+/// to the live instance. Field semantics belong to the forest types;
+/// this struct is the format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestSnapshot {
+    /// Curve family, as the forest's stable curve index.
+    pub curve: u32,
+    /// Root vertex id.
+    pub root: u32,
+    /// Whether tail appends had left the layout non-light-first.
+    pub layout_dirty: bool,
+    /// Lifetime light-first rebuild count.
+    pub rebuilds: u32,
+    /// Lifetime capacity-doubling count.
+    pub grows: u32,
+    /// Reserved curve capacity (vertex count of the next doubling).
+    pub reserved: u64,
+    /// Kernel energy right after the last rebuild (the quality-
+    /// threshold anchor).
+    pub baseline_energy: u64,
+    /// Lifetime insert count.
+    pub insertions: u64,
+    /// Caller-owned tag (the serve layer stores its journal generation
+    /// here so a checkpoint can switch journal files crash-safely).
+    pub tag: u64,
+    /// Parent of every vertex (`u32::MAX` for the root).
+    pub parents: Vec<u32>,
+    /// The layout's linear order: `order[slot] = vertex`.
+    pub order: Vec<u32>,
+    /// Subtree-sum weight of every vertex.
+    pub weights: Vec<u64>,
+}
+
+const PROLOGUE_BYTES: usize = 12;
+const HEADER_BYTES: usize = 6 * 4 + 4 * 8; // payload header after the prologue
+
+impl ForestSnapshot {
+    /// Serializes the snapshot to its on-disk byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.parents.len();
+        assert_eq!(self.order.len(), n, "order/parents length mismatch");
+        assert_eq!(self.weights.len(), n, "weights/parents length mismatch");
+        let mut bytes = Vec::with_capacity(PROLOGUE_BYTES + HEADER_BYTES + 16 * n);
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // crc patched below
+        bytes.extend_from_slice(&self.curve.to_le_bytes());
+        bytes.extend_from_slice(&self.root.to_le_bytes());
+        bytes.extend_from_slice(&(self.layout_dirty as u32).to_le_bytes());
+        bytes.extend_from_slice(&self.rebuilds.to_le_bytes());
+        bytes.extend_from_slice(&self.grows.to_le_bytes());
+        bytes.extend_from_slice(&(n as u32).to_le_bytes());
+        bytes.extend_from_slice(&self.reserved.to_le_bytes());
+        bytes.extend_from_slice(&self.baseline_energy.to_le_bytes());
+        bytes.extend_from_slice(&self.insertions.to_le_bytes());
+        bytes.extend_from_slice(&self.tag.to_le_bytes());
+        for &p in &self.parents {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        for &v in &self.order {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for &w in &self.weights {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let crc = crc32(&bytes[PROLOGUE_BYTES..]);
+        bytes[8..12].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Parses and validates a snapshot (magic, version, checksum,
+    /// slab lengths).
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < PROLOGUE_BYTES + HEADER_BYTES {
+            return Err(StoreError::Truncated);
+        }
+        if bytes[0..4] != SNAPSHOT_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let stored = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let computed = crc32(&bytes[PROLOGUE_BYTES..]);
+        if stored != computed {
+            return Err(StoreError::BadChecksum { stored, computed });
+        }
+        let mut off = PROLOGUE_BYTES;
+        let mut next_u32 = |bytes: &[u8]| {
+            let v = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            off += 4;
+            v
+        };
+        let curve = next_u32(bytes);
+        let root = next_u32(bytes);
+        let layout_dirty = next_u32(bytes) != 0;
+        let rebuilds = next_u32(bytes);
+        let grows = next_u32(bytes);
+        let n = next_u32(bytes) as usize;
+        let mut next_u64 = |bytes: &[u8]| {
+            let v = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            off += 8;
+            v
+        };
+        let reserved = next_u64(bytes);
+        let baseline_energy = next_u64(bytes);
+        let insertions = next_u64(bytes);
+        let tag = next_u64(bytes);
+        if bytes.len() != off + 16 * n {
+            return Err(StoreError::Truncated);
+        }
+        let mut parents = Vec::with_capacity(n);
+        for i in 0..n {
+            parents.push(u32::from_le_bytes(
+                bytes[off + 4 * i..off + 4 * i + 4].try_into().unwrap(),
+            ));
+        }
+        off += 4 * n;
+        let mut order = Vec::with_capacity(n);
+        for i in 0..n {
+            order.push(u32::from_le_bytes(
+                bytes[off + 4 * i..off + 4 * i + 4].try_into().unwrap(),
+            ));
+        }
+        off += 4 * n;
+        let mut weights = Vec::with_capacity(n);
+        for i in 0..n {
+            weights.push(u64::from_le_bytes(
+                bytes[off + 8 * i..off + 8 * i + 8].try_into().unwrap(),
+            ));
+        }
+        Ok(ForestSnapshot {
+            curve,
+            root,
+            layout_dirty,
+            rebuilds,
+            grows,
+            reserved,
+            baseline_energy,
+            insertions,
+            tag,
+            parents,
+            order,
+            weights,
+        })
+    }
+
+    /// Writes the snapshot to `path` via temp-file + atomic rename.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        atomic_write(path, &self.encode())
+    }
+
+    /// Reads and validates the snapshot at `path`.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::decode(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ForestSnapshot {
+        ForestSnapshot {
+            curve: 0,
+            root: 2,
+            layout_dirty: true,
+            rebuilds: 3,
+            grows: 1,
+            reserved: 16,
+            baseline_energy: 77,
+            insertions: 5,
+            tag: 9,
+            parents: vec![2, 0, u32::MAX, 1, 1],
+            order: vec![2, 0, 1, 3, 4],
+            weights: vec![1, 10, 1, 4, 1],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        assert_eq!(
+            ForestSnapshot::decode(&snap.encode()).expect("decode"),
+            snap
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!(
+            "spatial-store-snap-roundtrip-{}",
+            std::process::id()
+        ));
+        sample().write_to(&path).expect("write");
+        assert_eq!(ForestSnapshot::read_from(&path).expect("read"), sample());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let snap = sample();
+        let good = snap.encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            ForestSnapshot::decode(&bad_magic),
+            Err(StoreError::BadMagic)
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ForestSnapshot::decode(&bad_version),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+
+        // A flipped payload bit anywhere fails the checksum.
+        for at in [12, 20, good.len() - 1] {
+            let mut flipped = good.clone();
+            flipped[at] ^= 1;
+            assert!(
+                matches!(
+                    ForestSnapshot::decode(&flipped),
+                    Err(StoreError::BadChecksum { .. })
+                ),
+                "flip at {at}"
+            );
+        }
+
+        // A truncated file fails before the checksum can even be read.
+        assert!(matches!(
+            ForestSnapshot::decode(&good[..8]),
+            Err(StoreError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn empty_forest_snapshot() {
+        let snap = ForestSnapshot {
+            curve: 1,
+            root: 0,
+            layout_dirty: false,
+            rebuilds: 0,
+            grows: 0,
+            reserved: 4,
+            baseline_energy: 1,
+            insertions: 0,
+            tag: 0,
+            parents: Vec::new(),
+            order: Vec::new(),
+            weights: Vec::new(),
+        };
+        assert_eq!(
+            ForestSnapshot::decode(&snap.encode()).expect("decode"),
+            snap
+        );
+    }
+}
