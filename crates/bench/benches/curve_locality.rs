@@ -34,6 +34,21 @@ fn bench_hilbert_order10(c: &mut Criterion) {
             acc
         })
     });
+    group.bench_function("lut_batch", |b| {
+        let indices: Vec<u64> = (0..n).collect();
+        let mut out = vec![GridPoint::default(); n as usize];
+        b.iter(|| {
+            curve.point_batch(black_box(&indices), &mut out);
+            out[out.len() - 1]
+        })
+    });
+    group.bench_function("lut_range_batch", |b| {
+        let mut out = vec![GridPoint::default(); n as usize];
+        b.iter(|| {
+            curve.point_range_batch(black_box(0), &mut out);
+            out[out.len() - 1]
+        })
+    });
     group.bench_function("scalar_reference", |b| {
         b.iter(|| {
             let mut acc = 0u64;
@@ -55,6 +70,13 @@ fn bench_hilbert_order10(c: &mut Criterion) {
                 acc += curve.index(black_box(p));
             }
             acc
+        })
+    });
+    group.bench_function("lut_batch", |b| {
+        let mut out = vec![0u64; points.len()];
+        b.iter(|| {
+            curve.index_batch(black_box(&points), &mut out);
+            out[out.len() - 1]
         })
     });
     group.bench_function("scalar_reference", |b| {

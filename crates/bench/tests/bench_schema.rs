@@ -94,6 +94,39 @@ fn every_bench_file_shares_the_scenarios_schema() {
 }
 
 #[test]
+fn sfc_treefix_file_shows_the_swar_win() {
+    // The SWAR acceptance bar, checked against the committed data: the
+    // lane-parallel batch kernels must beat the retained pre-PR scalar
+    // batch loops (`sfc::swar::*_chunk_scalar`, `run_bitonic_reference`)
+    // by at least 1.5x on the Hilbert and Z-order index batches and the
+    // bitonic sort (the bench runner asserts the same bar at generation
+    // time; the kernels are pinned bit-identical by the differential
+    // tests, so the rows compare equal work).
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_sfc_treefix.json"))
+        .expect("BENCH_sfc_treefix.json checked in");
+    for name in [
+        "hilbert_index_batch_order10",
+        "zorder_index_batch_order10",
+        "bitonic_sort_2^16",
+    ] {
+        let row = text
+            .lines()
+            .find(|l| l.contains(&format!("\"name\": \"{name}\"")))
+            .unwrap_or_else(|| panic!("missing results row {name}"));
+        let needle = "\"speedup\": ";
+        let at = row.find(needle).expect("speedup field");
+        let speedup: f64 = row[at + needle.len()..]
+            .trim_end_matches(['}', ',', ' '])
+            .parse()
+            .expect("numeric speedup");
+        assert!(
+            speedup >= 1.5,
+            "{name}: SWAR kernel must beat the scalar batch reference by >= 1.5x, committed {speedup}"
+        );
+    }
+}
+
+#[test]
 fn service_file_shows_the_session_reuse_win() {
     // The PR 5 acceptance bar, checked against the committed data:
     // mixed-batch engine reuse through `SpatialForest` beats per-query

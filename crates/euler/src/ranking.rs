@@ -65,8 +65,17 @@ pub fn rank_sequential(next: &[u32], start: u32) -> Vec<u64> {
 
 /// Host-parallel Wyllie pointer jumping (rayon): `O(n log n)` work,
 /// `O(log n)` span. Used for wall-clock comparisons; charge-free.
+///
+/// Lists shorter than the measured
+/// [`spatial_sfc::thresholds::RANKING_SPLICE`] crossover fall back to
+/// [`rank_sequential`] — the `O(n log n)` jumping plus fork overhead
+/// can never beat the linear walk there (identical results either
+/// way).
 pub fn rank_parallel(next: &[u32], start: u32) -> Vec<u64> {
     let n = next.len();
+    if n < spatial_sfc::thresholds::RANKING_SPLICE.min_par_items() {
+        return rank_sequential(next, start);
+    }
     let mut ranks = vec![UNRANKED; n];
     if start == END {
         return ranks;
@@ -344,17 +353,24 @@ impl RankingEngine {
 
             // Select: heads whose predecessor flipped tails (never the
             // start element — it anchors the ranking). Selection is
-            // evaluated against the pre-splice pointers.
+            // evaluated against the pre-splice pointers, as a
+            // branchless compact pass: unconditional write, cursor
+            // advanced by the predicate — the coin pattern is random,
+            // so a data-dependent branch here mispredicts half the
+            // time. The END-guarded probe reads index 0 and is masked
+            // out by the `!= END` factor (cmov, not a branch).
             self.selected.clear();
-            for &v in &self.alive {
-                if v != start
-                    && self.coin[v as usize]
-                    && self.prev[v as usize] != END
-                    && !self.coin[self.prev[v as usize] as usize]
-                {
-                    self.selected.push(v);
-                }
+            self.selected.resize(self.alive.len(), 0);
+            let mut k = 0usize;
+            for i in 0..self.alive.len() {
+                let v = self.alive[i];
+                let pv = self.prev[v as usize];
+                let safe_pv = if pv == END { 0 } else { pv as usize };
+                let ok = (v != start) & self.coin[v as usize] & (pv != END) & !self.coin[safe_pv];
+                self.selected[k] = v;
+                k += ok as usize;
             }
+            self.selected.truncate(k);
 
             // Splice each selected element out: its left neighbour
             // inherits its weight and pointer (message mid → left), and
@@ -384,8 +400,16 @@ impl RankingEngine {
             self.round_ends.push(self.splice_mid.len() as u32);
             self.rounds += 1;
 
+            // Branchless sweep of the dead flags (same stable order as
+            // the `retain` it replaces).
             let Self { alive, dead, .. } = &mut *self;
-            alive.retain(|&v| !dead[v as usize]);
+            let mut k = 0usize;
+            for i in 0..alive.len() {
+                let v = alive[i];
+                alive[k] = v;
+                k += !dead[v as usize] as usize;
+            }
+            alive.truncate(k);
         }
 
         // ---- Base case: walk the remaining list sequentially, ----

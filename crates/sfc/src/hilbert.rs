@@ -87,7 +87,7 @@ const BASE_CHILD: [Transform; 4] = [TRANSPOSE, IDENTITY, IDENTITY, ANTITRANSPOSE
 
 /// One-level point table: `POINT1[state][quadrant digit]` packs
 /// `cell (2 bits) | next_state << 2`.
-const POINT1: [[u8; 4]; 4] = {
+pub(crate) const POINT1: [[u8; 4]; 4] = {
     let mut table = [[0u8; 4]; 4];
     let mut s = 0;
     while s < 4 {
@@ -105,7 +105,7 @@ const POINT1: [[u8; 4]; 4] = {
 
 /// One-level index table: `INDEX1[state][cell]` packs
 /// `quadrant digit (2 bits) | next_state << 2`.
-const INDEX1: [[u8; 4]; 4] = {
+pub(crate) const INDEX1: [[u8; 4]; 4] = {
     let mut table = [[0u8; 4]; 4];
     let mut s = 0;
     while s < 4 {
@@ -123,7 +123,7 @@ const INDEX1: [[u8; 4]; 4] = {
 
 /// Two-level point table: `POINT2[state][4 index bits]` packs
 /// `x bits (2) | y bits << 2 | next_state << 4`.
-const POINT2: [[u8; 16]; 4] = {
+pub(crate) const POINT2: [[u8; 16]; 4] = {
     let mut table = [[0u8; 16]; 4];
     let mut s = 0;
     while s < 4 {
@@ -144,7 +144,7 @@ const POINT2: [[u8; 16]; 4] = {
 
 /// Two-level index table: `INDEX2[state][x bits (2) | y bits << 2]`
 /// packs `4 index bits | next_state << 4`.
-const INDEX2: [[u8; 16]; 4] = {
+pub(crate) const INDEX2: [[u8; 16]; 4] = {
     let mut table = [[0u8; 16]; 4];
     let mut s = 0;
     while s < 4 {
@@ -164,7 +164,7 @@ const INDEX2: [[u8; 16]; 4] = {
 /// `POINT4[state][8 index bits]` packs
 /// `x bits (4) | y bits << 4 | next_state << 8` in a `u16`.
 /// 4 × 256 × 2 B = 2 KiB — comfortably L1-resident.
-const POINT4: [[u16; 256]; 4] = {
+pub(crate) const POINT4: [[u16; 256]; 4] = {
     let mut table = [[0u16; 256]; 4];
     let mut s = 0;
     while s < 4 {
@@ -185,7 +185,7 @@ const POINT4: [[u16; 256]; 4] = {
 
 /// Four-level index table: `INDEX4[state][x bits (4) | y bits << 4]`
 /// packs `8 index bits | next_state << 8` in a `u16`.
-const INDEX4: [[u16; 256]; 4] = {
+pub(crate) const INDEX4: [[u16; 256]; 4] = {
     let mut table = [[0u16; 256]; 4];
     let mut s = 0;
     while s < 4 {
@@ -206,7 +206,7 @@ const INDEX4: [[u16; 256]; 4] = {
 /// lookups): `POINT5[state][10 index bits]` packs
 /// `x bits (5) | y bits << 5 | next_state << 10` in a `u16`.
 /// 4 × 1024 × 2 B = 8 KiB.
-const POINT5: [[u16; 1024]; 4] = {
+pub(crate) const POINT5: [[u16; 1024]; 4] = {
     let mut table = [[0u16; 1024]; 4];
     let mut s = 0;
     while s < 4 {
@@ -227,7 +227,7 @@ const POINT5: [[u16; 1024]; 4] = {
 
 /// Five-level index table: `INDEX5[state][x bits (5) | y bits << 5]`
 /// packs `10 index bits | next_state << 10` in a `u16`.
-const INDEX5: [[u16; 1024]; 4] = {
+pub(crate) const INDEX5: [[u16; 1024]; 4] = {
     let mut table = [[0u16; 1024]; 4];
     let mut s = 0;
     while s < 4 {
@@ -279,7 +279,7 @@ impl HilbertCurve {
     /// levels peel off with the small tables, then each counted-loop
     /// iteration consumes eight index bits through [`POINT4`].
     #[inline]
-    fn point_unchecked(&self, index: u64) -> GridPoint {
+    pub(crate) fn point_unchecked(&self, index: u64) -> GridPoint {
         let order = self.order;
         if order == 0 {
             return GridPoint::new(0, 0);
@@ -324,7 +324,7 @@ impl HilbertCurve {
 
     /// LUT walk without the bounds check; `p` must be inside the grid.
     #[inline]
-    fn index_unchecked(&self, p: GridPoint) -> u64 {
+    pub(crate) fn index_unchecked(&self, p: GridPoint) -> u64 {
         let order = self.order;
         if order == 0 {
             return 0;
@@ -409,26 +409,19 @@ impl Curve for HilbertCurve {
 
     fn point_batch(&self, indices: &[u64], out: &mut [GridPoint]) {
         assert_eq!(indices.len(), out.len(), "batch size mismatch");
-        let len = self.len();
-        crate::par_map_fill(indices, out, crate::PAR_BATCH_MIN, |idx, dst| {
-            for (o, &i) in dst.iter_mut().zip(idx) {
-                assert!(i < len, "curve position {i} out of range (len {len})");
-                *o = self.point_unchecked(i);
-            }
+        let side = self.side;
+        let min_chunk = crate::thresholds::SFC_FILL.min_par_items();
+        crate::par_map_fill(indices, out, min_chunk, |idx, dst| {
+            crate::swar::hilbert_point_chunk(side, idx, dst);
         });
     }
 
     fn index_batch(&self, points: &[GridPoint], out: &mut [u64]) {
         assert_eq!(points.len(), out.len(), "batch size mismatch");
         let side = self.side;
-        crate::par_map_fill(points, out, crate::PAR_BATCH_MIN, |pts, dst| {
-            for (o, &p) in dst.iter_mut().zip(pts) {
-                assert!(
-                    p.x < side && p.y < side,
-                    "{p} outside the {side}×{side} grid"
-                );
-                *o = self.index_unchecked(p);
-            }
+        let min_chunk = crate::thresholds::SFC_FILL.min_par_items();
+        crate::par_map_fill(points, out, min_chunk, |pts, dst| {
+            crate::swar::hilbert_index_chunk(side, pts, dst);
         });
     }
 
@@ -437,11 +430,10 @@ impl Curve for HilbertCurve {
             .checked_add(out.len() as u64)
             .expect("curve position range overflows u64");
         assert!(end <= self.len(), "range end {end} out of curve range");
-        crate::par_fill(out, crate::PAR_BATCH_MIN, |offset, dst| {
-            let base = start + offset as u64;
-            for (k, o) in dst.iter_mut().enumerate() {
-                *o = self.point_unchecked(base + k as u64);
-            }
+        let side = self.side;
+        let min_chunk = crate::thresholds::SFC_FILL.min_par_items();
+        crate::par_fill(out, min_chunk, |offset, dst| {
+            crate::swar::hilbert_point_range_chunk(side, start + offset as u64, dst);
         });
     }
 }

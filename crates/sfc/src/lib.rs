@@ -23,6 +23,12 @@
 //!   the alignment property (Lemma 4).
 //! - [`zorder`] diagonal analysis: the `Ed` term of Lemma 3 and the
 //!   longest-diagonal counting of Lemmas 5–6 (Fig. 2).
+//! - [`swar`]: the SWAR batch kernels behind `point_batch`/`index_batch`
+//!   (state-lane-packed Hilbert walks, pair-packed Morton decode), and
+//!   [`thresholds`]: measured sequential↔parallel crossovers generated
+//!   by `experiments -- calibrate-thresholds`.
+
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod geom;
 pub mod hilbert;
@@ -32,6 +38,9 @@ pub mod peano;
 #[doc(hidden)]
 pub mod reference;
 pub mod simple;
+#[doc(hidden)]
+pub mod swar;
+pub mod thresholds;
 pub mod zorder;
 
 pub use geom::{manhattan, GridPoint};
@@ -119,7 +128,50 @@ pub trait Curve {
 /// parallel `point_batch`/`index_batch` overrides; smaller ones stay on
 /// the calling thread (thread spawn costs more than it saves — the
 /// "measure before parallelizing" lesson).
+///
+/// This is the pre-calibration analytic fallback; the hot batch paths
+/// now consult the measured [`thresholds`] instead.
 pub const PAR_BATCH_MIN: usize = 1 << 14;
+
+/// The measured cost model of one parallelizable kernel, fitted by
+/// `experiments -- calibrate-thresholds` from real sweeps of the
+/// sequential loop and the `rayon::scope`-forked version: a run over
+/// `n` items costs `c·n` sequentially and `T·F + c·n/T` split across
+/// `T` workers, where `F` is the fixed per-spawn overhead and `c` the
+/// per-item cost (the same `F/b + c` shape that backs
+/// `MIN_COALESCED_BATCH` in the serve tier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelFit {
+    /// Kernel name as reported by the calibration sweep.
+    pub name: &'static str,
+    /// Fixed overhead per spawned task, in nanoseconds (`F`).
+    pub fixed_overhead_ns: f64,
+    /// Marginal sequential cost per item, in nanoseconds (`c`).
+    pub per_item_ns: f64,
+    /// Worker count the fit was measured with (1 means the calibration
+    /// box could not fork and the fit carries spawn overhead only).
+    pub calibrated_threads: usize,
+}
+
+impl KernelFit {
+    /// Smallest batch size where forking beats staying sequential on
+    /// the *current* worker count: `T·F + c·n/T < c·n` solves to
+    /// `n > T²·F / (c·(T−1))`. Returns `usize::MAX` when there is only
+    /// one worker (parallelism can never win), which the `par_*`
+    /// helpers already treat as "stay sequential".
+    pub fn min_par_items(&self) -> usize {
+        let t = rayon::current_num_threads();
+        if t <= 1 || self.per_item_ns <= 0.0 {
+            return usize::MAX;
+        }
+        let t = t as f64;
+        let crossover = self.fixed_overhead_ns * t * t / (self.per_item_ns * (t - 1.0));
+        if !crossover.is_finite() || crossover >= usize::MAX as f64 {
+            return usize::MAX;
+        }
+        (crossover.ceil() as usize).max(1)
+    }
+}
 
 /// Fills `out` by handing contiguous chunks (with their start offsets)
 /// to `fill` on worker threads; sequential below `min_chunk`. Built on

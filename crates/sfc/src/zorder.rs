@@ -70,34 +70,19 @@ impl Curve for ZOrderCurve {
 
     fn point_batch(&self, indices: &[u64], out: &mut [GridPoint]) {
         assert_eq!(indices.len(), out.len(), "batch size mismatch");
-        let len = self.len();
-        crate::par_map_fill(indices, out, crate::PAR_BATCH_MIN, |idx, dst| {
-            for (o, &i) in dst.iter_mut().zip(idx) {
-                assert!(i < len, "curve position {i} out of range (len {len})");
-                *o = GridPoint::new(deinterleave(i), deinterleave(i >> 1));
-            }
+        let side = self.side;
+        let min_chunk = crate::thresholds::SFC_FILL.min_par_items();
+        crate::par_map_fill(indices, out, min_chunk, |idx, dst| {
+            crate::swar::zorder_point_chunk(side, idx, dst);
         });
     }
 
     fn index_batch(&self, points: &[GridPoint], out: &mut [u64]) {
         assert_eq!(points.len(), out.len(), "batch size mismatch");
         let side = self.side;
-        // The fused two-coordinate pipeline packs both coordinates into
-        // one u64 and needs 16-bit lanes; larger grids (> 2^32 cells)
-        // take the two-call path.
-        let fused = side as u64 <= 1 << 16;
-        crate::par_map_fill(points, out, crate::PAR_BATCH_MIN, |pts, dst| {
-            for (o, &p) in dst.iter_mut().zip(pts) {
-                assert!(
-                    p.x < side && p.y < side,
-                    "{p} outside the {side}×{side} grid"
-                );
-                *o = if fused {
-                    interleave_xy(p.x, p.y)
-                } else {
-                    interleave(p.x) | (interleave(p.y) << 1)
-                };
-            }
+        let min_chunk = crate::thresholds::SFC_FILL.min_par_items();
+        crate::par_map_fill(points, out, min_chunk, |pts, dst| {
+            crate::swar::zorder_index_chunk(side, pts, dst);
         });
     }
 
@@ -106,12 +91,10 @@ impl Curve for ZOrderCurve {
             .checked_add(out.len() as u64)
             .expect("curve position range overflows u64");
         assert!(end <= self.len(), "range end {end} out of curve range");
-        crate::par_fill(out, crate::PAR_BATCH_MIN, |offset, dst| {
-            let base = start + offset as u64;
-            for (k, o) in dst.iter_mut().enumerate() {
-                let at = base + k as u64;
-                *o = GridPoint::new(deinterleave(at), deinterleave(at >> 1));
-            }
+        let side = self.side;
+        let min_chunk = crate::thresholds::SFC_FILL.min_par_items();
+        crate::par_fill(out, min_chunk, |offset, dst| {
+            crate::swar::zorder_point_range_chunk(side, start + offset as u64, dst);
         });
     }
 }
@@ -120,7 +103,7 @@ impl Curve for ZOrderCurve {
 /// single `u64` holding `y` in the high half and `x` in the low half,
 /// halving the bit-twiddling work of two separate [`interleave`] calls.
 #[inline]
-fn interleave_xy(x: u32, y: u32) -> u64 {
+pub(crate) fn interleave_xy(x: u32, y: u32) -> u64 {
     let mut z = ((y as u64) << 32) | x as u64;
     z = (z | (z << 8)) & 0x00FF_00FF_00FF_00FF;
     z = (z | (z << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
@@ -131,7 +114,7 @@ fn interleave_xy(x: u32, y: u32) -> u64 {
 
 /// Spreads the 32 bits of `v` into the even bit positions of a `u64`.
 #[inline]
-fn interleave(v: u32) -> u64 {
+pub(crate) fn interleave(v: u32) -> u64 {
     let mut x = v as u64;
     x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
     x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
@@ -143,7 +126,7 @@ fn interleave(v: u32) -> u64 {
 
 /// Extracts the even bit positions of `v` into a compact `u32`.
 #[inline]
-fn deinterleave(v: u64) -> u32 {
+pub(crate) fn deinterleave(v: u64) -> u32 {
     let mut x = v & 0x5555_5555_5555_5555;
     x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
     x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;

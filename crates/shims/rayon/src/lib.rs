@@ -19,14 +19,28 @@ use std::marker::PhantomData;
 
 /// Number of worker threads a fork-join computation may use.
 ///
+/// The `SPATIAL_THREADS` environment variable overrides the probed
+/// count (any integer ≥ 1; unset, empty, or unparseable values fall
+/// back to `available_parallelism`). The calibration sweeps and the
+/// CI wall-clock scaling smoke use it to pin worker counts without
+/// recompiling — mirroring the real rayon's `RAYON_NUM_THREADS`.
+///
 /// Memoized: `available_parallelism` probes cgroup files on Linux and
 /// heap-allocates on every call, which would break the engines'
 /// zero-allocation contracts (and costs a syscall in batch hot paths).
-/// The real rayon reads its pool size without allocating, so the memo
-/// matches its behavior when the shim is swapped out.
+/// The override is read once with the same memo, so flipping the env
+/// var mid-process has no effect — exactly like resizing the real
+/// rayon's global pool after first use.
 pub fn current_num_threads() -> usize {
     static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("SPATIAL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -340,6 +354,32 @@ mod tests {
         });
         assert_eq!(out[..32], [1; 32]);
         assert_eq!(out[32..], [2; 32]);
+    }
+
+    #[test]
+    fn spatial_threads_env_overrides_thread_count() {
+        // The memo latches on first use, so the override must be
+        // present from process start: re-exec this exact test as a
+        // child with SPATIAL_THREADS set and assert inside the child.
+        if std::env::var("SPATIAL_THREADS").is_ok() {
+            assert_eq!(
+                super::current_num_threads(),
+                3,
+                "child must see the SPATIAL_THREADS override"
+            );
+            return;
+        }
+        let exe = std::env::current_exe().expect("test binary path");
+        let status = std::process::Command::new(exe)
+            .args([
+                "--exact",
+                "tests::spatial_threads_env_overrides_thread_count",
+                "--nocapture",
+            ])
+            .env("SPATIAL_THREADS", "3")
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child assertion failed: {status}");
     }
 
     #[test]

@@ -312,9 +312,11 @@ impl<M: CommutativeMonoid> ContractionEngine<M> {
             if let Some(&first) = cs.first() {
                 self.first_child[v as usize] = first;
             }
-            for w in cs.windows(2) {
-                self.next_sib[w[0] as usize] = w[1];
-                self.prev_sib[w[1] as usize] = w[0];
+            // Branchless splice over the CSR run: thread the sibling
+            // links pairwise without the windows bounds machinery.
+            for (&a, &b) in cs.iter().zip(cs.iter().skip(1)) {
+                self.next_sib[a as usize] = b;
+                self.prev_sib[b as usize] = a;
             }
         }
     }
@@ -379,14 +381,29 @@ impl<M: CommutativeMonoid> ContractionEngine<M> {
         for &v in &self.alive {
             self.coin[v as usize] = rng.gen();
         }
+        // Branchless select/compact passes (SWAR-style: unconditional
+        // write, advance the cursor by the predicate — no data-dependent
+        // branches for the predictor to miss on random coins). Order,
+        // contents, and the charged message rounds are identical to the
+        // retained `push`/`retain` formulation, pinned by the
+        // differential suite.
         let mut selected = std::mem::take(&mut self.nodes_scratch);
         selected.clear();
+        selected.resize(self.alive.len(), 0);
+        let mut k = 0usize;
         for i in 0..self.alive.len() {
             let v = self.alive[i];
-            if self.viable(v) {
-                selected.push(v);
-            }
+            let p = self.parent[v as usize];
+            // NIL-safe probe: index 0 when parentless, masked out of the
+            // predicate by the `p != NIL` factor (cmov, not a branch).
+            let safe_p = if p == NIL { 0 } else { p as usize };
+            let ok =
+                (p != NIL) & (self.child_count[safe_p] == 1) & (self.child_count[v as usize] == 1);
+            debug_assert_eq!(ok, self.viable(v));
+            selected[k] = v;
+            k += ok as usize;
         }
+        selected.truncate(k);
         self.msgs_scratch.clear();
         for &v in &selected {
             self.msgs_scratch.push((
@@ -395,7 +412,14 @@ impl<M: CommutativeMonoid> ContractionEngine<M> {
             ));
         }
         lc.round(&self.msgs_scratch);
-        selected.retain(|&v| self.coin[v as usize] && !self.coin[self.parent[v as usize] as usize]);
+        let mut k = 0usize;
+        for i in 0..selected.len() {
+            let v = selected[i];
+            let keep = self.coin[v as usize] & !self.coin[self.parent[v as usize] as usize];
+            selected[k] = v;
+            k += keep as usize;
+        }
+        selected.truncate(k);
 
         // Step 3: COMPRESS every selected v with its parent u. The
         // selected set is independent (heads with tails predecessor), so
@@ -426,7 +450,7 @@ impl<M: CommutativeMonoid> ContractionEngine<M> {
 
         // Step 4: refresh branching info after the compresses.
         let mut alive = std::mem::take(&mut self.alive);
-        alive.retain(|&v| self.active[v as usize]);
+        compact_by_flag(&mut alive, &self.active);
         self.alive = alive;
         self.charge_children_broadcast(lc);
 
@@ -442,16 +466,16 @@ impl<M: CommutativeMonoid> ContractionEngine<M> {
             if self.child_count[u as usize] == 0 {
                 continue;
             }
-            // First sibling walk: is this a raking parent?
+            // First sibling walk: is this a raking parent? Branchless
+            // accumulate — both counters advance by a predicate, no
+            // per-child branch.
             let mut leaves = 0u64;
             let mut others = 0u64;
             let mut c = self.first_child[u as usize];
             while c != NIL {
-                if self.child_count[c as usize] == 0 {
-                    leaves += 1;
-                } else {
-                    others += 1;
-                }
+                let is_leaf = self.child_count[c as usize] == 0;
+                leaves += is_leaf as u64;
+                others += !is_leaf as u64;
                 c = self.next_sib[c as usize];
             }
             if leaves == 0 || others > 1 {
@@ -497,7 +521,7 @@ impl<M: CommutativeMonoid> ContractionEngine<M> {
             &mut self.relay,
         );
         let mut alive = std::mem::take(&mut self.alive);
-        alive.retain(|&v| self.active[v as usize]);
+        compact_by_flag(&mut alive, &self.active);
         self.alive = alive;
 
         self.compress_ends.push(self.compress_log.len() as u32);
@@ -736,6 +760,20 @@ impl<M: CommutativeMonoid> EngineLifecycle for ContractionEngine<M> {
 
 /// `[start, end)` span of round `r` in a per-round end-offset array.
 #[inline]
+/// Stable in-place compaction keeping `v` where `flag[v]`: the
+/// branchless SWAR replacement for `retain` on the alive list —
+/// unconditional write, cursor advanced by the flag, no data-dependent
+/// branch on the (random) liveness pattern for the predictor to miss.
+fn compact_by_flag(list: &mut Vec<NodeId>, flag: &[bool]) {
+    let mut k = 0usize;
+    for i in 0..list.len() {
+        let v = list[i];
+        list[k] = v;
+        k += flag[v as usize] as usize;
+    }
+    list.truncate(k);
+}
+
 fn round_span(ends: &[u32], round: usize) -> (usize, usize) {
     let start = if round == 0 {
         0

@@ -37,12 +37,28 @@ pub fn treefix_top_down_host<M: CommutativeMonoid>(tree: &Tree, values: &[M]) ->
 }
 
 /// Rayon level-synchronous bottom-up treefix: processes depth levels
-/// from the deepest up, each level in parallel.
+/// from the deepest up, each level in parallel. Levels narrower than
+/// the measured [`spatial_sfc::thresholds::TREEFIX_ROUND`] crossover
+/// run sequentially in place — forking a handful of per-vertex
+/// combines costs more than it saves (the MeTTa Phase 3c lesson).
 pub fn treefix_bottom_up_par<M: CommutativeMonoid>(tree: &Tree, values: &[M]) -> Vec<M> {
     assert_eq!(values.len() as u32, tree.n());
     let levels = depth_levels(tree);
+    let min_par = spatial_sfc::thresholds::TREEFIX_ROUND.min_par_items();
     let mut result = values.to_vec();
     for level in levels.iter().rev() {
+        if level.len() < min_par {
+            // Children live strictly deeper and are already final, so
+            // the sequential pass writes straight into `result`.
+            for &v in level {
+                let mut acc = values[v as usize];
+                for &c in tree.children(v) {
+                    acc = acc.combine(result[c as usize]);
+                }
+                result[v as usize] = acc;
+            }
+            continue;
+        }
         let partial: Vec<(NodeId, M)> = level
             .par_iter()
             .map(|&v| {
@@ -60,12 +76,23 @@ pub fn treefix_bottom_up_par<M: CommutativeMonoid>(tree: &Tree, values: &[M]) ->
     result
 }
 
-/// Rayon level-synchronous top-down treefix.
+/// Rayon level-synchronous top-down treefix, with the same measured
+/// per-level sequential↔parallel cutoff as
+/// [`treefix_bottom_up_par`].
 pub fn treefix_top_down_par<M: CommutativeMonoid>(tree: &Tree, values: &[M]) -> Vec<M> {
     assert_eq!(values.len() as u32, tree.n());
     let levels = depth_levels(tree);
+    let min_par = spatial_sfc::thresholds::TREEFIX_ROUND.min_par_items();
     let mut result = values.to_vec();
     for level in levels.iter() {
+        if level.len() < min_par {
+            for &v in level {
+                if let Some(p) = tree.parent(v) {
+                    result[v as usize] = result[p as usize].combine(values[v as usize]);
+                }
+            }
+            continue;
+        }
         let partial: Vec<(NodeId, M)> = level
             .par_iter()
             .filter_map(|&v| {

@@ -1,0 +1,57 @@
+//! Proptest leg over [`spatial_tree::strategies`]: the SWAR batch
+//! kernels against the retained scalar batch references on point sets
+//! that arise from *real tree layouts* — the clustered, light-first
+//! orders the engines actually feed the batch API — rather than the
+//! uniform grids the in-crate differential tests sweep. The strategy
+//! rotates through every tree family and pins the degenerate sizes
+//! (n = 1, 2, non-power-of-two near the cap), so the kernels see odd
+//! tails, tiny batches and curve-side rounding boundaries.
+
+use proptest::prelude::*;
+use spatial_layout::Layout;
+use spatial_sfc::swar;
+use spatial_sfc::{CurveKind, GridPoint, HilbertCurve};
+use spatial_tree::strategies::arb_tree;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn swar_batches_match_scalar_on_layout_points(t in arb_tree(600)) {
+        let n = t.n();
+        let side = CurveKind::Hilbert.side_for_capacity(n as u64);
+
+        // Light-first layout points on each curve: the exact inputs the
+        // engines batch-transform when charging messages.
+        for kind in [CurveKind::Hilbert, CurveKind::ZOrder] {
+            let layout = Layout::light_first(&t, kind);
+            let points = layout.grid_points();
+            prop_assert_eq!(points.len(), n as usize);
+
+            let mut swar_idx = vec![0u64; points.len()];
+            let mut scalar_idx = vec![0u64; points.len()];
+            let mut swar_pts = vec![GridPoint::default(); points.len()];
+            let mut scalar_pts = vec![GridPoint::default(); points.len()];
+            match kind {
+                CurveKind::Hilbert => {
+                    let curve = HilbertCurve::new(side);
+                    swar::hilbert_index_chunk(side, &points, &mut swar_idx);
+                    swar::hilbert_index_chunk_scalar(&curve, &points, &mut scalar_idx);
+                    prop_assert_eq!(&swar_idx, &scalar_idx, "hilbert index n={}", n);
+                    swar::hilbert_point_chunk(side, &swar_idx, &mut swar_pts);
+                    swar::hilbert_point_chunk_scalar(&curve, &scalar_idx, &mut scalar_pts);
+                }
+                CurveKind::ZOrder => {
+                    swar::zorder_index_chunk(side, &points, &mut swar_idx);
+                    swar::zorder_index_chunk_scalar(side, &points, &mut scalar_idx);
+                    prop_assert_eq!(&swar_idx, &scalar_idx, "zorder index n={}", n);
+                    swar::zorder_point_chunk(side, &swar_idx, &mut swar_pts);
+                    swar::zorder_point_chunk_scalar(side, &scalar_idx, &mut scalar_pts);
+                }
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(&swar_pts, &scalar_pts, "{} point n={}", kind, n);
+            prop_assert_eq!(&swar_pts, &points, "{} round-trip n={}", kind, n);
+        }
+    }
+}
