@@ -32,6 +32,7 @@ use crate::layout::Layout;
 use crate::quality::local_kernel_energy_with_points;
 use spatial_model::CurveKind;
 use spatial_sfc::{manhattan, Curve, GridPoint};
+use spatial_store::CowSlab;
 use spatial_tree::{NodeId, Tree, NIL};
 
 /// Statistics of a dynamic layout's lifetime.
@@ -91,8 +92,11 @@ impl RebuildScratch {
 /// amortized light-first rebuilds.
 #[derive(Debug)]
 pub struct DynamicLayout {
-    /// Parent of every vertex ([`NIL`] for the root); appends extend it.
-    parents: Vec<NodeId>,
+    /// Parent of every vertex ([`NIL`] for the root); appends extend
+    /// it. Either owned or a zero-copy view over a mapped snapshot
+    /// ([`DynamicLayout::restore_slab`]), promoted to owned on the
+    /// first structural mutation.
+    parents: CowSlab<NodeId>,
     /// The (fixed) root vertex.
     root: NodeId,
     /// Curve family the layout lives on.
@@ -129,7 +133,7 @@ impl DynamicLayout {
         let order = spatial_tree::traversal::light_first_order(tree);
         let layout = Layout::from_order_with_capacity(curve, order, reserved);
         let mut dl = DynamicLayout {
-            parents: tree.parents().to_vec(),
+            parents: CowSlab::owned(tree.parents().to_vec()),
             root: tree.root(),
             curve,
             layout,
@@ -177,6 +181,31 @@ impl DynamicLayout {
         rebuild_factor: f64,
         stats: DynamicStats,
     ) -> Self {
+        Self::restore_slab(
+            root,
+            CowSlab::owned(parents),
+            curve,
+            order,
+            reserved,
+            rebuild_factor,
+            stats,
+        )
+    }
+
+    /// [`DynamicLayout::restore`] over any parent backing — in
+    /// particular a zero-copy view of a mapped snapshot
+    /// (`spatial_store::MappedSnapshot::parents_slab`). The slab stays
+    /// borrowed until the first structural mutation (append or grow)
+    /// promotes it to owned memory with one copy.
+    pub fn restore_slab(
+        root: NodeId,
+        parents: CowSlab<NodeId>,
+        curve: CurveKind,
+        order: Vec<NodeId>,
+        reserved: u64,
+        rebuild_factor: f64,
+        stats: DynamicStats,
+    ) -> Self {
         assert!(rebuild_factor >= 1.0, "rebuild factor must be ≥ 1");
         let n = parents.len();
         assert_eq!(order.len(), n, "order must place every vertex");
@@ -215,7 +244,14 @@ impl DynamicLayout {
     /// slab, borrowed instead of materialized through
     /// [`DynamicLayout::tree`].
     pub fn parents(&self) -> &[NodeId] {
-        &self.parents
+        self.parents.as_slice()
+    }
+
+    /// Whether the parent slab is still a borrowed view over a mapped
+    /// snapshot (no structural mutation since
+    /// [`DynamicLayout::restore_slab`]).
+    pub fn parents_backing_mapped(&self) -> bool {
+        self.parents.is_mapped()
     }
 
     /// The curve family the layout lives on.
@@ -240,7 +276,7 @@ impl DynamicLayout {
 
     /// Materializes the current tree.
     pub fn tree(&self) -> Tree {
-        Tree::from_parents(self.root, self.parents.clone())
+        Tree::from_parents(self.root, self.parents.as_slice().to_vec())
     }
 
     /// Lifetime statistics.
@@ -288,7 +324,9 @@ impl DynamicLayout {
             self.grow();
         }
         let v = self.n() as NodeId;
-        self.parents.push(parent);
+        // Promoting here (CoW) is the first structural mutation a
+        // mapped-backed layout sees; the copy is reserved to capacity.
+        self.parents.make_mut(self.reserved as usize).push(parent);
         let slot = self.layout.append_tail(v);
         let p = self.layout.curve().point(slot as u64);
         self.points.push(p);
@@ -345,7 +383,7 @@ impl DynamicLayout {
             self.points[self.layout.vertex_at(slot as u32) as usize] = p;
         }
         self.energy = 0;
-        for (v, &p) in self.parents.iter().enumerate() {
+        for (v, &p) in self.parents.as_slice().iter().enumerate() {
             if p != NIL {
                 self.energy += manhattan(self.points[p as usize], self.points[v]);
             }
@@ -357,7 +395,8 @@ impl DynamicLayout {
     /// sizes, per-vertex `sort_unstable` by `(size, id)`, iterative DFS.
     /// Allocation-free once the scratch is reserved.
     fn rebuild_order_into_scratch(&mut self) {
-        let n = self.parents.len();
+        let parents = self.parents.as_slice();
+        let n = parents.len();
         let root = self.root;
         let RebuildScratch {
             offsets,
@@ -374,7 +413,7 @@ impl DynamicLayout {
         // light-first sort key).
         offsets.clear();
         offsets.resize(n + 1, 0);
-        for &p in &self.parents {
+        for &p in parents {
             if p != NIL {
                 offsets[p as usize + 1] += 1;
             }
@@ -386,7 +425,7 @@ impl DynamicLayout {
         children.resize(n.saturating_sub(1), 0);
         sizes.clear();
         sizes.extend_from_slice(&offsets[..n]); // cursor copy
-        for (v, &p) in self.parents.iter().enumerate() {
+        for (v, &p) in parents.iter().enumerate() {
             if p != NIL {
                 let cur = &mut sizes[p as usize];
                 children[*cur as usize] = v as NodeId;
@@ -414,7 +453,7 @@ impl DynamicLayout {
         sizes.resize(n, 1);
         for i in (0..n).rev() {
             let v = bfs[i];
-            let p = self.parents[v as usize];
+            let p = parents[v as usize];
             if p != NIL {
                 sizes[p as usize] += sizes[v as usize];
             }
@@ -458,7 +497,7 @@ impl DynamicLayout {
             s.pos[v as usize] = i as u32;
         }
         let mut energy = 0u64;
-        for (v, &p) in self.parents.iter().enumerate() {
+        for (v, &p) in self.parents.as_slice().iter().enumerate() {
             if p != NIL {
                 energy += manhattan(
                     s.slot_points[s.pos[p as usize] as usize],

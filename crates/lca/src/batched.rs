@@ -156,11 +156,14 @@ impl LcaEngine {
         let structure = Structure::build(layout, tree);
         let n = structure.n as usize;
         let num_layers = structure.cover.num_layers() as usize;
+        // Staging must hold the schedule's widest charged round, which
+        // exceeds n (construction rounds carry two pairs per vertex).
+        let round = n.max(structure.schedule.max_round_len());
         LcaEngine {
             structure,
             tf1: ContractionEngine::with_capacity(n),
             tf3: ContractionEngine::with_capacity(n),
-            clock_scratch: LocalChargeScratch::with_capacity(n, n),
+            clock_scratch: LocalChargeScratch::with_capacity(n, round),
             chain_a: Vec::with_capacity(num_layers),
             chain_b: Vec::with_capacity(num_layers),
         }
@@ -176,6 +179,8 @@ impl LcaEngine {
         let n = self.structure.n as usize;
         self.tf1.reserve(n);
         self.tf3.reserve(n);
+        self.clock_scratch
+            .reserve(n, n.max(self.structure.schedule.max_round_len()));
     }
 
     /// The subtree cover the engine routes queries through.

@@ -67,6 +67,25 @@ impl BroadcastSchedule {
         self.round_ends.len() as u32
     }
 
+    /// The largest single round either replay charges, in messages —
+    /// what a pre-sized [`spatial_model::LocalChargeScratch`] staging
+    /// buffer needs to hold for the replays to stay allocation-free
+    /// (construction rounds carry two pairs per vertex, so this can
+    /// exceed the vertex count).
+    pub fn max_round_len(&self) -> usize {
+        let widest = |ends: &[u32]| {
+            ends.iter()
+                .scan(0u32, |start, &end| {
+                    let len = end - *start;
+                    *start = end;
+                    Some(len)
+                })
+                .max()
+                .unwrap_or(0) as usize
+        };
+        widest(&self.construction_ends).max(widest(&self.round_ends))
+    }
+
     /// Replays the Fig. 4 reference-passing construction charges
     /// (mirror of [`VirtualTree::charge_construction`]): one machine
     /// round plus one synchronous step per relay round.

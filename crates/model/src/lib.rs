@@ -28,12 +28,14 @@
 pub mod collectives;
 pub mod engine;
 pub mod machine;
+pub mod paging;
 pub mod report;
 
 pub use engine::EngineLifecycle;
 pub use machine::{
     LocalCharge, LocalChargeScratch, Machine, MachineBuilder, RoundCharger, Slot, TraceEvent,
 };
+pub use paging::{PagedMachine, PagingConfig, PagingReport};
 pub use report::CostReport;
 
 // Re-export the geometry the machine is built on so downstream crates can

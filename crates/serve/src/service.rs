@@ -4,9 +4,13 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::prelude::*;
 use spatial_session::{ForestOptions, Request, Response, SessionReport, SpatialForest};
-use spatial_store::{read_journal, ForestSnapshot, JournalWriter, Record, StoreError};
+use spatial_store::{
+    apply_pending_delta, read_journal, ForestSnapshot, JournalWriter, MappedSnapshot, Record,
+    StoreError,
+};
 use spatial_tree::Tree;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The clock a worker charges its busy time on: per-thread CPU time,
@@ -312,17 +316,34 @@ pub struct DurabilityOptions {
     /// live journal `tenant-<t>.<generation>.journal` per tenant.
     pub dir: PathBuf,
     /// Number of committed sessions between checkpoints: after this
-    /// many, the tenant's forest is re-snapshotted and the journal
-    /// restarts at the next generation (bounding recovery replay).
+    /// many, the tenant's forest is re-checkpointed (incrementally when
+    /// the on-disk base still matches) and the journal restarts at the
+    /// next generation (bounding recovery replay).
     pub checkpoint_interval: u64,
+    /// Recover tenants over mmap-backed snapshots: slabs are served
+    /// zero-copy out of the snapshot file until a mutation promotes
+    /// them, and restart cost scales with the tenants actually touched
+    /// instead of the fleet size. v1 snapshot files (packed slabs, not
+    /// mappable) fall back to the owned decoder per tenant. Answers
+    /// and charges are bit-identical either way, modulo the explicit
+    /// paging rows of [`ForestOptions::paging`].
+    pub mapped: bool,
+    /// Batch-size hint for [`SpatialForest::warmstart`] after recovery:
+    /// engine and scratch capacities are pre-sized from the snapshot
+    /// header so the first post-restart session allocates nothing on
+    /// the steady-state path.
+    pub warmstart_batch: usize,
 }
 
 impl DurabilityOptions {
-    /// Durability under `dir` with a checkpoint every 8 sessions.
+    /// Durability under `dir` with a checkpoint every 8 sessions,
+    /// mapped recovery, and warmstart sized for one coalesced batch.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityOptions {
             dir: dir.into(),
             checkpoint_interval: 8,
+            mapped: true,
+            warmstart_batch: MIN_COALESCED_BATCH,
         }
     }
 }
@@ -350,6 +371,28 @@ struct TenantState {
     durable: Option<TenantDurability>,
 }
 
+/// One tenant slot of a shard. Durable tenants start `Lazy` and are
+/// recovered on their first job, so restarting a large fleet faults in
+/// (and re-checkpoints) only the tenants actually receiving traffic —
+/// a never-touched tenant's durable files are left exactly as the
+/// previous run published them.
+enum TenantSlot {
+    /// A live tenant forest (non-durable tenants start here).
+    Ready(Box<TenantState>),
+    /// A durable tenant not yet recovered; holds the non-persisted
+    /// half of its identity (the seed tree) until the first job.
+    Lazy { tenant: u32, tree: Tree },
+}
+
+impl TenantSlot {
+    fn tenant(&self) -> u32 {
+        match self {
+            TenantSlot::Ready(s) => s.tenant,
+            TenantSlot::Lazy { tenant, .. } => *tenant,
+        }
+    }
+}
+
 fn snapshot_path(dir: &Path, tenant: u32) -> PathBuf {
     dir.join(format!("tenant-{tenant}.snapshot"))
 }
@@ -358,23 +401,70 @@ fn journal_path(dir: &Path, tenant: u32, generation: u64) -> PathBuf {
     dir.join(format!("tenant-{tenant}.{generation}.journal"))
 }
 
+/// Opens a tenant's snapshot, mapped or owned per
+/// [`DurabilityOptions::mapped`]. `None` means no snapshot exists yet
+/// (a fresh tenant); a pending incremental-checkpoint delta is applied
+/// first on every path (crash recovery).
+fn open_tenant_snapshot(
+    tenant: u32,
+    opts: &ServiceOptions,
+    dur: &DurabilityOptions,
+) -> Option<(SpatialForest, u64)> {
+    let spath = snapshot_path(&dur.dir, tenant);
+    let not_found =
+        |e: &StoreError| matches!(e, StoreError::Io(e) if e.kind() == std::io::ErrorKind::NotFound);
+    if dur.mapped {
+        // `MappedSnapshot::open` applies a pending delta itself.
+        match MappedSnapshot::open(&spath) {
+            Ok(mapped) => {
+                let generation = mapped.header().tag;
+                let forest = SpatialForest::from_mapped(&Arc::new(mapped), opts.forest);
+                return Some((forest, generation));
+            }
+            // A v1 snapshot (packed slabs) is not mappable — decode it
+            // the owned way below; the next checkpoint rewrites it as
+            // a mappable v2 file.
+            Err(StoreError::UnsupportedVersion(1)) => {}
+            Err(ref e) if not_found(e) => return None,
+            Err(e) => panic!("tenant {tenant} snapshot unmappable: {e}"),
+        }
+    } else if let Err(e) = apply_pending_delta(&spath) {
+        assert!(not_found(&e), "tenant {tenant} delta unrecoverable: {e}");
+    }
+    match ForestSnapshot::read_from(&spath) {
+        Ok(snap) => Some((SpatialForest::from_snapshot(&snap, opts.forest), snap.tag)),
+        Err(ref e) if not_found(e) => None,
+        Err(e) => panic!("tenant {tenant} snapshot unreadable: {e}"),
+    }
+}
+
 /// Builds one tenant's state from its durable files: recover from the
 /// snapshot + committed journal prefix when a snapshot exists, start
-/// fresh otherwise. Either way the tenant ends on a brand-new
-/// checkpoint generation with its journal attached.
+/// fresh otherwise. A recovered tenant whose journal is completely
+/// empty keeps its generation and re-attaches the same journal for
+/// append — restarting a cleanly-checkpointed fleet rewrites nothing.
+/// Every other path ends on a brand-new checkpoint generation. Either
+/// way the forest is warmstarted so the first session's steady-state
+/// path allocates nothing.
 fn start_tenant_durable(
     tenant: u32,
     tree: &Tree,
     opts: &ServiceOptions,
     dur: &DurabilityOptions,
 ) -> TenantState {
-    let (forest, rng, generation) = match ForestSnapshot::read_from(snapshot_path(&dur.dir, tenant))
-    {
-        Ok(snap) => {
-            let generation = snap.tag;
-            let mut forest = SpatialForest::from_snapshot(&snap, opts.forest);
-            let records = read_journal(journal_path(&dur.dir, tenant, generation))
-                .expect("tenant journal unreadable");
+    let durable = |generation| {
+        Some(TenantDurability {
+            dir: dur.dir.clone(),
+            generation,
+            sessions_since_checkpoint: 0,
+            interval: dur.checkpoint_interval.max(1),
+        })
+    };
+    let fresh_rng = || StdRng::seed_from_u64(tenant_seed(opts.seed, tenant));
+    let mut state = match open_tenant_snapshot(tenant, opts, dur) {
+        Some((mut forest, generation)) => {
+            let jpath = journal_path(&dur.dir, tenant, generation);
+            let records = read_journal(&jpath).expect("tenant journal unreadable");
             // Session-atomic replay: the RngState marker appended after
             // each executed session is the commit point. Everything
             // past the last marker is a session the crash interrupted
@@ -392,42 +482,58 @@ fn start_tenant_durable(
                     Record::RngState(s) => Some(StdRng::from_state(*s)),
                     _ => None,
                 })
-                .unwrap_or_else(|| StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)));
-            (forest, rng, generation)
+                .unwrap_or_else(fresh_rng);
+            let mut state = TenantState {
+                tenant,
+                forest,
+                rng,
+                reports: Vec::new(),
+                streams: Vec::new(),
+                durable: durable(generation),
+            };
+            // An entirely byte-empty journal has nothing to compact:
+            // skip the startup checkpoint and keep appending to the
+            // same generation. Any bytes at all — even a torn partial
+            // record — force the checkpoint below, which truncates
+            // them.
+            let journal_bytes = std::fs::metadata(&jpath).map_or(0, |m| m.len());
+            if records.is_empty() && journal_bytes == 0 {
+                let writer = JournalWriter::open_append(&jpath).expect("reopen tenant journal");
+                state.forest.attach_journal(writer);
+            } else {
+                checkpoint_tenant(&mut state);
+            }
+            state
         }
-        Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => (
-            SpatialForest::with_options(tree, opts.forest),
-            StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)),
-            0,
-        ),
-        Err(e) => panic!("tenant {tenant} snapshot unreadable: {e}"),
+        None => {
+            let mut state = TenantState {
+                tenant,
+                forest: SpatialForest::with_options(tree, opts.forest),
+                rng: fresh_rng(),
+                reports: Vec::new(),
+                streams: Vec::new(),
+                durable: durable(0),
+            };
+            // A fresh tenant checkpoints immediately: its first
+            // snapshot plus the generation-1 journal.
+            checkpoint_tenant(&mut state);
+            state
+        }
     };
-    let mut state = TenantState {
-        tenant,
-        forest,
-        rng,
-        reports: Vec::new(),
-        streams: Vec::new(),
-        durable: Some(TenantDurability {
-            dir: dur.dir.clone(),
-            generation,
-            sessions_since_checkpoint: 0,
-            interval: dur.checkpoint_interval.max(1),
-        }),
-    };
-    // Checkpoint immediately: a fresh tenant gets its first snapshot,
-    // a recovered one compacts its replayed journal — and both come
-    // out with the new generation's journal attached.
-    checkpoint_tenant(&mut state);
+    state.forest.warmstart(dur.warmstart_batch);
     state
 }
 
-/// Re-snapshots the tenant and switches to the next journal
-/// generation. Crash-safe at every step: the next generation's journal
-/// is created *before* the snapshot that names it is atomically
-/// published, and the old journal is only removed after — a crash
-/// anywhere leaves exactly one (snapshot, journal) pair that recovery
-/// will agree on.
+/// Re-checkpoints the tenant and switches to the next journal
+/// generation. The snapshot write goes through
+/// [`SpatialForest::checkpoint_to`]: when the on-disk base still
+/// matches the forest's tracked generation, only the dirty slab
+/// extents are patched through the crash-safe delta protocol instead
+/// of rewriting the whole file. Crash-safe at every step: the next
+/// generation's journal is created *before* the snapshot that names
+/// it is published (atomic rename or delta commit), and the old
+/// journal is only removed after — a crash anywhere leaves exactly
+/// one (snapshot, journal) pair that recovery will agree on.
 fn checkpoint_tenant(state: &mut TenantState) {
     let d = state
         .durable
@@ -439,7 +545,7 @@ fn checkpoint_tenant(state: &mut TenantState) {
         .expect("create next journal generation");
     state
         .forest
-        .snapshot_to(snapshot_path(&dir, state.tenant), next)
+        .checkpoint_to(snapshot_path(&dir, state.tenant), next)
         .expect("write checkpoint snapshot");
     state.forest.detach_journal();
     state.forest.attach_journal(writer);
@@ -507,9 +613,14 @@ impl ForestService {
     /// the committed prefix of its journal) instead of built from its
     /// tree; every tenant then journals its mutations session by
     /// session and re-checkpoints every `dur.checkpoint_interval`
-    /// committed sessions. Pass the same `trees`, `opts.forest`, and
-    /// `opts.seed` across restarts — they are the non-persisted half of
-    /// the tenant identity.
+    /// committed sessions — incrementally, patching only the dirty
+    /// slab extents, when the on-disk base still matches. Recovery is
+    /// **lazy** and (by default) **mapped**: a tenant is opened on its
+    /// shard's thread at its first job, zero-copy over the mmap'd
+    /// snapshot, so restarting a large fleet pays only for the tenants
+    /// that actually receive traffic. Pass the same `trees`,
+    /// `opts.forest`, and `opts.seed` across restarts — they are the
+    /// non-persisted half of the tenant identity.
     pub fn start_durable(trees: &[Tree], opts: ServiceOptions, dur: DurabilityOptions) -> Self {
         std::fs::create_dir_all(&dur.dir).expect("create durability directory");
         Self::start_inner(trees, opts, Some(dur))
@@ -518,29 +629,33 @@ impl ForestService {
     fn start_inner(trees: &[Tree], opts: ServiceOptions, dur: Option<DurabilityOptions>) -> Self {
         assert!(opts.workers >= 1, "need at least one worker");
         assert!(opts.queue_capacity >= 1, "need a non-empty queue");
-        let mut per_shard: Vec<Vec<TenantState>> = (0..opts.workers).map(|_| Vec::new()).collect();
+        let mut per_shard: Vec<Vec<TenantSlot>> = (0..opts.workers).map(|_| Vec::new()).collect();
         for (t, tree) in trees.iter().enumerate() {
             let tenant = t as u32;
             per_shard[t % opts.workers].push(match &dur {
-                Some(dur) => start_tenant_durable(tenant, tree, &opts, dur),
-                None => TenantState {
+                // Durable tenants recover lazily, on their shard's
+                // thread, at first job.
+                Some(_) => TenantSlot::Lazy {
+                    tenant,
+                    tree: tree.clone(),
+                },
+                None => TenantSlot::Ready(Box::new(TenantState {
                     tenant,
                     forest: SpatialForest::with_options(tree, opts.forest),
                     rng: StdRng::seed_from_u64(tenant_seed(opts.seed, tenant)),
                     reports: Vec::new(),
                     streams: Vec::new(),
                     durable: None,
-                },
+                })),
             });
         }
         let mut txs = Vec::with_capacity(opts.workers);
         let mut handles = Vec::with_capacity(opts.workers);
-        for (shard, states) in per_shard.into_iter().enumerate() {
+        for (shard, slots) in per_shard.into_iter().enumerate() {
             let (tx, rx) = bounded::<Job>(opts.queue_capacity);
-            let coalesce_target = opts.coalesce_target;
-            let record = opts.record_streams;
+            let dur = dur.clone();
             handles.push(std::thread::spawn(move || {
-                worker_loop(shard, rx, states, coalesce_target, record)
+                worker_loop(shard, rx, slots, opts, dur)
             }));
             txs.push(tx);
         }
@@ -622,14 +737,18 @@ impl Drop for ForestService {
 
 /// The shard worker: blockingly pops one job, opportunistically drains
 /// more up to the coalesce target, executes one charge-batched session
-/// per tenant present, then replies per job.
+/// per tenant present, then replies per job. A durable tenant's slot
+/// is materialized (recovered from its snapshot + journal, warmstarted)
+/// the first time a job names it.
 fn worker_loop(
     shard: usize,
     rx: Receiver<Job>,
-    mut states: Vec<TenantState>,
-    coalesce_target: usize,
-    record: bool,
+    mut slots: Vec<TenantSlot>,
+    opts: ServiceOptions,
+    dur: Option<DurabilityOptions>,
 ) -> ShardReport {
+    let coalesce_target = opts.coalesce_target;
+    let record = opts.record_streams;
     let mut jobs_total = 0u64;
     let mut requests_total = 0u64;
     let mut executes = 0u64;
@@ -669,10 +788,19 @@ fn worker_loop(
             for job in jobs.iter().filter(|j| j.tenant == tenant) {
                 stream.extend_from_slice(&job.requests);
             }
-            let state = states
+            let slot = slots
                 .iter_mut()
-                .find(|s| s.tenant == tenant)
+                .find(|s| s.tenant() == tenant)
                 .expect("tenant sharded to this worker");
+            if let TenantSlot::Lazy { tenant, tree } = slot {
+                let dur = dur.as_ref().expect("lazy slots are durable");
+                *slot =
+                    TenantSlot::Ready(Box::new(start_tenant_durable(*tenant, tree, &opts, dur)));
+            }
+            let state = match slot {
+                TenantSlot::Ready(state) => state,
+                TenantSlot::Lazy { .. } => unreachable!("materialized above"),
+            };
             responses.clear();
             responses.extend_from_slice(state.forest.execute(&stream, &mut state.rng));
             state.reports.push(state.forest.last_report());
@@ -705,12 +833,20 @@ fn worker_loop(
         executes,
         busy,
         poisoned: false,
-        tenants: states
+        tenants: slots
             .into_iter()
-            .map(|s| TenantLog {
-                tenant: s.tenant,
-                reports: s.reports,
-                streams: s.streams,
+            .map(|slot| match slot {
+                TenantSlot::Ready(s) => TenantLog {
+                    tenant: s.tenant,
+                    reports: s.reports,
+                    streams: s.streams,
+                },
+                // Never materialized: no job ever named this tenant.
+                TenantSlot::Lazy { tenant, .. } => TenantLog {
+                    tenant,
+                    reports: Vec::new(),
+                    streams: Vec::new(),
+                },
             })
             .collect(),
     }

@@ -1,0 +1,190 @@
+//! Out-of-core serving contracts of the durable restart path.
+//!
+//! Two properties the lazy-mapped recovery is responsible for:
+//!
+//! 1. **Restart cost scales with traffic, not fleet size.** A durable
+//!    tenant is recovered on its shard's thread at its *first job* —
+//!    restarting a 64-tenant service and driving two tenants must
+//!    leave every other tenant's snapshot and journal files
+//!    byte-for-byte untouched on disk.
+//! 2. **A cleanly-checkpointed tenant restarts without rewriting.**
+//!    When the journal is empty at startup (the shutdown landed
+//!    exactly on a checkpoint boundary), the tenant keeps its
+//!    generation and re-attaches the same journal instead of paying a
+//!    startup checkpoint — observable as exactly one generation bump
+//!    per committed interval, never an extra one per restart.
+
+use rand::prelude::*;
+use spatial_serve::{DurabilityOptions, ForestService, ServiceOptions};
+use spatial_session::{QueryBatch, Response};
+use spatial_tree::{generators, Tree};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn trees(n_tenants: usize, n: u32, seed: u64) -> Vec<Tree> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_tenants)
+        .map(|_| generators::uniform_random(n, &mut rng))
+        .collect()
+}
+
+/// Every durable file under `dir`, name → contents.
+fn dir_contents(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read durability dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().into_string().expect("utf8 name");
+        files.insert(name, std::fs::read(entry.path()).expect("file bytes"));
+    }
+    files
+}
+
+#[test]
+fn restart_of_64_tenants_touches_only_the_tenants_with_traffic() {
+    let dir = std::env::temp_dir().join(format!("spatial-serve-lazy-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let ts = trees(64, 24, 41);
+    let opts = ServiceOptions::new(4);
+    let dur = DurabilityOptions::new(&dir);
+
+    // Phase 1: every tenant gets one mutating job, so all 64 have a
+    // snapshot and a journal with at least one committed session.
+    {
+        let service = ForestService::start_durable(&ts, opts, dur.clone());
+        let mut b = QueryBatch::new();
+        b.insert_leaf(0).subtree_sum(0);
+        let tickets: Vec<_> = (0..64u32)
+            .map(|t| service.submit(t, b.requests()))
+            .collect();
+        for t in tickets {
+            t.wait().expect("answered");
+        }
+        assert!(service.shutdown().poisoned_shards().is_empty());
+    }
+    let before = dir_contents(&dir);
+    assert_eq!(before.len(), 128, "one snapshot + one journal per tenant");
+
+    // Phase 2: restart the full fleet, drive exactly two tenants.
+    let touched = [3u32, 17];
+    let report = {
+        let service = ForestService::start_durable(&ts, opts, dur.clone());
+        let mut probe = QueryBatch::new();
+        probe.subtree_sum(0);
+        for &t in &touched {
+            let answers = service
+                .submit(t, probe.requests())
+                .wait()
+                .expect("answered");
+            assert_eq!(answers, vec![Response::SubtreeSum(25)], "24 + 1 insert");
+        }
+        service.shutdown()
+    };
+    let after = dir_contents(&dir);
+
+    let file_tenant = |name: &str| -> u32 {
+        name.strip_prefix("tenant-")
+            .and_then(|rest| rest.split('.').next())
+            .and_then(|t| t.parse().ok())
+            .expect("durable file name")
+    };
+    // Untouched tenants: the byte-identical file set survives the
+    // restart — no startup checkpoint, no journal switch, nothing.
+    let untouched_before: BTreeMap<_, _> = before
+        .iter()
+        .filter(|(name, _)| !touched.contains(&file_tenant(name)))
+        .collect();
+    let untouched_after: BTreeMap<_, _> = after
+        .iter()
+        .filter(|(name, _)| !touched.contains(&file_tenant(name)))
+        .collect();
+    assert_eq!(
+        untouched_before, untouched_after,
+        "restart rewrote files of tenants that saw no traffic"
+    );
+    // The driven tenants did re-checkpoint (their journals held a
+    // committed session, so startup compacts to a new generation).
+    for &t in &touched {
+        let journal_gen = |files: &BTreeMap<String, Vec<u8>>| -> u64 {
+            files
+                .keys()
+                .filter(|n| *n != &format!("tenant-{t}.snapshot"))
+                .filter(|n| file_tenant(n) == t)
+                .map(|n| n.split('.').nth(1).expect("gen").parse().expect("gen"))
+                .max()
+                .expect("journal present")
+        };
+        assert!(
+            journal_gen(&after) > journal_gen(&before),
+            "tenant {t} should have compacted its journal on first job"
+        );
+    }
+    // And the shutdown report reflects the laziness: only the driven
+    // tenants executed sessions.
+    for log in report.shards.iter().flat_map(|s| s.tenants.iter()) {
+        if touched.contains(&log.tenant) {
+            assert_eq!(log.reports.len(), 1, "tenant {}", log.tenant);
+        } else {
+            assert!(log.reports.is_empty(), "tenant {}", log.tenant);
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_journal_restart_keeps_the_generation() {
+    let dir = std::env::temp_dir().join(format!("spatial-serve-emptyj-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let ts = trees(1, 30, 43);
+    let opts = ServiceOptions::new(1);
+    let mut dur = DurabilityOptions::new(&dir);
+    // Interval 1: every committed session checkpoints immediately, so a
+    // clean shutdown always leaves a byte-empty journal.
+    dur.checkpoint_interval = 1;
+
+    let journal_gens = || -> Vec<u64> {
+        let mut gens: Vec<u64> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .filter(|n| n.ends_with(".journal"))
+            .map(|n| n.split('.').nth(1).expect("gen").parse().expect("gen"))
+            .collect();
+        gens.sort_unstable();
+        gens
+    };
+
+    // Fresh tenant: startup checkpoint → generation 1; one mutating
+    // session → checkpoint → generation 2.
+    {
+        let service = ForestService::start_durable(&ts, opts, dur.clone());
+        let mut b = QueryBatch::new();
+        b.insert_leaf(0);
+        service.submit(0, b.requests()).wait().expect("answered");
+        service.shutdown();
+    }
+    assert_eq!(journal_gens(), vec![2], "fresh start + one session");
+
+    // Restart onto the empty generation-2 journal and run one query
+    // session. The startup checkpoint is skipped (nothing to compact),
+    // so the only bump is the session's own: generation 3 — not 4.
+    {
+        let service = ForestService::start_durable(&ts, opts, dur.clone());
+        let mut probe = QueryBatch::new();
+        probe.subtree_sum(0);
+        let answers = service
+            .submit(0, probe.requests())
+            .wait()
+            .expect("answered");
+        assert_eq!(answers, vec![Response::SubtreeSum(31)], "30 + 1 insert");
+        service.shutdown();
+    }
+    assert_eq!(
+        journal_gens(),
+        vec![3],
+        "an empty journal must not cost a startup checkpoint generation"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

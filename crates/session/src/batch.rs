@@ -124,6 +124,11 @@ pub struct SessionReport {
     /// Charges of the PRAM-baseline shadow runs (crossover mode only):
     /// the same subtree sums priced on the §I-C PRAM simulation.
     pub pram: Option<CostReport>,
+    /// Out-of-core paging charges (mapped backing with a paging config
+    /// only): cold-page faults priced as long-distance messages. `None`
+    /// on owned backings — every other field of a paged run stays
+    /// bit-identical to its fully-resident twin.
+    pub paging: Option<spatial_model::PagingReport>,
     /// Charge-batched sessions flushed (mutation boundaries + 1,
     /// counting only sessions that ran at least one engine).
     pub sessions: u32,

@@ -7,11 +7,14 @@ use rand::Rng;
 use spatial_euler::ranking::{END, UNRANKED};
 use spatial_euler::tour::{down, EulerTour};
 use spatial_layout::{DynamicLayout, DynamicStats, Layout, SpatialBuildReport};
-use spatial_model::{CurveKind, Machine, Slot};
-use spatial_store::{ForestSnapshot, JournalWriter, Record, StoreError};
+use spatial_model::{CurveKind, Machine, PagedMachine, PagingConfig, PagingReport, Slot};
+use spatial_store::{
+    CowSlab, DirtyExtents, ForestSnapshot, JournalWriter, MappedSnapshot, Record, StoreError,
+};
 use spatial_tree::{ChildrenCsr, NodeId, Tree};
 use spatial_treefix::Add;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Construction options for [`SpatialForest`].
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +29,13 @@ pub struct ForestOptions {
     pub crossover: bool,
     /// Base seed of the PRAM shadow engine's hashed cell placement.
     pub pram_seed: u64,
+    /// Out-of-core charge model: when set, a mapped-backed forest
+    /// tracks slab residency under this budget and prices every
+    /// cold-page touch as a long-distance message
+    /// ([`SessionReport::paging`]). `None` (the default) reports no
+    /// paging rows and keeps every report bit-identical to pre-paging
+    /// builds.
+    pub paging: Option<PagingConfig>,
 }
 
 impl Default for ForestOptions {
@@ -35,8 +45,50 @@ impl Default for ForestOptions {
             rebuild_factor: 2.0,
             crossover: false,
             pram_seed: 0x5eed_0f0e,
+            paging: None,
         }
     }
+}
+
+/// How a recovered forest holds its snapshot slabs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForestBacking {
+    /// Slabs decoded into owned heap memory (the classic path).
+    Owned,
+    /// Slabs served zero-copy from an mmap'd snapshot, promoted to
+    /// owned memory lazily on first mutation (CoW). Falls back to
+    /// `Owned` when the on-disk snapshot is a v1 file.
+    Mapped,
+}
+
+/// What [`SpatialForest::checkpoint_to`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Total bytes written (delta + in-place patch, or the full file).
+    pub bytes_written: u64,
+    /// Whether the incremental (dirty-extent) path was taken.
+    pub incremental: bool,
+}
+
+/// Dirty state since the last on-disk snapshot generation — what
+/// [`SpatialForest::checkpoint_to`] turns into an incremental delta.
+#[derive(Debug, Default)]
+struct DirtyTracker {
+    /// `(n, reserved, slab_crcs)` of the base generation on disk;
+    /// `None` when no generation exists to patch against.
+    base: Option<(u32, u64, [u32; 3])>,
+    /// A rebuild permuted the whole order slab since the base.
+    order_rewritten: bool,
+    /// A capacity growth invalidated every slab offset since the base.
+    grew: bool,
+    /// Weight cells overwritten below the base vertex count.
+    weight_cells: Vec<u32>,
+}
+
+/// `&[u64]` → `&[Add]`, no copy. Sound because `Add` is
+/// `#[repr(transparent)]` over `u64`.
+fn as_add(weights: &[u64]) -> &[Add] {
+    unsafe { std::slice::from_raw_parts(weights.as_ptr().cast::<Add>(), weights.len()) }
 }
 
 /// A tree held in a light-first layout with a pool of retained engines,
@@ -71,8 +123,24 @@ pub struct SpatialForest {
     dart_machine: Machine,
 
     // ---- Per-vertex query values. ----
-    weights: Vec<u64>,
-    weights_add: Vec<Add>,
+    /// Subtree-sum weights: owned, or a zero-copy view over the mapped
+    /// snapshot until the first weight mutation promotes it (CoW).
+    /// Served to the treefix as `&[Add]` via the `repr(transparent)`
+    /// cast — no shadow array.
+    weights: CowSlab<u64>,
+
+    // ---- Out-of-core state (mapped backing only). ----
+    /// How this forest was restored.
+    backing: ForestBacking,
+    /// The mapped snapshot serving un-promoted slabs (kept alive here
+    /// and inside each [`CowSlab`] view).
+    mapped: Option<Arc<MappedSnapshot>>,
+    /// Residency tracker pricing cold-page touches (paging opt-in).
+    pager: Option<PagedMachine>,
+    /// Journal records replayed into this forest since construction.
+    replayed: u64,
+    /// Dirty extents since the last checkpoint generation.
+    dirty: DirtyTracker,
 
     /// When attached, every durable mutation (insert, weight change,
     /// query-triggered rebuild) is appended here **before** it is
@@ -119,17 +187,27 @@ impl SpatialForest {
     pub fn with_options(tree: &Tree, opts: ForestOptions) -> Self {
         let n = tree.n() as usize;
         let dynamic = DynamicLayout::new(tree, opts.curve, opts.rebuild_factor);
-        Self::from_dynamic(dynamic, vec![1; n], false, opts)
+        Self::from_dynamic(
+            dynamic,
+            CowSlab::owned(vec![1; n]),
+            false,
+            opts,
+            ForestBacking::Owned,
+            None,
+        )
     }
 
     /// The shared constructor: wraps an already-built dynamic layout
-    /// (fresh from [`DynamicLayout::new`] or restored from a snapshot)
-    /// with the forest's caches, machines, and engine pool.
+    /// (fresh from [`DynamicLayout::new`] or restored from a snapshot,
+    /// owned or mapped) with the forest's caches, machines, and engine
+    /// pool.
     fn from_dynamic(
         dynamic: DynamicLayout,
-        weights: Vec<u64>,
+        weights: CowSlab<u64>,
         layout_dirty: bool,
         opts: ForestOptions,
+        backing: ForestBacking,
+        mapped: Option<Arc<MappedSnapshot>>,
     ) -> Self {
         let n = dynamic.n() as usize;
         assert_eq!(weights.len(), n, "one weight per vertex");
@@ -150,8 +228,12 @@ impl SpatialForest {
             tour_start: END,
             machine: Machine::on_curve(opts.curve, 1),
             dart_machine: Machine::on_curve(opts.curve, 1),
-            weights_add: weights.iter().map(|&w| Add(w)).collect(),
             weights,
+            backing,
+            mapped,
+            pager: opts.paging.map(PagedMachine::new),
+            replayed: 0,
+            dirty: DirtyTracker::default(),
             journal: None,
             pool: EnginePool::new(opts.curve, n, opts.pram_seed),
             responses: Vec::new(),
@@ -203,7 +285,7 @@ impl SpatialForest {
 
     /// The subtree-sum weight of a vertex.
     pub fn weight(&self, v: NodeId) -> u64 {
-        self.weights[v as usize]
+        self.weights.as_slice()[v as usize]
     }
 
     /// Sets the subtree-sum weight of a vertex (no relayout — weights
@@ -214,8 +296,90 @@ impl SpatialForest {
                 .append(Record::SetWeight { vertex: v, weight })
                 .expect("journal append failed (fail-stop)");
         }
-        self.weights[v as usize] = weight;
-        self.weights_add[v as usize] = Add(weight);
+        self.set_weight_inner(v, weight);
+    }
+
+    /// The weight mutation shared by [`SpatialForest::set_weight`] and
+    /// journal replay: charges/promotes the mapped weight slab and
+    /// tracks the dirty cell for incremental checkpoints.
+    fn set_weight_inner(&mut self, v: NodeId, weight: u64) {
+        if self.weights.is_mapped() {
+            // Promotion reads the whole slab once to copy it.
+            self.touch_weights_span();
+        }
+        let cap = self.dynamic.reserved() as usize;
+        self.weights.make_mut(cap)[v as usize] = weight;
+        if let Some((base_n, _, _)) = self.dirty.base {
+            if v < base_n {
+                self.dirty.weight_cells.push(v);
+            }
+        }
+    }
+
+    // ---- Out-of-core accessors + paging charges. ----
+
+    /// How this forest holds its snapshot slabs.
+    pub fn backing(&self) -> ForestBacking {
+        self.backing
+    }
+
+    /// Whether any slab is still served zero-copy from the mapped
+    /// snapshot (no promoting mutation yet).
+    pub fn any_slab_mapped(&self) -> bool {
+        self.weights.is_mapped() || self.dynamic.parents_backing_mapped()
+    }
+
+    /// Journal records replayed into this forest since construction
+    /// ([`SpatialForest::apply_journal`] /
+    /// [`SpatialForest::recover_with`]).
+    pub fn replayed_records(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Lifetime paging charges (construction + every session), when
+    /// paging is configured.
+    pub fn paging_lifetime(&self) -> Option<PagingReport> {
+        self.pager.as_ref().map(|p| p.lifetime())
+    }
+
+    /// The model price of one cold-page fetch: a message across the
+    /// grid diameter — the farthest a long-distance fetch can travel.
+    fn fault_energy(&self) -> u64 {
+        (2 * (self.machine.side() as u64).saturating_sub(1)).max(1)
+    }
+
+    /// Charges a touch of the mapped parents slab (if still mapped).
+    fn touch_parents_span(&mut self) {
+        if !self.dynamic.parents_backing_mapped() {
+            return;
+        }
+        let energy = self.fault_energy();
+        if let (Some(pager), Some(mapped)) = (self.pager.as_mut(), self.mapped.as_ref()) {
+            let (off, len) = mapped.parents_span();
+            pager.touch_range(off, len, energy);
+        }
+    }
+
+    /// Charges a touch of the mapped weights slab (if still mapped).
+    fn touch_weights_span(&mut self) {
+        if !self.weights.is_mapped() {
+            return;
+        }
+        let energy = self.fault_energy();
+        if let (Some(pager), Some(mapped)) = (self.pager.as_mut(), self.mapped.as_ref()) {
+            let (off, len) = mapped.weights_span();
+            pager.touch_range(off, len, energy);
+        }
+    }
+
+    /// Folds any accumulated paging charges into the pager's lifetime
+    /// meters without attributing them to a session — construction and
+    /// warmstart reads use this so the first execute's report stays
+    /// comparable.
+    fn absorb_paging_into_lifetime(&mut self) {
+        if let Some(pager) = self.pager.as_mut() {
+            let _ = pager.commit_session();
+        }
     }
 
     // ---- Durability: snapshot + journal + recovery. ----
@@ -248,7 +412,7 @@ impl SpatialForest {
             tag,
             parents: self.dynamic.parents().to_vec(),
             order: self.dynamic.layout().order().to_vec(),
-            weights: self.weights.clone(),
+            weights: self.weights.as_slice().to_vec(),
         }
     }
 
@@ -281,7 +445,73 @@ impl SpatialForest {
                 baseline_energy: snap.baseline_energy,
             },
         );
-        Self::from_dynamic(dynamic, snap.weights.clone(), snap.layout_dirty, opts)
+        let mut forest = Self::from_dynamic(
+            dynamic,
+            CowSlab::owned(snap.weights.clone()),
+            snap.layout_dirty,
+            opts,
+            ForestBacking::Owned,
+            None,
+        );
+        // Track this snapshot as the incremental-checkpoint base; if
+        // the file under it turns out to differ (stale, v1, rewritten),
+        // the strict writer-side CRC validation falls back to a full
+        // rewrite.
+        forest.dirty.base = Some((snap.parents.len() as u32, snap.reserved, snap.slab_crcs()));
+        forest
+    }
+
+    /// Restores a forest zero-copy over a mapped snapshot: the parents
+    /// and weights slabs stay borrowed views into `snap`'s region until
+    /// a mutation promotes them (CoW); queries run directly over the
+    /// mapped bytes. With [`ForestOptions::paging`] set, the
+    /// construction-time slab reads are charged to the pager's lifetime
+    /// meters (not the first session).
+    pub fn from_mapped(snap: &Arc<MappedSnapshot>, opts: ForestOptions) -> Self {
+        let header = *snap.header();
+        let curve = *CurveKind::ALL
+            .get(header.curve as usize)
+            .expect("snapshot curve index out of range");
+        let opts = ForestOptions { curve, ..opts };
+        let dynamic = DynamicLayout::restore_slab(
+            header.root,
+            snap.parents_slab(),
+            curve,
+            // The order slab is consumed by the layout's derived
+            // structures either way; copying it here is the one
+            // construction-time read the mapped backing cannot avoid.
+            snap.order().to_vec(),
+            header.reserved,
+            opts.rebuild_factor,
+            DynamicStats {
+                insertions: header.insertions,
+                rebuilds: header.rebuilds,
+                grows: header.grows,
+                baseline_energy: header.baseline_energy,
+            },
+        );
+        let mut forest = Self::from_dynamic(
+            dynamic,
+            snap.weights_slab(),
+            header.layout_dirty,
+            opts,
+            ForestBacking::Mapped,
+            Some(snap.clone()),
+        );
+        // Price what construction actually read — the parents slab
+        // (tree + structure caches) and the order slab — and absorb it
+        // into the lifetime meters.
+        if forest.pager.is_some() {
+            let energy = forest.fault_energy();
+            let spans = [snap.parents_span(), snap.order_span()];
+            let pager = forest.pager.as_mut().expect("checked above");
+            for (off, len) in spans {
+                pager.touch_range(off, len, energy);
+            }
+            forest.absorb_paging_into_lifetime();
+        }
+        forest.dirty.base = Some((header.n, header.reserved, snap.slab_crcs()));
+        forest
     }
 
     /// Full crash recovery: load the snapshot at `snapshot_path`, then
@@ -293,34 +523,155 @@ impl SpatialForest {
         journal_path: impl AsRef<Path>,
         opts: ForestOptions,
     ) -> Result<Self, StoreError> {
-        let snap = ForestSnapshot::read_from(snapshot_path)?;
-        let mut forest = Self::from_snapshot(&snap, opts);
+        Self::recover_with(snapshot_path, journal_path, opts, ForestBacking::Owned)
+    }
+
+    /// [`SpatialForest::recover_from`] with an explicit backing. A
+    /// pending incremental-checkpoint delta is applied first (crash
+    /// recovery); `Mapped` falls back to the owned decoder when the
+    /// snapshot on disk is a v1 file. An empty journal skips the replay
+    /// loop entirely ([`SpatialForest::replayed_records`] stays 0).
+    pub fn recover_with(
+        snapshot_path: impl AsRef<Path>,
+        journal_path: impl AsRef<Path>,
+        opts: ForestOptions,
+        backing: ForestBacking,
+    ) -> Result<Self, StoreError> {
+        let snapshot_path = snapshot_path.as_ref();
+        let mut forest = match backing {
+            ForestBacking::Mapped => match MappedSnapshot::open(snapshot_path) {
+                Ok(mapped) => Self::from_mapped(&Arc::new(mapped), opts),
+                Err(StoreError::UnsupportedVersion(1)) => {
+                    let snap = ForestSnapshot::read_from(snapshot_path)?;
+                    Self::from_snapshot(&snap, opts)
+                }
+                Err(e) => return Err(e),
+            },
+            ForestBacking::Owned => {
+                spatial_store::apply_pending_delta(snapshot_path)?;
+                let snap = ForestSnapshot::read_from(snapshot_path)?;
+                Self::from_snapshot(&snap, opts)
+            }
+        };
         let records = spatial_store::read_journal(journal_path)?;
-        forest.apply_journal(&records);
+        if !records.is_empty() {
+            forest.apply_journal(&records);
+        }
         Ok(forest)
     }
 
-    /// Replays journal records against the restored forest, in order.
-    /// [`Record::RngState`] markers are skipped — session RNG recovery
-    /// belongs to the serve layer, which owns the RNG.
-    pub fn apply_journal(&mut self, records: &[Record]) {
+    /// Replays journal records against the restored forest, in order,
+    /// returning how many were applied. [`Record::RngState`] markers
+    /// are skipped — session RNG recovery belongs to the serve layer,
+    /// which owns the RNG.
+    pub fn apply_journal(&mut self, records: &[Record]) -> u64 {
         for rec in records {
             match *rec {
                 Record::InsertLeaf { parent, weight } => {
                     self.insert_leaf_inner(parent, weight);
                 }
                 Record::SetWeight { vertex, weight } => {
-                    self.weights[vertex as usize] = weight;
-                    self.weights_add[vertex as usize] = Add(weight);
+                    self.set_weight_inner(vertex, weight);
                 }
                 Record::Rebuild => {
+                    self.touch_parents_span();
                     self.dynamic.rebuild();
+                    self.dirty.order_rewritten = true;
                     self.layout_dirty = false;
                     self.epoch += 1;
                 }
                 Record::RngState(_) => {}
             }
         }
+        self.replayed += records.len() as u64;
+        records.len() as u64
+    }
+
+    /// Writes the current state over the snapshot at `path`,
+    /// incrementally when possible: if the file still carries the
+    /// tracked base generation (same capacity, no grow since, matching
+    /// per-slab CRCs), only the dirty extents are patched through the
+    /// crash-safe delta protocol ([`spatial_store::write_incremental`]);
+    /// otherwise the full snapshot is rewritten atomically. Either way
+    /// the tracker rebases onto the written generation.
+    pub fn checkpoint_to(
+        &mut self,
+        path: impl AsRef<Path>,
+        tag: u64,
+    ) -> Result<CheckpointStats, StoreError> {
+        let path = path.as_ref();
+        let snap = self.snapshot(tag);
+        if let Some((base_n, base_reserved, base_crcs)) = self.dirty.base {
+            if !self.dirty.grew && snap.reserved == base_reserved {
+                let extents = DirtyExtents {
+                    base_len: base_n,
+                    order_rewritten: self.dirty.order_rewritten,
+                    weight_cells: std::mem::take(&mut self.dirty.weight_cells),
+                };
+                match spatial_store::write_incremental(path, &snap, &extents, base_crcs)? {
+                    Some(bytes_written) => {
+                        self.rebase(&snap);
+                        return Ok(CheckpointStats {
+                            bytes_written,
+                            incremental: true,
+                        });
+                    }
+                    // The base on disk didn't validate — put the cells
+                    // back (harmless if the full rewrite below also
+                    // fails) and fall through.
+                    None => self.dirty.weight_cells = extents.weight_cells,
+                }
+            }
+        }
+        // Full rewrite. Retire any pending delta *first* so no state
+        // exists where a stale delta could later patch the new base.
+        spatial_store::apply_pending_delta(path)?;
+        let bytes = snap.encode();
+        spatial_store::atomic_write(path, &bytes)?;
+        self.rebase(&snap);
+        Ok(CheckpointStats {
+            bytes_written: bytes.len() as u64,
+            incremental: false,
+        })
+    }
+
+    /// Rebases the dirty tracker onto a just-written generation.
+    fn rebase(&mut self, snap: &ForestSnapshot) {
+        self.dirty = DirtyTracker {
+            base: Some((snap.parents.len() as u32, snap.reserved, snap.slab_crcs())),
+            ..DirtyTracker::default()
+        };
+    }
+
+    /// Pre-sizes the engine pool and batch scratch for this forest's
+    /// reserved capacity (the snapshot header's `reserved` after a
+    /// recovery) and `batch_hint` requests per execute, so the first
+    /// post-restart session allocates nothing on the steady-state
+    /// path. Charge-neutral: engine construction is host-side and the
+    /// LCA engine is only pre-built when the layout is already
+    /// light-first (building it on a dirty layout would change the
+    /// journaled rebuild schedule).
+    pub fn warmstart(&mut self, batch_hint: usize) {
+        self.ensure_structure();
+        let cap = self.dynamic.reserved().max(self.n() as u64) as usize;
+        self.pool.reserve_treefix(cap);
+        if !self.layout_dirty {
+            self.pool
+                .lca_for(self.epoch, self.dynamic.layout(), &self.tree);
+        }
+        self.pool
+            .ranking_for(self.epoch, &self.tour_next, self.tour_start);
+        self.responses.reserve(batch_hint);
+        self.lca_q.reserve(batch_hint);
+        self.lca_idx.reserve(batch_hint);
+        self.lca_answers.reserve(batch_hint);
+        self.sum_v.reserve(batch_hint);
+        self.sum_idx.reserve(batch_hint);
+        self.rank_v.reserve(batch_hint);
+        self.rank_idx.reserve(batch_hint);
+        // Any mapped-slab reads the warmstart performed are lifetime
+        // charges, not first-session ones.
+        self.absorb_paging_into_lifetime();
     }
 
     /// Starts journaling: every subsequent durable mutation is appended
@@ -345,14 +696,27 @@ impl SpatialForest {
     /// replay: extends the dynamic layout and the weight arrays, and
     /// tracks whether the append left the layout non-light-first.
     fn insert_leaf_inner(&mut self, parent: NodeId, weight: u64) -> NodeId {
-        let rebuilds_before = self.dynamic.stats().rebuilds;
+        // The first structural mutation promotes the mapped slabs
+        // (each promotion reads its whole slab once to copy it).
+        self.touch_parents_span();
+        if self.weights.is_mapped() {
+            self.touch_weights_span();
+        }
+        let before = self.dynamic.stats();
         let v = self.dynamic.insert_leaf(parent);
+        let after = self.dynamic.stats();
         // An insert dirties the light-first order unless the dynamic
         // layout's quality threshold rebuilt it on the spot (the
         // rebuild runs after the append).
-        self.layout_dirty = self.dynamic.stats().rebuilds == rebuilds_before;
-        self.weights.push(weight);
-        self.weights_add.push(Add(weight));
+        self.layout_dirty = after.rebuilds == before.rebuilds;
+        if after.rebuilds != before.rebuilds {
+            self.dirty.order_rewritten = true;
+        }
+        if after.grows != before.grows {
+            self.dirty.grew = true;
+        }
+        let cap = self.dynamic.reserved() as usize;
+        self.weights.make_mut(cap).push(weight);
         self.epoch += 1;
         v
     }
@@ -424,6 +788,11 @@ impl SpatialForest {
         self.in_execute = false;
         self.session.grid = self.session.grid + self.machine.report();
         self.session.ranking = self.session.ranking + self.dart_machine.report();
+        // Publish the session's paging charges in one batch (the
+        // LocalCharge discipline): owned backings report `None`.
+        if let Some(pager) = self.pager.as_mut() {
+            self.session.paging = Some(pager.commit_session());
+        }
         &self.responses
     }
 
@@ -441,7 +810,9 @@ impl SpatialForest {
                     .append(Record::Rebuild)
                     .expect("journal append failed (fail-stop)");
             }
+            self.touch_parents_span();
             self.dynamic.rebuild();
+            self.dirty.order_rewritten = true;
             self.layout_dirty = false;
             self.epoch += 1;
         }
@@ -516,12 +887,15 @@ impl SpatialForest {
         }
 
         if !self.sum_v.is_empty() {
+            // The treefix reads every weight; a still-mapped slab pays
+            // its residency before the engine runs.
+            self.touch_weights_span();
             self.pool.reserve_treefix(self.tree.n() as usize);
             self.pool.treefix.bind_parts(
                 &self.parents,
                 &self.slots,
                 &self.csr,
-                &self.weights_add,
+                as_add(self.weights.as_slice()),
                 true,
             );
             self.pool.treefix.contract(&self.machine, rng);
@@ -534,7 +908,7 @@ impl SpatialForest {
             if self.opts.crossover {
                 let (pram, treefix) = self.pool.pram_for(self.epoch, &self.tree);
                 pram.reset();
-                treefix.subtree_sums(pram, &self.weights, rng);
+                treefix.subtree_sums(pram, self.weights.as_slice(), rng);
                 let shadow = pram.report();
                 self.session.pram = Some(self.session.pram.unwrap_or_default() + shadow);
             }

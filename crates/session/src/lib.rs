@@ -48,5 +48,5 @@ mod forest;
 mod pool;
 
 pub use batch::{QueryBatch, Request, Response, SessionReport};
-pub use forest::{ForestOptions, SpatialForest};
+pub use forest::{CheckpointStats, ForestBacking, ForestOptions, SpatialForest};
 pub use pool::{EnginePool, PoolStats};

@@ -17,12 +17,20 @@
 //! format contract lives in `DESIGN.md` next to this manifest.
 
 mod atomic;
+pub mod delta;
 mod journal;
+mod mapped;
+mod slab;
 mod snapshot;
 
 pub use atomic::atomic_write;
+pub use delta::{
+    apply_pending_delta, delta_path, write_incremental, DirtyExtents, DELTA_MAGIC, DELTA_VERSION,
+};
 pub use journal::{parse_journal, read_journal, JournalWriter, Record, RECORD_BYTES};
-pub use snapshot::{ForestSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use mapped::MappedSnapshot;
+pub use slab::CowSlab;
+pub use snapshot::{ForestSnapshot, SnapshotHeader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 /// Why a snapshot or journal could not be decoded.
 #[derive(Debug)]
@@ -44,6 +52,10 @@ pub enum StoreError {
     /// write — impossible through [`atomic_write`], possible for files
     /// produced by other means).
     Truncated,
+    /// A delta and its base snapshot disagree structurally (capacity,
+    /// file length, slab ids) — the incremental checkpoint cannot be
+    /// applied safely.
+    Inconsistent(&'static str),
 }
 
 impl std::fmt::Display for StoreError {
@@ -59,6 +71,9 @@ impl std::fmt::Display for StoreError {
                 "snapshot checksum mismatch: header {stored:#010x}, payload {computed:#010x}"
             ),
             StoreError::Truncated => write!(f, "snapshot shorter than its header claims"),
+            StoreError::Inconsistent(what) => {
+                write!(f, "incremental checkpoint inconsistency: {what}")
+            }
         }
     }
 }

@@ -1,0 +1,132 @@
+//! The mmap-backed reader: zero-copy alignment safety, validation, and
+//! equivalence with the owned decoder.
+
+use spatial_store::{ForestSnapshot, MappedSnapshot, StoreError};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("spatial-store-mapped-{tag}-{}", std::process::id()))
+}
+
+fn sample(n: usize) -> ForestSnapshot {
+    ForestSnapshot {
+        curve: 0,
+        root: 0,
+        layout_dirty: false,
+        rebuilds: 2,
+        grows: 1,
+        reserved: (2 * n as u64).max(4),
+        baseline_energy: 123,
+        insertions: n as u64,
+        tag: 41,
+        parents: (0..n as u32)
+            .map(|v| if v == 0 { u32::MAX } else { (v - 1) / 2 })
+            .collect(),
+        order: (0..n as u32).rev().collect(),
+        weights: (0..n as u64).map(|v| v.wrapping_mul(0x9E37_79B9)).collect(),
+    }
+}
+
+#[test]
+fn zero_copy_views_are_alignment_safe_and_exact() {
+    let path = temp_path("align");
+    // An odd vertex count exercises the slab padding (4·n not a
+    // multiple of 8).
+    let snap = sample(501);
+    snap.write_to(&path).expect("write");
+    let mapped = MappedSnapshot::open(&path).expect("open");
+
+    // The zero-copy contract: every typed view sits on a properly
+    // aligned address inside the mapped file.
+    assert_eq!(mapped.parents().as_ptr() as usize % 4, 0);
+    assert_eq!(mapped.order().as_ptr() as usize % 4, 0);
+    assert_eq!(mapped.weights().as_ptr() as usize % 8, 0);
+    for (off, _) in [
+        mapped.parents_span(),
+        mapped.order_span(),
+        mapped.weights_span(),
+    ] {
+        assert_eq!(off % 8, 0, "slab offset {off} not 8-aligned");
+    }
+
+    assert_eq!(mapped.parents(), &snap.parents[..]);
+    assert_eq!(mapped.order(), &snap.order[..]);
+    assert_eq!(mapped.weights(), &snap.weights[..]);
+    assert_eq!(mapped.header().tag, 41);
+    assert_eq!(mapped.header().reserved, snap.reserved);
+    assert_eq!(mapped.to_snapshot(), snap);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn open_verifies_per_slab_crcs() {
+    let path = temp_path("crc");
+    let snap = sample(64);
+    snap.write_to(&path).expect("write");
+
+    // Corrupt one weight entry directly on disk: the header CRC still
+    // matches, but the weights slab CRC must catch it on open.
+    let mut bytes = std::fs::read(&path).expect("read");
+    let (woff, _) = MappedSnapshot::open(&path).expect("open").weights_span();
+    bytes[woff as usize + 5] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    assert!(matches!(
+        MappedSnapshot::open(&path),
+        Err(StoreError::BadChecksum { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v1_files_are_not_mappable() {
+    let path = temp_path("v1");
+    let snap = sample(16);
+    std::fs::write(&path, snap.encode_v1()).expect("write v1");
+    // The mapped reader refuses (packed v1 slabs are unaligned); the
+    // owned decoder still reads it — the fallback recovery path.
+    assert!(matches!(
+        MappedSnapshot::open(&path),
+        Err(StoreError::UnsupportedVersion(1))
+    ));
+    assert_eq!(
+        ForestSnapshot::read_from(&path).expect("owned decode"),
+        snap
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_and_missing_files_fail_cleanly() {
+    let path = temp_path("empty");
+    std::fs::write(&path, b"").expect("write");
+    assert!(matches!(
+        MappedSnapshot::open(&path),
+        Err(StoreError::Truncated)
+    ));
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(
+        MappedSnapshot::open(temp_path("never-written")),
+        Err(StoreError::Io(_))
+    ));
+}
+
+#[test]
+fn mapped_views_survive_cross_thread_sharing() {
+    let path = temp_path("threads");
+    let snap = sample(256);
+    snap.write_to(&path).expect("write");
+    let mapped = std::sync::Arc::new(MappedSnapshot::open(&path).expect("open"));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let m = mapped.clone();
+            let expect = snap.weights.clone();
+            std::thread::spawn(move || {
+                assert_eq!(m.weights(), &expect[..]);
+                m.parents().iter().map(|&p| p as u64).sum::<u64>()
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("join");
+    }
+    std::fs::remove_file(&path).ok();
+}

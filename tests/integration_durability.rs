@@ -12,8 +12,13 @@
 //! rebuilds. All seeds are fixed; the fuzz is deterministic in CI.
 
 use rand::prelude::*;
-use spatial_trees::session::{ForestOptions, QueryBatch, Request, SpatialForest};
-use spatial_trees::store::{parse_journal, ForestSnapshot, JournalWriter, Record, RECORD_BYTES};
+use spatial_trees::session::{ForestBacking, ForestOptions, QueryBatch, Request, SpatialForest};
+use spatial_trees::store::delta::{
+    commit_delta_without_applying_for_tests, partially_apply_pending_delta_for_tests,
+};
+use spatial_trees::store::{
+    delta_path, parse_journal, DirtyExtents, ForestSnapshot, JournalWriter, Record, RECORD_BYTES,
+};
 
 fn temp_path(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("spatial-durability-{tag}-{}", std::process::id()))
@@ -227,6 +232,153 @@ fn recover_from_tolerates_a_torn_tail() {
         "the torn half-record must not lose intact history ({intact} records)"
     );
     assert_forests_equivalent(&mut recovered, &mut live, "torn tail");
+
+    std::fs::remove_file(&journal_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+/// An incremental checkpoint of a weight-edit-heavy ("dirty tail")
+/// history writes a small fraction of the full snapshot, and a crash
+/// at any point of the in-place patch — injected byte budget by byte
+/// budget through the store's test hook — recovers bit-identically
+/// through the public `recover_with`, under both backings.
+#[test]
+fn incremental_checkpoint_crash_recovers_bit_identically() {
+    let snap_path = temp_path("incr-snap");
+    let journal_path = temp_path("incr-journal"); // never created: empty history
+
+    // Base generation on disk, tracked by a recovered forest.
+    let tree = spatial_trees::tree::generators::uniform_random(600, &mut StdRng::seed_from_u64(3));
+    let opts = ForestOptions::default();
+    let mut seed_forest = SpatialForest::with_options(&tree, opts);
+    // Settle the layout so the dirty-tail workload below triggers no
+    // rebuild (a rebuild rewrites the whole order slab).
+    seed_forest.execute(
+        QueryBatch::new().lca(0, 599).requests(),
+        &mut StdRng::seed_from_u64(30),
+    );
+    seed_forest
+        .snapshot_to(&snap_path, 1)
+        .expect("base snapshot");
+    let base = ForestSnapshot::read_from(&snap_path).expect("read base");
+    let mut live = SpatialForest::from_snapshot(&base, opts);
+
+    // Dirty-tail workload: many weight edits, a few appends, no grow.
+    let mut wl_rng = StdRng::seed_from_u64(0x11);
+    for _ in 0..120 {
+        live.set_weight(wl_rng.gen_range(0..600), wl_rng.gen_range(1..1000u64));
+    }
+    let mut tail = QueryBatch::new();
+    for i in 0..8u32 {
+        tail.insert_leaf_weighted(i, 7);
+    }
+    live.execute(tail.requests(), &mut StdRng::seed_from_u64(31));
+
+    // Uninterrupted incremental checkpoint: small, and recoverable.
+    let full_len = std::fs::metadata(&snap_path).expect("base meta").len();
+    let stats = live.checkpoint_to(&snap_path, 2).expect("checkpoint");
+    assert!(stats.incremental, "dirty-tail workload patches extents");
+    assert!(
+        stats.bytes_written * 4 <= full_len,
+        "incremental wrote {} of a {} byte snapshot",
+        stats.bytes_written,
+        full_len
+    );
+    // The checkpointed state, captured before the equivalence probe
+    // below mutates `live`.
+    let target = live.snapshot(2);
+    let mut recovered =
+        SpatialForest::recover_from(&snap_path, &journal_path, opts).expect("recover");
+    assert_eq!(recovered.replayed_records(), 0, "no journal to replay");
+    assert_forests_equivalent(&mut recovered, &mut live, "uninterrupted incremental");
+
+    // Crash injection: rebuild the pre-checkpoint base, re-commit the
+    // same delta without applying it, and kill the patch at a sweep of
+    // byte budgets. Recovery must always land on the checkpointed
+    // state, whichever backing reopens the file.
+    let mut weight_cells: Vec<u32> = Vec::new();
+    for v in 0..600u32 {
+        if base.weights[v as usize] != target.weights[v as usize] {
+            weight_cells.push(v);
+        }
+    }
+    assert!(weight_cells.len() >= 60, "workload dirtied many cells");
+    let extents = DirtyExtents {
+        base_len: base.parents.len() as u32,
+        order_rewritten: false,
+        weight_cells,
+    };
+    let mut cut = 0u64;
+    loop {
+        spatial_trees::store::atomic_write(&snap_path, &base.encode()).expect("reset base");
+        let committed = commit_delta_without_applying_for_tests(
+            &snap_path,
+            &target,
+            &extents,
+            base.slab_crcs(),
+        )
+        .expect("commit delta")
+        .expect("base validates");
+        let torn = partially_apply_pending_delta_for_tests(&snap_path, cut).expect("partial patch");
+        assert!(torn <= cut, "patch wrote past the injected crash");
+        let backing = if cut.is_multiple_of(128) {
+            ForestBacking::Mapped
+        } else {
+            ForestBacking::Owned
+        };
+        let mut after_crash = SpatialForest::recover_with(&snap_path, &journal_path, opts, backing)
+            .expect("recover after injected crash");
+        let mut expect = SpatialForest::from_snapshot(&target, opts);
+        assert_forests_equivalent(
+            &mut after_crash,
+            &mut expect,
+            &format!("crash at {cut} of {committed} delta bytes"),
+        );
+        if cut >= committed {
+            break;
+        }
+        cut = (cut + 64).min(committed);
+    }
+    assert!(
+        !delta_path(&snap_path).exists(),
+        "recovery retires the pending delta"
+    );
+
+    std::fs::remove_file(&snap_path).ok();
+}
+
+/// `recover_from` reports exactly how many journal records it applied:
+/// zero for a missing journal (the empty-tail short-circuit), the
+/// record count otherwise.
+#[test]
+fn recovery_counts_applied_records() {
+    let snap_path = temp_path("count-snap");
+    let journal_path = temp_path("count-journal");
+
+    let tree = spatial_trees::tree::generators::path(50);
+    let opts = ForestOptions::default();
+    let mut live = SpatialForest::with_options(&tree, opts);
+    live.snapshot_to(&snap_path, 0).expect("snapshot");
+
+    // Missing journal: nothing replayed.
+    let empty = SpatialForest::recover_from(&snap_path, &journal_path, opts).expect("recover");
+    assert_eq!(empty.replayed_records(), 0);
+
+    // Journal some mutations, then recover and count.
+    live.attach_journal(JournalWriter::create(&journal_path).expect("journal"));
+    let mut batch = QueryBatch::new();
+    for i in 0..10u32 {
+        batch.insert_leaf(i % 50);
+    }
+    live.execute(batch.requests(), &mut StdRng::seed_from_u64(1));
+    live.set_weight(3, 99);
+    live.journal_mut().expect("attached").sync().expect("sync");
+    live.detach_journal();
+
+    let recovered = SpatialForest::recover_from(&snap_path, &journal_path, opts).expect("recover");
+    let on_disk = parse_journal(&std::fs::read(&journal_path).expect("bytes")).len() as u64;
+    assert_eq!(recovered.replayed_records(), on_disk);
+    assert!(on_disk >= 11, "inserts + weight edit were journaled");
 
     std::fs::remove_file(&journal_path).ok();
     std::fs::remove_file(&snap_path).ok();
