@@ -95,6 +95,46 @@ fn every_bench_file_shares_the_scenarios_schema() {
 }
 
 #[test]
+fn committed_lab_history_seeds_the_regression_gate() {
+    // The bench lab ships with a committed run history so the FIRST
+    // gated CI comparison already has a prior: at least two distinct
+    // revisions, every bench represented, zero torn/dropped lines, and
+    // the noise-aware gate passes on the committed history itself
+    // (committed runs must never violate their own baseline).
+    use spatial_bench::lab;
+    let path = workspace_root().join("lab/runs.jsonl");
+    let history = lab::read_runs(&path).expect("lab/runs.jsonl must be checked in and readable");
+    assert_eq!(history.dropped_lines, 0, "committed store has damaged lines");
+    assert_eq!(history.torn_tail_bytes, 0, "committed store has a torn tail");
+    let revs = lab::rev_order(&history.runs);
+    assert!(
+        revs.len() >= 2,
+        "the gate needs >= 2 distinct revisions of committed history, got {revs:?}"
+    );
+    for bench in [
+        "sfc_treefix",
+        "lca_mincut",
+        "layout",
+        "pram",
+        "service",
+        "throughput",
+        "durability",
+        "ooc",
+    ] {
+        assert!(
+            history.runs.iter().any(|r| r.bench == bench),
+            "no committed lab run for bench {bench}"
+        );
+    }
+    let report = lab::regression_report(&history.runs, &lab::GateConfig::default(), None);
+    assert!(
+        report.violations.is_empty(),
+        "committed lab history violates its own gate: {:?}",
+        report.violations
+    );
+}
+
+#[test]
 fn sfc_treefix_file_shows_the_swar_win() {
     // The SWAR acceptance bar, checked against the committed data: the
     // lane-parallel batch kernels must beat the retained pre-PR scalar

@@ -19,11 +19,13 @@
 mod atomic;
 pub mod delta;
 mod journal;
+mod log;
 mod mapped;
 mod slab;
 mod snapshot;
 
 pub use atomic::atomic_write;
+pub use log::{append_line, read_lines, LogLines};
 pub use delta::{
     apply_pending_delta, delta_path, write_incremental, DirtyExtents, DELTA_MAGIC, DELTA_VERSION,
 };
